@@ -1,0 +1,304 @@
+//! The abstract heap `H` of paper §3.1, built lazily (§4) while scanning a
+//! sequential execution trace.
+//!
+//! `H` maps *symbols* — `(invocation, register)` pairs — to abstract
+//! locations carrying the paper's two flags:
+//!
+//! * **controllability** (`C`/`NC`): the location holds a value the client
+//!   can influence (client-allocated object, client-invoke receiver or
+//!   argument, or anything reachable from them), as opposed to
+//!   library-internal allocations, constants, `rand()` results, and
+//!   arithmetic;
+//! * **lock state** (`L`/`U`): some thread currently holds the location's
+//!   monitor.
+//!
+//! Aliasing is tracked by *location identity*: because trace events carry
+//! concrete object ids, two symbols alias exactly when they map to the same
+//! location — this realizes the paper's `bind` deep-walk exactly (aliases
+//! share a location, so a field update through one alias is seen through
+//! all of them, cf. the `x.f := y` rule of Fig. 7).
+
+use crate::path::PathField;
+use narada_vm::{InvId, ObjId};
+use narada_lang::mir::VarId;
+use std::collections::HashMap;
+
+/// An abstract heap location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocId(pub u32);
+
+impl LocId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-location flags.
+#[derive(Debug, Clone, Copy)]
+pub struct LocState {
+    /// `C` (true) or `NC` (false).
+    pub controllable: bool,
+    /// `L` (true) or `U` (false).
+    pub locked: bool,
+}
+
+/// The abstract heap. See the module docs.
+#[derive(Debug, Default)]
+pub struct AbsHeap {
+    locs: Vec<LocState>,
+    /// Symbol bindings: `(inv, var) → loc`.
+    vars: HashMap<(InvId, VarId), LocId>,
+    /// Field edges: `(owner loc, field) → loc` (all array elements collapse
+    /// onto one `Elem` edge).
+    fields: HashMap<(LocId, PathField), LocId>,
+    /// Concrete objects get exactly one location each.
+    objs: HashMap<ObjId, LocId>,
+}
+
+impl AbsHeap {
+    /// Creates an empty abstract heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of locations created so far.
+    pub fn loc_count(&self) -> usize {
+        self.locs.len()
+    }
+
+    fn fresh(&mut self, controllable: bool) -> LocId {
+        let id = LocId(self.locs.len() as u32);
+        self.locs.push(LocState {
+            controllable,
+            locked: false,
+        });
+        id
+    }
+
+    /// Flags of a location.
+    pub fn state(&self, loc: LocId) -> LocState {
+        self.locs[loc.index()]
+    }
+
+    /// Whether a location is controllable (`C`).
+    pub fn controllable(&self, loc: LocId) -> bool {
+        self.locs[loc.index()].controllable
+    }
+
+    /// Whether a location is locked (`L`).
+    pub fn locked(&self, loc: LocId) -> bool {
+        self.locs[loc.index()].locked
+    }
+
+    /// Location of a concrete object, created `NC` on first sight (the
+    /// caller upgrades controllability when the `R` bootstrap applies).
+    pub fn loc_of_obj(&mut self, obj: ObjId) -> LocId {
+        if let Some(&l) = self.objs.get(&obj) {
+            return l;
+        }
+        let l = self.fresh(false);
+        self.objs.insert(obj, l);
+        l
+    }
+
+    /// Location of an object created in the given controllability context
+    /// (used for `Alloc` events: client allocs are `C`, library allocs `NC`
+    /// — the paper's *alloc* rule).
+    pub fn alloc_obj(&mut self, obj: ObjId, controllable: bool) -> LocId {
+        let l = self.loc_of_obj(obj);
+        if controllable {
+            self.locs[l.index()].controllable = true;
+        }
+        l
+    }
+
+    /// Binds a symbol to a location (the *assign*/`bind` rule).
+    pub fn bind_var(&mut self, inv: InvId, var: VarId, loc: LocId) {
+        self.vars.insert((inv, var), loc);
+    }
+
+    /// The location a symbol is bound to, if any.
+    pub fn var_loc(&self, inv: InvId, var: VarId) -> Option<LocId> {
+        self.vars.get(&(inv, var)).copied()
+    }
+
+    /// Binds a symbol to a fresh `NC` location (opaque definitions:
+    /// constants, `rand()`, arithmetic, `length`).
+    pub fn bind_opaque(&mut self, inv: InvId, var: VarId) -> LocId {
+        let l = self.fresh(false);
+        self.bind_var(inv, var, l);
+        l
+    }
+
+    /// The field edge `owner.field`, lazily created with the owner's flags
+    /// (§4 lazy initialization: "for an unseen variable, we assign the
+    /// flags based on its owner state").
+    pub fn field_loc(&mut self, owner: LocId, field: PathField) -> LocId {
+        if let Some(&l) = self.fields.get(&(owner, field)) {
+            return l;
+        }
+        let inherit = self.locs[owner.index()].controllable;
+        let l = self.fresh(inherit);
+        self.fields.insert((owner, field), l);
+        l
+    }
+
+    /// Overwrites the field edge (the `x.f := y` rule: every alias of `x`
+    /// shares `x`'s location, so the single edge update covers them all).
+    pub fn set_field_loc(&mut self, owner: LocId, field: PathField, value: LocId) {
+        self.fields.insert((owner, field), value);
+    }
+
+    /// Reads an existing field edge without creating it.
+    pub fn field_loc_existing(&self, owner: LocId, field: PathField) -> Option<LocId> {
+        self.fields.get(&(owner, field)).copied()
+    }
+
+    /// All existing outgoing field edges of a location.
+    pub fn field_edges(&self, owner: LocId) -> Vec<(PathField, LocId)> {
+        let mut edges: Vec<_> = self
+            .fields
+            .iter()
+            .filter(|((o, _), _)| *o == owner)
+            .map(|((_, f), &l)| (*f, l))
+            .collect();
+        edges.sort();
+        edges
+    }
+
+    /// Marks a location and everything reachable from it controllable —
+    /// the paper's `R` bootstrap at a client invocation, applied to the
+    /// receiver and every argument. Lazily created descendants inherit the
+    /// flag automatically, so marking the currently known graph suffices.
+    pub fn mark_controllable_deep(&mut self, root: LocId) {
+        let mut stack = vec![root];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(l) = stack.pop() {
+            if !seen.insert(l) {
+                continue;
+            }
+            self.locs[l.index()].controllable = true;
+            for (_, child) in self.field_edges(l) {
+                stack.push(child);
+            }
+        }
+    }
+
+    /// Sets the lock flag of a location (the *lock*/*unlock* rules; aliases
+    /// share the location, so all see the flag).
+    pub fn set_locked(&mut self, loc: LocId, locked: bool) {
+        self.locs[loc.index()].locked = locked;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use narada_lang::hir::FieldId;
+
+    fn f(id: u32) -> PathField {
+        PathField::Field(FieldId(id))
+    }
+
+    #[test]
+    fn objects_get_one_location() {
+        let mut h = AbsHeap::new();
+        let a = h.loc_of_obj(ObjId(1));
+        let b = h.loc_of_obj(ObjId(1));
+        let c = h.loc_of_obj(ObjId(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lazy_field_inherits_owner_flags() {
+        let mut h = AbsHeap::new();
+        let c_owner = h.alloc_obj(ObjId(1), true);
+        let nc_owner = h.alloc_obj(ObjId(2), false);
+        let c_field = h.field_loc(c_owner, f(0));
+        let nc_field = h.field_loc(nc_owner, f(0));
+        assert!(h.controllable(c_field));
+        assert!(!h.controllable(nc_field));
+    }
+
+    #[test]
+    fn field_overwrite_changes_edge() {
+        let mut h = AbsHeap::new();
+        let owner = h.alloc_obj(ObjId(1), true);
+        let first = h.field_loc(owner, f(0));
+        let other = h.alloc_obj(ObjId(9), false);
+        h.set_field_loc(owner, f(0), other);
+        assert_eq!(h.field_loc(owner, f(0)), other);
+        assert_ne!(h.field_loc(owner, f(0)), first);
+    }
+
+    #[test]
+    fn aliasing_via_shared_location() {
+        // x := y ⇒ same loc; then x.f update is visible via y.f.
+        let mut h = AbsHeap::new();
+        let inv = InvId(0);
+        let obj = h.alloc_obj(ObjId(1), true);
+        h.bind_var(inv, VarId(0), obj);
+        h.bind_var(inv, VarId(1), obj); // the copy
+        let via_x = h.var_loc(inv, VarId(0)).unwrap();
+        let via_y = h.var_loc(inv, VarId(1)).unwrap();
+        assert_eq!(via_x, via_y);
+        let target = h.alloc_obj(ObjId(2), false);
+        h.set_field_loc(via_x, f(3), target);
+        assert_eq!(h.field_loc(via_y, f(3)), target);
+    }
+
+    #[test]
+    fn mark_controllable_deep_walks_edges() {
+        let mut h = AbsHeap::new();
+        let root = h.alloc_obj(ObjId(1), false);
+        let child = h.field_loc(root, f(0)); // NC (inherits)
+        let grand = h.field_loc(child, f(1));
+        assert!(!h.controllable(grand));
+        h.mark_controllable_deep(root);
+        assert!(h.controllable(root));
+        assert!(h.controllable(child));
+        assert!(h.controllable(grand));
+    }
+
+    #[test]
+    fn mark_controllable_handles_cycles() {
+        let mut h = AbsHeap::new();
+        let a = h.alloc_obj(ObjId(1), false);
+        let b = h.alloc_obj(ObjId(2), false);
+        h.set_field_loc(a, f(0), b);
+        h.set_field_loc(b, f(0), a); // cycle
+        h.mark_controllable_deep(a);
+        assert!(h.controllable(a));
+        assert!(h.controllable(b));
+    }
+
+    #[test]
+    fn lock_flag_round_trips() {
+        let mut h = AbsHeap::new();
+        let l = h.alloc_obj(ObjId(1), true);
+        assert!(!h.locked(l));
+        h.set_locked(l, true);
+        assert!(h.locked(l));
+        h.set_locked(l, false);
+        assert!(!h.locked(l));
+    }
+
+    #[test]
+    fn opaque_bindings_are_nc() {
+        let mut h = AbsHeap::new();
+        let l = h.bind_opaque(InvId(0), VarId(5));
+        assert!(!h.controllable(l));
+        assert_eq!(h.var_loc(InvId(0), VarId(5)), Some(l));
+    }
+
+    #[test]
+    fn elem_edges_collapse() {
+        let mut h = AbsHeap::new();
+        let arr = h.alloc_obj(ObjId(1), true);
+        let e1 = h.field_loc(arr, PathField::Elem);
+        let e2 = h.field_loc(arr, PathField::Elem);
+        assert_eq!(e1, e2, "all array elements share one abstract edge");
+    }
+}

@@ -1,0 +1,211 @@
+//! Analysis output records: the access map `A`, the access summaries `D`,
+//! and the method summaries distilled from them.
+
+use crate::path::{IPath, PathField};
+use narada_lang::hir::{FieldId, MethodId, Program, Ty};
+use narada_lang::Span;
+use narada_vm::Label;
+use std::fmt;
+
+/// One lock held at an access, with its client-relative path when the lock
+/// object is reachable from the client-invocation's `I`-variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldLock {
+    /// Path of the lock object relative to the access's client invocation,
+    /// when resolvable (`None` for library-internal lock objects).
+    pub path: Option<IPath>,
+}
+
+/// One dynamic heap access observed in the sequential trace — an entry of
+/// the paper's access map `A` enriched with everything the later pipeline
+/// stages need (owner path, lockset, typing).
+#[derive(Debug, Clone)]
+pub struct AccessRecord {
+    /// Dynamic execution index of the access.
+    pub label: Label,
+    /// The client-invoked library method this access executed under.
+    pub method: MethodId,
+    /// Client-relative path of the accessed location (owner path plus leaf
+    /// field), when the owner is client-reachable. `I1.x.o` in Fig. 11.
+    pub path: Option<IPath>,
+    /// The leaf location within the owner object.
+    pub leaf: PathField,
+    /// Static identity of the leaf field (`None` for array elements).
+    pub field: Option<FieldId>,
+    /// Whether the access is a write.
+    pub is_write: bool,
+    /// `A(ℓ).unprotected`: owner controllable and unlocked.
+    pub unprotected: bool,
+    /// `A(ℓ).writeable`: both sides of a field write controllable.
+    pub writeable: bool,
+    /// Locks held by the executing thread at the access.
+    pub locks: Vec<HeldLock>,
+    /// The access occurred inside a constructor (§4: discarded when
+    /// building racing pairs, kept for summaries).
+    pub in_ctor: bool,
+    /// Source span, for race reports.
+    pub span: Span,
+}
+
+impl AccessRecord {
+    /// Owner path (the path minus the leaf), when available.
+    pub fn owner_path(&self) -> Option<IPath> {
+        self.path.as_ref().and_then(|p| p.split_last()).map(|(o, _)| o)
+    }
+
+    /// Grouping key for pair generation: accesses can only race when they
+    /// touch the same static location.
+    pub fn race_key(&self) -> Option<RaceKey> {
+        match (self.leaf, self.field) {
+            (PathField::Field(f), _) => Some(RaceKey::Field(f)),
+            (PathField::Elem, _) => {
+                // Array elements are grouped by the field the array lives
+                // in (the last named field on the owner path).
+                let owner = self.owner_path()?;
+                let via = owner.fields.iter().rev().find_map(|pf| pf.field())?;
+                Some(RaceKey::ElemVia(via))
+            }
+        }
+    }
+
+    /// Renders the record for reports.
+    pub fn display<'a>(&'a self, prog: &'a Program) -> AccessDisplay<'a> {
+        AccessDisplay { rec: self, prog }
+    }
+}
+
+/// Static location identity used to group potentially racing accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RaceKey {
+    /// Accesses to a named field.
+    Field(FieldId),
+    /// Accesses to elements of the array stored in the given field.
+    ElemVia(FieldId),
+}
+
+impl RaceKey {
+    /// The underlying field.
+    pub fn field(self) -> FieldId {
+        match self {
+            RaceKey::Field(f) | RaceKey::ElemVia(f) => f,
+        }
+    }
+}
+
+/// Helper returned by [`AccessRecord::display`].
+#[derive(Debug)]
+pub struct AccessDisplay<'a> {
+    rec: &'a AccessRecord,
+    prog: &'a Program,
+}
+
+impl fmt::Display for AccessDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.rec.is_write { "write" } else { "read" };
+        let prot = if self.rec.unprotected {
+            "unprotected"
+        } else {
+            "protected"
+        };
+        write!(
+            f,
+            "{prot} {kind} in {} of ",
+            self.prog.qualified_name(self.rec.method)
+        )?;
+        match &self.rec.path {
+            Some(p) => write!(f, "{}", p.display(self.prog))?,
+            None => write!(f, "<unreachable path>")?,
+        }
+        write!(f, " at {}", self.rec.label)
+    }
+}
+
+/// A *writeable assignment* summary distilled from `D` (paper §3.2–§3.3):
+/// invoking `method` stores the object at `rhs` into the position `lhs`.
+/// `bar` in Fig. 13 yields `lhs = I_this.x, rhs = I_p0.w`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetterSummary {
+    /// The method whose invocation performs the assignment.
+    pub method: MethodId,
+    /// Target position (rooted at the method's receiver or a parameter).
+    pub lhs: IPath,
+    /// Source position (rooted at the receiver or a parameter).
+    pub rhs: IPath,
+    /// Label of the observed write.
+    pub label: Label,
+    /// Source site of the write (the §4 partial-invocation stop point).
+    pub span: Span,
+    /// A later, non-controllable write inside the same invocation
+    /// overwrites this assignment (§4): running the method to completion
+    /// would destroy the context, so the synthesizer must suspend the
+    /// invocation right after this write.
+    pub overwritten: bool,
+}
+
+impl SetterSummary {
+    /// Renders the summary for reports.
+    pub fn render(&self, prog: &Program) -> String {
+        format!(
+            "{}: {} ⤳ {}",
+            prog.qualified_name(self.method),
+            self.lhs.display(prog),
+            self.rhs.display(prog)
+        )
+    }
+}
+
+/// A *return summary* (modified `return` rule, Fig. 9): the object returned
+/// by `method` exposes, at `ret_path` (rooted at `I_r`), the client value at
+/// `src`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnSummary {
+    /// The returning method.
+    pub method: MethodId,
+    /// Position within the returned object (`I_r.…`).
+    pub ret_path: IPath,
+    /// Client position the content came from.
+    pub src: IPath,
+    /// Label of the return.
+    pub label: Label,
+}
+
+/// Complete result of analyzing the sequential traces of one class's seed
+/// suite: everything the pair generator, context deriver, and synthesizer
+/// need.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All dynamic accesses (the enriched access map `A`).
+    pub accesses: Vec<AccessRecord>,
+    /// Writeable-assignment summaries from `D`.
+    pub setters: Vec<SetterSummary>,
+    /// Return summaries from `D`.
+    pub returns: Vec<ReturnSummary>,
+}
+
+impl Analysis {
+    /// Unprotected accesses (candidates for racing pairs), constructors
+    /// excluded per §4.
+    pub fn unprotected(&self) -> impl Iterator<Item = &AccessRecord> {
+        self.accesses
+            .iter()
+            .filter(|a| a.unprotected && !a.in_ctor)
+    }
+
+    /// Setter summaries whose target is rooted at the receiver and whose
+    /// target type is compatible with `ty` at field-chain position —
+    /// convenience for the `Q` *set* rule.
+    pub fn setters_for_owner(&self, prog: &Program, ty: &Ty) -> Vec<&SetterSummary> {
+        self.setters
+            .iter()
+            .filter(|s| {
+                let m = prog.method(s.method);
+                match s.lhs.root {
+                    crate::path::PathRoot::This => {
+                        !m.is_static && prog.tys_compatible(&Ty::Class(m.owner), ty)
+                    }
+                    _ => false,
+                }
+            })
+            .collect()
+    }
+}

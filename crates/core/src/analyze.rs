@@ -1,0 +1,483 @@
+//! The Access Analyzer (paper §3.1–§3.2): scans a sequential execution
+//! trace and evaluates the inference rules of Fig. 7/Fig. 9 to produce the
+//! enriched access map `A`, the access summaries `D`, and the distilled
+//! setter/return summaries.
+//!
+//! The analyzer walks the event stream once. For every *client-level*
+//! library invocation (the paper's `invoke` rule) it:
+//!
+//! 1. applies the `R` bootstrap — receiver and arguments (and everything
+//!    reachable from them) become controllable and unlocked;
+//! 2. roots an `I`-path table: the receiver is `I_this`, argument *i* is
+//!    `I_p{i}`; reads extend paths (`src(y)⊕f`), giving `src(x, H)`;
+//! 3. classifies each heap access (writeable / unprotected, Fig. 7) with
+//!    its held lockset, and records `D` entries for writeable writes and
+//!    controllable return-value fields (Fig. 9).
+
+use crate::absheap::{AbsHeap, LocId};
+use crate::access::{AccessRecord, Analysis, HeldLock, ReturnSummary, SetterSummary};
+use crate::path::{IPath, PathField, PathRoot};
+use narada_lang::hir::{MethodId, Program};
+use narada_lang::mir::BodyId;
+use narada_vm::{CopySrc, Event, EventKind, FieldKey, InvId, Value};
+use std::collections::HashMap;
+
+/// Maximum field-chain depth tracked for `I`-paths. Paths deeper than this
+/// are treated as unreachable (context cannot be set for them anyway).
+const MAX_PATH_DEPTH: usize = 4;
+
+/// Analyzes one or more sequential traces (concatenated event streams).
+pub fn analyze(prog: &Program, events: &[Event]) -> Analysis {
+    let mut a = Analyzer::new(prog);
+    for ev in events {
+        a.event(ev);
+    }
+    a.finish()
+}
+
+struct InvInfo {
+    body: BodyId,
+    /// The invocation executes inside a constructor / field-initializer
+    /// chain (accesses there are excluded from racing pairs, §4).
+    ctor_chain: bool,
+}
+
+struct RootCx {
+    inv: InvId,
+    method: MethodId,
+    /// `I`-path table for this client invocation: loc → shortest known path.
+    paths: HashMap<LocId, IPath>,
+    /// Setter summaries recorded during this root, keyed by the written
+    /// location, so a later non-controllable overwrite can flag them (§4).
+    pending_setters: HashMap<(LocId, PathField), Vec<usize>>,
+}
+
+struct Analyzer<'p> {
+    prog: &'p Program,
+    heap: AbsHeap,
+    invs: HashMap<InvId, InvInfo>,
+    /// Return-value locations of completed invocations.
+    returns: HashMap<InvId, LocId>,
+    /// The active client-level invocation, if any.
+    root: Option<RootCx>,
+    /// Locks currently held (sequential trace ⇒ one stack), as locations.
+    lock_stack: Vec<LocId>,
+    out: Analysis,
+}
+
+impl<'p> Analyzer<'p> {
+    fn new(prog: &'p Program) -> Self {
+        Analyzer {
+            prog,
+            heap: AbsHeap::new(),
+            invs: HashMap::new(),
+            returns: HashMap::new(),
+            root: None,
+            lock_stack: Vec::new(),
+            out: Analysis::default(),
+        }
+    }
+
+    fn finish(self) -> Analysis {
+        self.out
+    }
+
+    /// Location of a value: object identity for references, fresh NC for
+    /// scalars without a known symbol.
+    fn loc_of_value(&mut self, v: Value) -> Option<LocId> {
+        v.as_obj().map(|o| self.heap.loc_of_obj(o))
+    }
+
+    fn in_client_scope(&self, inv: InvId) -> bool {
+        matches!(
+            self.invs.get(&inv).map(|i| i.body),
+            Some(BodyId::Test(_)) | None
+        )
+    }
+
+    fn path_of(&self, loc: LocId) -> Option<IPath> {
+        self.root.as_ref()?.paths.get(&loc).cloned()
+    }
+
+    fn assign_path(&mut self, loc: LocId, path: IPath) {
+        if path.depth() > MAX_PATH_DEPTH {
+            return;
+        }
+        if let Some(root) = &mut self.root {
+            root.paths.entry(loc).or_insert(path);
+        }
+    }
+
+    fn event(&mut self, ev: &Event) {
+        match &ev.kind {
+            EventKind::InvokeStart {
+                inv,
+                body,
+                method: _,
+                caller,
+                from_client,
+                recv,
+                recv_var,
+                args,
+                arg_vars,
+            } => {
+                let caller_ctor = caller
+                    .and_then(|c| self.invs.get(&c))
+                    .map(|i| i.ctor_chain)
+                    .unwrap_or(false);
+                let own_ctor = match body {
+                    BodyId::Method(m) => self.prog.method(*m).is_ctor,
+                    BodyId::FieldInit(_) => true,
+                    BodyId::Test(_) => false,
+                };
+                self.invs.insert(
+                    *inv,
+                    InvInfo {
+                        body: *body,
+                        ctor_chain: caller_ctor || own_ctor,
+                    },
+                );
+
+                // Bind callee receiver/parameter locals.
+                let mut locs: Vec<(narada_lang::mir::VarId, Option<LocId>)> = Vec::new();
+                let mut slot = 0u32;
+                if let Some(r) = recv {
+                    let loc = match (self.loc_of_value(*r), recv_var, caller) {
+                        (Some(l), _, _) => Some(l),
+                        (None, Some(v), Some(c)) => self.heap.var_loc(*c, *v),
+                        _ => None,
+                    };
+                    locs.push((narada_lang::mir::VarId(0), loc));
+                    slot = 1;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    let loc = match self.loc_of_value(*a) {
+                        Some(l) => Some(l),
+                        None => arg_vars
+                            .get(i)
+                            .zip(*caller)
+                            .and_then(|(v, c)| self.heap.var_loc(c, *v)),
+                    };
+                    locs.push((narada_lang::mir::VarId(slot + i as u32), loc));
+                }
+                for (var, loc) in &locs {
+                    let l = match loc {
+                        Some(l) => *l,
+                        // Scalars with no caller symbol: fresh location,
+                        // controllable when client-supplied.
+                        None => {
+                            
+                            self.heap.bind_opaque(*inv, *var)
+                        }
+                    };
+                    self.heap.bind_var(*inv, *var, l);
+                }
+
+                // Client-level method invocation: the paper's `invoke` rule.
+                if *from_client {
+                    if let BodyId::Method(m) = body {
+                        // R bootstrap: receiver and args controllable+deep.
+                        for (_, loc) in &locs {
+                            if let Some(l) = loc {
+                                self.heap.mark_controllable_deep(*l);
+                            }
+                        }
+                        // Scalar params: mark their bindings controllable
+                        // by rebinding as controllable fresh locations.
+                        let mut slot = 0u32;
+                        if recv.is_some() {
+                            slot = 1;
+                        }
+                        for (i, a) in args.iter().enumerate() {
+                            if a.as_obj().is_none() {
+                                let var = narada_lang::mir::VarId(slot + i as u32);
+                                let l = self.heap.var_loc(*inv, var).expect("bound above");
+                                self.heap.mark_controllable_deep(l);
+                            }
+                        }
+                        // Root a fresh I-path table, when not nested under
+                        // an active root (e.g. a ctor run by `new` inside a
+                        // library method keeps the outer root).
+                        if self.root.is_none() {
+                            let mut paths = HashMap::new();
+                            let mut slot = 0usize;
+                            if recv.is_some() {
+                                if let Some(l) = locs[0].1 {
+                                    paths.insert(l, IPath::this());
+                                }
+                                slot = 1;
+                            }
+                            for i in 0..args.len() {
+                                if let Some(l) = locs[slot + i].1 {
+                                    paths.entry(l).or_insert_with(|| IPath::param(i));
+                                }
+                            }
+                            self.root = Some(RootCx {
+                                inv: *inv,
+                                method: *m,
+                                paths,
+                                pending_setters: HashMap::new(),
+                            });
+                        }
+                    }
+                }
+            }
+
+            EventKind::InvokeEnd {
+                inv,
+                ret_var,
+                ret,
+                ..
+            } => {
+                // Record the return-value location for CallResult copies.
+                let ret_loc = match ret {
+                    Some(v) => match self.loc_of_value(*v) {
+                        Some(l) => Some(l),
+                        None => ret_var.and_then(|rv| self.heap.var_loc(*inv, rv)),
+                    },
+                    None => None,
+                };
+                if let Some(l) = ret_loc {
+                    self.returns.insert(*inv, l);
+                }
+                // Closing the client root: emit return summaries (Fig. 9's
+                // modified return rule) and drop the path table.
+                let is_root = self.root.as_ref().map(|r| r.inv == *inv).unwrap_or(false);
+                if is_root {
+                    if let Some(l) = ret_loc {
+                        self.emit_return_summaries(l, ev);
+                    }
+                    self.root = None;
+                    debug_assert!(
+                        self.lock_stack.is_empty(),
+                        "client invocation returned holding locks"
+                    );
+                    self.lock_stack.clear();
+                }
+            }
+
+            EventKind::Copy { inv, dst, src, .. } => match src {
+                CopySrc::Var(v) => {
+                    let loc = match self.heap.var_loc(*inv, *v) {
+                        Some(l) => l,
+                        None => self.heap.bind_opaque(*inv, *v),
+                    };
+                    self.heap.bind_var(*inv, *dst, loc);
+                }
+                CopySrc::Opaque => {
+                    self.heap.bind_opaque(*inv, *dst);
+                }
+                CopySrc::CallResult { callee } => {
+                    let loc = match self.returns.get(callee) {
+                        Some(&l) => l,
+                        None => self.heap.bind_opaque(*inv, *dst),
+                    };
+                    self.heap.bind_var(*inv, *dst, loc);
+                }
+            },
+
+            EventKind::Alloc {
+                inv, dst, obj, ..
+            } => {
+                // The `alloc` rule: client allocations are controllable,
+                // library-internal ones are not.
+                let controllable = self.in_client_scope(*inv);
+                let loc = self.heap.alloc_obj(*obj, controllable);
+                self.heap.bind_var(*inv, *dst, loc);
+            }
+
+            EventKind::Read {
+                inv,
+                dst,
+                obj,
+                field,
+                value,
+                ..
+            } => {
+                let owner = self.heap.loc_of_obj(*obj);
+                let pf = path_field(*field);
+                // Ground-truth edge for references; lazy edge for scalars.
+                let content = match self.loc_of_value(*value) {
+                    Some(l) => {
+                        self.heap.set_field_loc(owner, pf, l);
+                        l
+                    }
+                    None => self.heap.field_loc(owner, pf),
+                };
+                self.heap.bind_var(*inv, *dst, content);
+                // Extend I-paths: src(x) = src(y) ⊕ f.
+                if let Some(p) = self.path_of(owner) {
+                    self.assign_path(content, p.child(pf));
+                }
+                self.record_access(ev, *inv, owner, pf, false, false);
+            }
+
+            EventKind::Write {
+                inv,
+                obj,
+                field,
+                src_var,
+                value,
+                ..
+            } => {
+                let owner = self.heap.loc_of_obj(*obj);
+                let pf = path_field(*field);
+                let src_loc = match self.loc_of_value(*value) {
+                    Some(l) => Some(l),
+                    None => self.heap.var_loc(*inv, *src_var),
+                };
+                // The write rule: writeable iff both sides controllable.
+                let writeable = self.heap.controllable(owner)
+                    && src_loc.map(|l| self.heap.controllable(l)).unwrap_or(false);
+                if let Some(l) = src_loc {
+                    self.heap.set_field_loc(owner, pf, l);
+                }
+                self.record_access(ev, *inv, owner, pf, true, writeable);
+                // D entry → setter summary when both paths are known and we
+                // are inside a library method.
+                let src_controllable = src_loc
+                    .map(|l| self.heap.controllable(l))
+                    .unwrap_or(false);
+                if writeable {
+                    if let (Some(root), Some(src_loc)) = (&mut self.root, src_loc) {
+                        let lhs = root.paths.get(&owner).cloned();
+                        let rhs = root.paths.get(&src_loc).cloned();
+                        if let (Some(lhs), Some(rhs)) = (lhs, rhs) {
+                            if lhs.root != PathRoot::Ret && rhs.root != PathRoot::Ret {
+                                let idx = self.out.setters.len();
+                                self.out.setters.push(SetterSummary {
+                                    method: root.method,
+                                    lhs: lhs.child(pf),
+                                    rhs,
+                                    label: ev.label,
+                                    span: ev.span,
+                                    overwritten: false,
+                                });
+                                root.pending_setters
+                                    .entry((owner, pf))
+                                    .or_default()
+                                    .push(idx);
+                            }
+                        }
+                    }
+                } else if !src_controllable {
+                    // §4: a non-controllable write clobbers any earlier
+                    // controllable assignment to the same location within
+                    // this invocation.
+                    if let Some(root) = &mut self.root {
+                        if let Some(idxs) = root.pending_setters.get(&(owner, pf)) {
+                            for &i in idxs {
+                                self.out.setters[i].overwritten = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            EventKind::Lock { obj, .. } => {
+                let loc = self.heap.loc_of_obj(*obj);
+                self.heap.set_locked(loc, true);
+                self.lock_stack.push(loc);
+            }
+
+            EventKind::Unlock { obj, .. } => {
+                let loc = self.heap.loc_of_obj(*obj);
+                self.heap.set_locked(loc, false);
+                if let Some(pos) = self.lock_stack.iter().rposition(|&l| l == loc) {
+                    self.lock_stack.remove(pos);
+                }
+            }
+
+            EventKind::ThreadSpawn { .. }
+            | EventKind::ThreadFinish
+            | EventKind::ThreadFail { .. } => {}
+        }
+    }
+
+    fn record_access(
+        &mut self,
+        ev: &Event,
+        inv: InvId,
+        owner: LocId,
+        pf: PathField,
+        is_write: bool,
+        writeable: bool,
+    ) {
+        // Only record accesses executed inside a library method under an
+        // active client root (client-code field pokes are not library
+        // behaviour).
+        if self.in_client_scope(inv) {
+            return;
+        }
+        let Some(root) = &self.root else { return };
+        let method = root.method;
+        let unprotected = self.heap.controllable(owner) && !self.heap.locked(owner);
+        let path = root.paths.get(&owner).map(|p| p.child(pf));
+        let locks = self
+            .lock_stack
+            .iter()
+            .map(|l| HeldLock {
+                path: root.paths.get(l).cloned(),
+            })
+            .collect();
+        let in_ctor = self
+            .invs
+            .get(&inv)
+            .map(|i| i.ctor_chain)
+            .unwrap_or(false);
+        let field = pf.field();
+        self.out.accesses.push(AccessRecord {
+            label: ev.label,
+            method,
+            path,
+            leaf: pf,
+            field,
+            is_write,
+            unprotected,
+            writeable,
+            locks,
+            in_ctor,
+            span: ev.span,
+        });
+    }
+
+    /// Walks the returned object's known field edges (depth-limited) and
+    /// emits `I_r`-rooted summaries for controllable, client-sourced
+    /// content — Fig. 9's `update` operator.
+    fn emit_return_summaries(&mut self, ret_loc: LocId, ev: &Event) {
+        let Some(root) = &self.root else { return };
+        let method = root.method;
+        let mut frontier = vec![(ret_loc, IPath::root(PathRoot::Ret))];
+        let mut seen = std::collections::HashSet::new();
+        let mut found = Vec::new();
+        while let Some((loc, path)) = frontier.pop() {
+            if !seen.insert(loc) || path.depth() >= MAX_PATH_DEPTH {
+                continue;
+            }
+            for (pf, child) in self.heap.field_edges(loc) {
+                let child_path = path.child(pf);
+                if self.heap.controllable(child) {
+                    if let Some(src) = root.paths.get(&child) {
+                        if src.root != PathRoot::Ret {
+                            found.push(ReturnSummary {
+                                method,
+                                ret_path: child_path.clone(),
+                                src: src.clone(),
+                                label: ev.label,
+                            });
+                        }
+                    }
+                }
+                frontier.push((child, child_path));
+            }
+        }
+        self.out.returns.extend(found);
+    }
+}
+
+fn path_field(k: FieldKey) -> PathField {
+    match k {
+        FieldKey::Field(f) => PathField::Field(f),
+        FieldKey::Elem(_) => PathField::Elem,
+    }
+}

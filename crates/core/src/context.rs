@@ -1,0 +1,855 @@
+//! The Context Deriver (paper §3.3): given a racy access pair, derive the
+//! method invocations — with appropriate object sharing — that drive two
+//! receiver graphs into a state where the racy field owners alias a single
+//! shared object while the two accesses hold no common lock.
+//!
+//! The derivation implements the `Q` query rules of Fig. 10:
+//!
+//! * **set** — a method whose `D` summary assigns a client parameter to the
+//!   needed field;
+//! * **concat** — compose a setter for the outer field with a setter for
+//!   the inner field on a fresh intermediate object (Fig. 12);
+//! * **deep-set** — a single method that assigns the whole dereference
+//!   chain;
+//!
+//! plus the §3.3 recursive case where a setter's source is a *field of* a
+//! parameter (`bar`'s `Ithis.x ⤳ Iz.w`, satisfied by first invoking `baz`),
+//! and a *builder* variant using the Fig. 9 return summaries (a factory or
+//! constructor whose returned object exposes a parameter at the needed
+//! path — the hazelcast `createSafeWriteBehindQueue` pattern of Fig. 3).
+
+use crate::access::{AccessRecord, Analysis, RaceKey};
+use crate::options::SynthesisOptions;
+use crate::pairs::{PairSet, RacePair};
+use crate::path::{IPath, PathField, PathRoot};
+use narada_lang::hir::{MethodId, Program, Ty};
+use narada_vm::Label;
+use std::fmt;
+
+/// Which value of a capture a reference picks out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// The receiver at the captured call site.
+    Recv,
+    /// The i-th argument.
+    Arg(usize),
+}
+
+/// A reference to an object (or scalar) materialized by the synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjRef {
+    /// A value captured by suspending a seed-test run before a call
+    /// (Algorithm 1's `collectObjects`).
+    Capture {
+        /// Index into [`TestPlan::captures`].
+        capture: usize,
+        /// Which value at the call site.
+        slot: Slot,
+    },
+    /// The object produced by a builder call (factory / constructor).
+    Built {
+        /// Index into [`TestPlan::builders`].
+        builder: usize,
+    },
+}
+
+/// One planned invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanCall {
+    /// The method to invoke (may be a constructor, §4).
+    pub method: MethodId,
+    /// Receiver (`None` for static methods).
+    pub recv: Option<ObjRef>,
+    /// Arguments, in order.
+    pub args: Vec<ObjRef>,
+    /// §4 partial invocation: suspend the call on a separate thread right
+    /// after the write at this site (and once all its monitors are
+    /// released), instead of running to completion.
+    pub stop_after: Option<narada_lang::Span>,
+}
+
+/// One `collectObjects` run: suspend a seed test before the first
+/// client-level call of `method` and capture receiver + arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureSpec {
+    /// The method whose call site is captured.
+    pub method: MethodId,
+}
+
+/// A complete synthesized-test plan (the output of Algorithm 1's inputs:
+/// `mr`, `mr'`, `Qr`, `Qr'` plus the object-sharing constraints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestPlan {
+    /// Object-collection runs, in order.
+    pub captures: Vec<CaptureSpec>,
+    /// Builder invocations (factories/constructors), run before setters.
+    pub builders: Vec<PlanCall>,
+    /// Context-setter invocations, run sequentially on the main thread.
+    pub setters: Vec<PlanCall>,
+    /// The two racy invocations, spawned concurrently.
+    pub racy: [PlanCall; 2],
+    /// The field the plan aims to race on.
+    pub key: RaceKey,
+    /// Labels of the two seed accesses the plan was derived from.
+    pub labels: (Label, Label),
+    /// Anchor paths where sharing is installed (`None` for degenerate
+    /// fallback plans).
+    pub anchors: Option<(IPath, IPath)>,
+    /// Whether the deriver believes the plan can manifest the race
+    /// (`false` for §4 fallback plans, which still count as synthesized
+    /// tests — they populate Fig. 14's zero-race buckets).
+    pub expects_race: bool,
+}
+
+impl TestPlan {
+    /// A stable deduplication key: plans with the same (unordered) racy
+    /// method pair, anchor structure, and setter/builder methods are the
+    /// same test (paper §5: multiple pairs per test).
+    pub fn dedup_key(&self) -> String {
+        let (a1, a2) = match &self.anchors {
+            Some((x, y)) => (Some(x.clone()), Some(y.clone())),
+            None => (None, None),
+        };
+        let mut sides = [
+            format!("{:?}@{:?}", self.racy[0].method, a1),
+            format!("{:?}@{:?}", self.racy[1].method, a2),
+        ];
+        sides.sort();
+        let mut s = format!("{}|{}", sides[0], sides[1]);
+        let mut aux: Vec<String> = self
+            .setters
+            .iter()
+            .map(|c| format!("s{:?}", c.method))
+            .chain(self.builders.iter().map(|b| format!("b{:?}", b.method)))
+            .collect();
+        aux.sort();
+        for a in aux {
+            s.push('|');
+            s.push_str(&a);
+        }
+        s
+    }
+
+    /// Renders the plan as a readable pseudo-client program.
+    pub fn render(&self, prog: &Program) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "// race on {:?} (labels {} / {})", self.key, self.labels.0, self.labels.1);
+        for (i, c) in self.captures.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "var cap{i} = collectObjects({});   // suspend seed before {0}",
+                prog.qualified_name(c.method)
+            );
+        }
+        for (i, b) in self.builders.iter().enumerate() {
+            let _ = writeln!(out, "var built{i} = {};", render_call(prog, b));
+        }
+        for s in &self.setters {
+            let _ = writeln!(out, "{};                 // context", render_call(prog, s));
+        }
+        for (i, r) in self.racy.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "spawn {{ {}; }}      // thread {}",
+                render_call(prog, r),
+                i + 1
+            );
+        }
+        out
+    }
+}
+
+fn render_call(prog: &Program, c: &PlanCall) -> String {
+    let args: Vec<String> = c.args.iter().map(|a| a.to_string()).collect();
+    match c.recv {
+        Some(r) => format!("{r}.{}({})", prog.method(c.method).name, args.join(", ")),
+        None => format!("{}({})", prog.qualified_name(c.method), args.join(", ")),
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjRef::Capture { capture, slot: Slot::Recv } => write!(f, "cap{capture}.recv"),
+            ObjRef::Capture { capture, slot: Slot::Arg(i) } => write!(f, "cap{capture}.arg{i}"),
+            ObjRef::Built { builder } => write!(f, "built{builder}"),
+        }
+    }
+}
+
+/// Derives a [`TestPlan`] for one racing pair.
+pub fn derive_plan(
+    prog: &Program,
+    analysis: &Analysis,
+    pairs: &PairSet,
+    pair: &RacePair,
+    opts: &SynthesisOptions,
+) -> TestPlan {
+    let (x, y) = pairs.accesses_of(pair);
+    let mut deriver = Deriver {
+        prog,
+        analysis,
+        opts,
+        captures: Vec::new(),
+        builders: Vec::new(),
+        setters: Vec::new(),
+    };
+    deriver.derive(x, y, pair)
+}
+
+struct Deriver<'a> {
+    prog: &'a Program,
+    analysis: &'a Analysis,
+    opts: &'a SynthesisOptions,
+    captures: Vec<CaptureSpec>,
+    builders: Vec<PlanCall>,
+    setters: Vec<PlanCall>,
+}
+
+impl Deriver<'_> {
+    fn capture(&mut self, method: MethodId) -> usize {
+        self.captures.push(CaptureSpec { method });
+        self.captures.len() - 1
+    }
+
+    /// Default racy call: every slot comes from its own fresh capture.
+    fn racy_call(&mut self, acc: &AccessRecord) -> (PlanCall, usize) {
+        let m = self.prog.method(acc.method);
+        let cap = self.capture(acc.method);
+        let recv = if m.is_static {
+            None
+        } else {
+            Some(ObjRef::Capture {
+                capture: cap,
+                slot: Slot::Recv,
+            })
+        };
+        let args = (0..m.num_params)
+            .map(|i| ObjRef::Capture {
+                capture: cap,
+                slot: Slot::Arg(i),
+            })
+            .collect();
+        (
+            PlanCall {
+                method: acc.method,
+                recv,
+                args,
+                stop_after: None,
+            },
+            cap,
+        )
+    }
+
+    fn derive(&mut self, x: &AccessRecord, y: &AccessRecord, pair: &RacePair) -> TestPlan {
+        let p1 = x.path.clone().expect("paired access has a path");
+        let p2 = y.path.clone().expect("paired access has a path");
+        let (o1, _) = p1.split_last().expect("path has a leaf");
+        let (o2, _) = p2.split_last().expect("path has a leaf");
+
+        let (mut call1, _c1) = self.racy_call(x);
+        let (mut call2, _c2) = self.racy_call(y);
+
+        // Try anchors from the owner itself toward shallower suffixes.
+        let max_s = o1.common_suffix_len(&o2);
+        for s in 0..=max_s {
+            let q1 = o1.drop_suffix(s);
+            let q2 = o2.drop_suffix(s);
+            if self.opts.lockset_aware && lock_collision(&x.locks, &y.locks, &q1, &q2) {
+                continue;
+            }
+            let snapshot = (
+                self.captures.len(),
+                self.builders.len(),
+                self.setters.len(),
+            );
+            if let Some(()) = self.build_sharing(x, y, &q1, &q2, &mut call1, &mut call2) {
+                return TestPlan {
+                    captures: std::mem::take(&mut self.captures),
+                    builders: std::mem::take(&mut self.builders),
+                    setters: std::mem::take(&mut self.setters),
+                    racy: [call1, call2],
+                    key: pair.key,
+                    labels: (x.label, y.label),
+                    anchors: Some((q1, q2)),
+                    expects_race: true,
+                };
+            }
+            // Roll back partial work from the failed attempt.
+            self.captures.truncate(snapshot.0);
+            self.builders.truncate(snapshot.1);
+            self.setters.truncate(snapshot.2);
+        }
+
+        // §4 prefix fallback: share the shallowest assignable prefix even
+        // though the race may not manifest.
+        if self.opts.prefix_fallback {
+            for k in (1..=o1.fields.len().min(o2.fields.len())).rev() {
+                let q1 = IPath {
+                    root: o1.root,
+                    fields: o1.fields[..k].to_vec(),
+                };
+                let q2 = IPath {
+                    root: o2.root,
+                    fields: o2.fields[..k].to_vec(),
+                };
+                let t1 = self.path_type(x.method, &q1);
+                let t2 = self.path_type(y.method, &q2);
+                let compatible = match (&t1, &t2) {
+                    (Some(a), Some(b)) => self.prog.tys_compatible(a, b),
+                    _ => false,
+                };
+                if !compatible {
+                    continue;
+                }
+                let snapshot = (
+                    self.captures.len(),
+                    self.builders.len(),
+                    self.setters.len(),
+                );
+                if self
+                    .build_sharing(x, y, &q1, &q2, &mut call1, &mut call2)
+                    .is_some()
+                {
+                    return TestPlan {
+                        captures: std::mem::take(&mut self.captures),
+                        builders: std::mem::take(&mut self.builders),
+                        setters: std::mem::take(&mut self.setters),
+                        racy: [call1, call2],
+                        key: pair.key,
+                        labels: (x.label, y.label),
+                        anchors: Some((q1, q2)),
+                        expects_race: false,
+                    };
+                }
+                self.captures.truncate(snapshot.0);
+                self.builders.truncate(snapshot.1);
+                self.setters.truncate(snapshot.2);
+            }
+        }
+
+        // Degenerate plan: independent objects, no sharing.
+        TestPlan {
+            captures: std::mem::take(&mut self.captures),
+            builders: std::mem::take(&mut self.builders),
+            setters: std::mem::take(&mut self.setters),
+            racy: [call1, call2],
+            key: pair.key,
+            labels: (x.label, y.label),
+            anchors: None,
+            expects_race: false,
+        }
+    }
+
+    /// Builds the sharing context: install one shared object at `q1` of
+    /// thread 1's root and `q2` of thread 2's root.
+    fn build_sharing(
+        &mut self,
+        x: &AccessRecord,
+        y: &AccessRecord,
+        q1: &IPath,
+        q2: &IPath,
+        call1: &mut PlanCall,
+        call2: &mut PlanCall,
+    ) -> Option<()> {
+        // Determine the shared object's source.
+        match (q1.fields.is_empty(), q2.fields.is_empty()) {
+            (true, true) => {
+                // Share the roots directly: thread 2's root slot becomes
+                // thread 1's object.
+                let shared = root_ref(call1, q1.root)?;
+                set_root_ref(call2, q2.root, shared)?;
+                Some(())
+            }
+            (true, false) => {
+                let shared = root_ref(call1, q1.root)?;
+                self.install(y.method, call2, q2, shared)
+            }
+            (false, true) => {
+                let shared = root_ref(call2, q2.root)?;
+                self.install(x.method, call1, q1, shared)
+            }
+            (false, false) => {
+                // Derive thread 1's install first; it defines the shared
+                // object (the collected argument of the innermost setter,
+                // as in Table 2), which thread 2 then reuses.
+                let shared = self.install_defining(x.method, call1, q1)?;
+                self.install(y.method, call2, q2, shared)?;
+                Some(())
+            }
+        }
+    }
+
+    /// Installs `shared` at path `q` of a racy call's root object,
+    /// appending setter/builder calls as needed.
+    fn install(
+        &mut self,
+        method: MethodId,
+        call: &mut PlanCall,
+        q: &IPath,
+        shared: ObjRef,
+    ) -> Option<()> {
+        let root = root_ref(call, q.root)?;
+        let root_ty = self.root_type(method, q.root)?;
+        if let Some(()) = self.derive_setters(root, &root_ty, &q.fields, Some(shared), 0) {
+            return Some(());
+        }
+        // Builder route: replace the root object entirely with one built
+        // so that `built.q == shared`.
+        if let Some(built) = self.derive_builder(&root_ty, &q.fields, shared) {
+            set_root_ref(call, q.root, built)?;
+            return Some(());
+        }
+        None
+    }
+
+    /// Like [`install`], but the shared object is *defined* by this side:
+    /// the collected argument fed to the innermost assignment.
+    fn install_defining(
+        &mut self,
+        method: MethodId,
+        call: &mut PlanCall,
+        q: &IPath,
+    ) -> Option<ObjRef> {
+        let root = root_ref(call, q.root)?;
+        let root_ty = self.root_type(method, q.root)?;
+        if let Some(shared) = self.derive_setters_defining(root, &root_ty, &q.fields, 0) {
+            return Some(shared);
+        }
+        // Builder route with a fresh shared object drawn from the
+        // builder's own captured argument.
+        let (built, shared) = self.derive_builder_defining(&root_ty, &q.fields)?;
+        set_root_ref(call, q.root, built)?;
+        Some(shared)
+    }
+
+    fn root_type(&self, method: MethodId, root: PathRoot) -> Option<Ty> {
+        let m = self.prog.method(method);
+        match root {
+            PathRoot::This => Some(Ty::Class(m.owner)),
+            PathRoot::Param(i) => m.param_tys().get(i).map(|t| (*t).clone()),
+            PathRoot::Ret => None,
+        }
+    }
+
+    fn path_type(&self, method: MethodId, path: &IPath) -> Option<Ty> {
+        let mut ty = self.root_type(method, path.root)?;
+        for pf in &path.fields {
+            ty = match pf {
+                PathField::Field(f) => self.prog.field(*f).ty.clone(),
+                PathField::Elem => match ty {
+                    Ty::Array(e) => *e,
+                    _ => return None,
+                },
+            };
+        }
+        Some(ty)
+    }
+
+    /// The `Q` rules, with `shared` known. Appends planned setter calls
+    /// that make `target.chain == shared` and returns `Some(())` on
+    /// success.
+    fn derive_setters(
+        &mut self,
+        target: ObjRef,
+        target_ty: &Ty,
+        chain: &[PathField],
+        shared: Option<ObjRef>,
+        depth: usize,
+    ) -> Option<()> {
+        self.derive_setters_impl(target, target_ty, chain, shared, depth)
+            .map(|_| ())
+    }
+
+    /// `Q` with the shared object *defined* by the innermost collected
+    /// argument.
+    fn derive_setters_defining(
+        &mut self,
+        target: ObjRef,
+        target_ty: &Ty,
+        chain: &[PathField],
+        depth: usize,
+    ) -> Option<ObjRef> {
+        self.derive_setters_impl(target, target_ty, chain, None, depth)
+    }
+
+    /// Shared implementation. When `shared` is `None`, the innermost
+    /// assignment's collected argument becomes the shared object and is
+    /// returned; when `Some`, that position is overridden with it and it
+    /// is returned unchanged.
+    fn derive_setters_impl(
+        &mut self,
+        target: ObjRef,
+        target_ty: &Ty,
+        chain: &[PathField],
+        shared: Option<ObjRef>,
+        depth: usize,
+    ) -> Option<ObjRef> {
+        if depth > self.opts.max_setter_depth || chain.is_empty() {
+            return None;
+        }
+        // Array-element chains cannot be installed by setters; the array
+        // object itself must be shared one level up.
+        if chain.iter().any(|pf| matches!(pf, PathField::Elem)) {
+            return None;
+        }
+
+        // deep-set / set: one method assigns the whole chain.
+        let candidates: Vec<_> = self
+            .analysis
+            .setters
+            .iter()
+            .filter(|s| {
+                s.lhs.root == PathRoot::This
+                    && s.lhs.fields == chain
+                    && !self.prog.method(s.method).is_static
+                    && self
+                        .prog
+                        .tys_compatible(&Ty::Class(self.prog.method(s.method).owner), target_ty)
+            })
+            .cloned()
+            .collect();
+        for s in &candidates {
+            let snapshot = (self.captures.len(), self.setters.len(), self.builders.len());
+            if let Some(result) = self.apply_summary_rhs(target, s, shared, depth) {
+                return Some(result);
+            }
+            self.captures.truncate(snapshot.0);
+            self.setters.truncate(snapshot.1);
+            self.builders.truncate(snapshot.2);
+        }
+
+        // concat (Fig. 12): install the first field with an intermediate
+        // object, then set the rest of the chain on that object first.
+        if chain.len() >= 2 {
+            let head = &chain[..1];
+            let head_ty = match chain[0] {
+                PathField::Field(f) => self.prog.field(f).ty.clone(),
+                PathField::Elem => return None,
+            };
+            let head_setters: Vec<_> = self
+                .analysis
+                .setters
+                .iter()
+                .filter(|s| {
+                    s.lhs.root == PathRoot::This
+                        && s.lhs.fields == head
+                        && s.rhs.fields.is_empty()
+                        && matches!(s.rhs.root, PathRoot::Param(_))
+                        && self
+                            .prog
+                            .tys_compatible(&Ty::Class(self.prog.method(s.method).owner), target_ty)
+                })
+                .cloned()
+                .collect();
+            for s in &head_setters {
+                let PathRoot::Param(j) = s.rhs.root else { continue };
+                let snapshot = (self.captures.len(), self.setters.len(), self.builders.len());
+                // Intermediate object: the collected argument of the head
+                // setter.
+                let cap = self.capture(s.method);
+                let aux = ObjRef::Capture {
+                    capture: cap,
+                    slot: Slot::Arg(j),
+                };
+                // Inner chain first (paper order: z.baz(x); a.bar(z);).
+                if let Some(result) =
+                    self.derive_setters_impl(aux, &head_ty, &chain[1..], shared, depth + 1)
+                {
+                    let stop = s.overwritten.then_some(s.span);
+                    self.push_setter_call(s.method, cap, target, j, aux, stop);
+                    return Some(result);
+                }
+                self.captures.truncate(snapshot.0);
+                self.setters.truncate(snapshot.1);
+                self.builders.truncate(snapshot.2);
+            }
+        }
+        None
+    }
+
+    /// Applies one setter summary: handles `rhs = I_pj` (pass shared
+    /// directly) and `rhs = I_pj.h…` (recursively prepare the argument
+    /// object, the `baz`-before-`bar` case).
+    fn apply_summary_rhs(
+        &mut self,
+        target: ObjRef,
+        s: &crate::access::SetterSummary,
+        shared: Option<ObjRef>,
+        depth: usize,
+    ) -> Option<ObjRef> {
+        let PathRoot::Param(j) = s.rhs.root else {
+            return None;
+        };
+        let cap = self.capture(s.method);
+        if s.rhs.fields.is_empty() {
+            // Direct: arg j is the shared object.
+            let shared = shared.unwrap_or(ObjRef::Capture {
+                capture: cap,
+                slot: Slot::Arg(j),
+            });
+            let stop = s.overwritten.then_some(s.span);
+            self.push_setter_call(s.method, cap, target, j, shared, stop);
+            Some(shared)
+        } else {
+            // The source is a field of the parameter: prepare an argument
+            // object whose `rhs.fields` path holds the shared object.
+            let m = self.prog.method(s.method);
+            let param_ty = (*m.param_tys().get(j)?).clone();
+            let aux = ObjRef::Capture {
+                capture: cap,
+                slot: Slot::Arg(j),
+            };
+            let result =
+                self.derive_setters_impl(aux, &param_ty, &s.rhs.fields, shared, depth + 1)?;
+            let stop = s.overwritten.then_some(s.span);
+            self.push_setter_call(s.method, cap, target, j, aux, stop);
+            Some(result)
+        }
+    }
+
+    fn push_setter_call(
+        &mut self,
+        method: MethodId,
+        cap: usize,
+        target: ObjRef,
+        special_arg: usize,
+        special_val: ObjRef,
+        stop_after: Option<narada_lang::Span>,
+    ) {
+        let m = self.prog.method(method);
+        let args = (0..m.num_params)
+            .map(|i| {
+                if i == special_arg {
+                    special_val
+                } else {
+                    ObjRef::Capture {
+                        capture: cap,
+                        slot: Slot::Arg(i),
+                    }
+                }
+            })
+            .collect();
+        self.setters.push(PlanCall {
+            method,
+            recv: Some(target),
+            args,
+            stop_after,
+        });
+    }
+
+    /// Builder route: find a return summary `I_r.chain ⤳ I_pj` on a method
+    /// returning something compatible with `root_ty`, and build the root by
+    /// calling it with `shared` in position `j`.
+    fn derive_builder(&mut self, root_ty: &Ty, chain: &[PathField], shared: ObjRef) -> Option<ObjRef> {
+        self.derive_builder_impl(root_ty, chain, Some(shared))
+            .map(|(built, _)| built)
+    }
+
+    fn derive_builder_defining(
+        &mut self,
+        root_ty: &Ty,
+        chain: &[PathField],
+    ) -> Option<(ObjRef, ObjRef)> {
+        self.derive_builder_impl(root_ty, chain, None)
+    }
+
+    fn derive_builder_impl(
+        &mut self,
+        root_ty: &Ty,
+        chain: &[PathField],
+        shared: Option<ObjRef>,
+    ) -> Option<(ObjRef, ObjRef)> {
+        let candidates: Vec<_> = self
+            .analysis
+            .returns
+            .iter()
+            .filter(|r| {
+                r.ret_path.fields == chain
+                    && r.src.fields.is_empty()
+                    && matches!(r.src.root, PathRoot::Param(_))
+                    && self.builder_result_ty(r.method).is_some_and(|t| {
+                        self.prog.tys_compatible(&t, root_ty)
+                    })
+            })
+            .cloned()
+            .collect();
+        let r = candidates.first()?;
+        let PathRoot::Param(j) = r.src.root else {
+            return None;
+        };
+        let m = self.prog.method(r.method);
+        let cap = self.capture(r.method);
+        let shared = shared.unwrap_or(ObjRef::Capture {
+            capture: cap,
+            slot: Slot::Arg(j),
+        });
+        let args = (0..m.num_params)
+            .map(|i| {
+                if i == j {
+                    shared
+                } else {
+                    ObjRef::Capture {
+                        capture: cap,
+                        slot: Slot::Arg(i),
+                    }
+                }
+            })
+            .collect();
+        let recv = if m.is_static || m.is_ctor {
+            // Constructors get a fresh receiver allocated by the executor.
+            None
+        } else {
+            Some(ObjRef::Capture {
+                capture: cap,
+                slot: Slot::Recv,
+            })
+        };
+        self.builders.push(PlanCall {
+            method: r.method,
+            recv,
+            args,
+            stop_after: None,
+        });
+        let built = ObjRef::Built {
+            builder: self.builders.len() - 1,
+        };
+        Some((built, shared))
+    }
+
+    /// The type a builder produces: the return type, or the constructed
+    /// class for constructors.
+    fn builder_result_ty(&self, method: MethodId) -> Option<Ty> {
+        let m = self.prog.method(method);
+        if m.is_ctor {
+            Some(Ty::Class(m.owner))
+        } else if m.ret != Ty::Void {
+            Some(m.ret.clone())
+        } else {
+            None
+        }
+    }
+}
+
+/// The root slot of a racy call as an [`ObjRef`].
+fn root_ref(call: &PlanCall, root: PathRoot) -> Option<ObjRef> {
+    match root {
+        PathRoot::This => call.recv,
+        PathRoot::Param(i) => call.args.get(i).copied(),
+        PathRoot::Ret => None,
+    }
+}
+
+/// Overrides the root slot of a racy call.
+fn set_root_ref(call: &mut PlanCall, root: PathRoot, val: ObjRef) -> Option<()> {
+    match root {
+        PathRoot::This => {
+            call.recv = Some(val);
+            Some(())
+        }
+        PathRoot::Param(i) => {
+            *call.args.get_mut(i)? = val;
+            Some(())
+        }
+        PathRoot::Ret => None,
+    }
+}
+
+/// Would installing shared objects at anchors `q1`/`q2` force the two
+/// accesses to hold a common lock? A lock λ₁ of thread 1 and λ₂ of thread 2
+/// are forced onto the same object when both extend their anchors with the
+/// same suffix (everything at or below the anchor is shared). Lock objects
+/// without client paths are library-internal and assumed distinct per
+/// receiver.
+fn lock_collision(
+    ls1: &[crate::access::HeldLock],
+    ls2: &[crate::access::HeldLock],
+    q1: &IPath,
+    q2: &IPath,
+) -> bool {
+    for l1 in ls1 {
+        let Some(p1) = &l1.path else { continue };
+        let Some(s1) = q1.suffix_of(p1) else { continue };
+        for l2 in ls2 {
+            let Some(p2) = &l2.path else { continue };
+            let Some(s2) = q2.suffix_of(p2) else { continue };
+            if s1 == s2 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::HeldLock;
+    use narada_lang::hir::FieldId;
+
+    fn path(root: PathRoot, fields: &[u32]) -> IPath {
+        IPath {
+            root,
+            fields: fields.iter().map(|&f| PathField::Field(FieldId(f))).collect(),
+        }
+    }
+
+    #[test]
+    fn lock_collision_on_shared_receiver() {
+        // Both lock the receiver; anchors are the receivers themselves.
+        let ls = vec![HeldLock {
+            path: Some(path(PathRoot::This, &[])),
+        }];
+        let q = path(PathRoot::This, &[]);
+        assert!(lock_collision(&ls, &ls, &q, &q));
+    }
+
+    #[test]
+    fn no_collision_when_lock_above_anchor() {
+        // Lock on the receiver, sharing at this.x: receivers stay distinct.
+        let ls = vec![HeldLock {
+            path: Some(path(PathRoot::This, &[])),
+        }];
+        let q = path(PathRoot::This, &[7]);
+        assert!(!lock_collision(&ls, &ls, &q, &q));
+    }
+
+    #[test]
+    fn collision_when_lock_at_anchor() {
+        // Lock on this.x while sharing this.x: same lock object.
+        let ls = vec![HeldLock {
+            path: Some(path(PathRoot::This, &[7])),
+        }];
+        let q = path(PathRoot::This, &[7]);
+        assert!(lock_collision(&ls, &ls, &q, &q));
+    }
+
+    #[test]
+    fn collision_when_lock_below_anchor() {
+        let ls = vec![HeldLock {
+            path: Some(path(PathRoot::This, &[7, 9])),
+        }];
+        let q = path(PathRoot::This, &[7]);
+        assert!(lock_collision(&ls, &ls, &q, &q));
+    }
+
+    #[test]
+    fn unknown_lock_objects_do_not_collide() {
+        let ls = vec![HeldLock { path: None }];
+        let q = path(PathRoot::This, &[]);
+        assert!(!lock_collision(&ls, &ls, &q, &q));
+    }
+
+    #[test]
+    fn different_suffixes_do_not_collide() {
+        let l1 = vec![HeldLock {
+            path: Some(path(PathRoot::This, &[7, 1])),
+        }];
+        let l2 = vec![HeldLock {
+            path: Some(path(PathRoot::This, &[7, 2])),
+        }];
+        let q = path(PathRoot::This, &[7]);
+        assert!(!lock_collision(&l1, &l2, &q, &q));
+    }
+}

@@ -1,0 +1,50 @@
+//! Tuning knobs for the synthesis pipeline, including the ablation flags
+//! called out in DESIGN.md.
+
+/// Options controlling pair generation, context derivation, and synthesis.
+#[derive(Debug, Clone)]
+pub struct SynthesisOptions {
+    /// **A1** — when `true`, an access is considered unprotected only when
+    /// *no* lock at all is held. The paper's default (`false`) is the
+    /// conservative choice: any access whose owner's monitor is not held is
+    /// unprotected, even if some other lock guards it (§4).
+    pub strict_unprotected: bool,
+    /// **A2** — attempt prefix sharing when the full owner path cannot be
+    /// installed (§4). Disabling drops the 0-race tests of Fig. 14.
+    pub prefix_fallback: bool,
+    /// **A3** — reject sharings that force the two racy accesses to hold a
+    /// common lock (§3.3's "receivers must be distinct" reasoning).
+    /// Disabling makes lock-on-receiver pairs unconfirmable.
+    pub lockset_aware: bool,
+    /// Upper bound on racing pairs per field group, to keep degenerate
+    /// classes from exploding (the paper reports no such cap; ours is high
+    /// enough to never bind on the corpus).
+    pub max_pairs_per_key: usize,
+    /// Maximum recursion depth for the `Q` setter derivation.
+    pub max_setter_depth: usize,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            strict_unprotected: false,
+            prefix_fallback: true,
+            lockset_aware: true,
+            max_pairs_per_key: 256,
+            max_setter_depth: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = SynthesisOptions::default();
+        assert!(!o.strict_unprotected, "paper is conservative by default");
+        assert!(o.prefix_fallback);
+        assert!(o.lockset_aware);
+    }
+}

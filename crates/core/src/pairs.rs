@@ -1,0 +1,263 @@
+//! The Pair Generator (paper §3.3): combines unprotected accesses into
+//! *potential racy access pairs*.
+//!
+//! An unprotected access can race with (a) the same access from a second
+//! thread, or (b) any other access to the same static location from a
+//! different thread — provided at least one of the two is a write.
+
+use crate::access::{AccessRecord, Analysis, RaceKey};
+use crate::options::SynthesisOptions;
+use narada_lang::hir::Program;
+use std::collections::HashMap;
+
+/// A potential racy access pair: indices into the deduplicated access list
+/// returned by [`generate_pairs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RacePair {
+    /// First access (index into [`PairSet::accesses`]).
+    pub a1: usize,
+    /// Second access (may equal `a1`: the "same label from two threads"
+    /// case).
+    pub a2: usize,
+    /// The static location both accesses touch.
+    pub key: RaceKey,
+}
+
+/// Deduplicated static accesses plus the racing pairs over them.
+#[derive(Debug, Default)]
+pub struct PairSet {
+    /// Static accesses (one per distinct source site × path × kind).
+    pub accesses: Vec<AccessRecord>,
+    /// The generated pairs.
+    pub pairs: Vec<RacePair>,
+}
+
+impl PairSet {
+    /// The two accesses of a pair.
+    pub fn accesses_of(&self, pair: &RacePair) -> (&AccessRecord, &AccessRecord) {
+        (&self.accesses[pair.a1], &self.accesses[pair.a2])
+    }
+}
+
+/// Generates racing pairs from an analysis result.
+pub fn generate_pairs(
+    _prog: &Program,
+    analysis: &Analysis,
+    opts: &SynthesisOptions,
+) -> PairSet {
+    // 1. Deduplicate dynamic accesses to static ones: the paper's racing
+    //    pairs are per (client-invoked method, access path, kind) — all
+    //    source sites inside one method that touch the same client-visible
+    //    location are one access.
+    let mut seen = HashMap::new();
+    let mut accesses: Vec<AccessRecord> = Vec::new();
+    for rec in &analysis.accesses {
+        let key = (rec.method, rec.path.clone(), rec.leaf, rec.is_write);
+        if let Some(&idx) = seen.get(&key) {
+            // Keep the most pessimistic flags across dynamic occurrences.
+            let existing: &mut AccessRecord = &mut accesses[idx];
+            existing.unprotected |= rec.unprotected;
+            existing.writeable |= rec.writeable;
+            continue;
+        }
+        seen.insert(key, accesses.len());
+        accesses.push(rec.clone());
+    }
+
+    // 2. Group by static location.
+    let mut groups: HashMap<RaceKey, Vec<usize>> = HashMap::new();
+    for (i, rec) in accesses.iter().enumerate() {
+        if let Some(k) = rec.race_key() {
+            groups.entry(k).or_default().push(i);
+        }
+    }
+
+    // 3. Pair within groups.
+    let qualifies_unprotected = |rec: &AccessRecord| -> bool {
+        rec.unprotected
+            && !rec.in_ctor
+            && (!opts.strict_unprotected || rec.locks.is_empty())
+            && rec.path.is_some()
+    };
+    let mut pairs = Vec::new();
+    let mut keys: Vec<&RaceKey> = groups.keys().collect();
+    keys.sort();
+    for key in keys {
+        let idxs = &groups[key];
+        let mut count = 0usize;
+        for (pos, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[pos..] {
+                if count >= opts.max_pairs_per_key {
+                    break;
+                }
+                let (x, y) = (&accesses[i], &accesses[j]);
+                // At least one write.
+                if !x.is_write && !y.is_write {
+                    continue;
+                }
+                // At least one unprotected, non-constructor access with a
+                // client-reachable path.
+                if !qualifies_unprotected(x) && !qualifies_unprotected(y) {
+                    continue;
+                }
+                // The partner must also be pairable: non-ctor and reachable.
+                if x.in_ctor || y.in_ctor || x.path.is_none() || y.path.is_none() {
+                    continue;
+                }
+                // Same-site self pair only makes sense for writes.
+                if i == j && !x.is_write {
+                    continue;
+                }
+                pairs.push(RacePair {
+                    a1: i,
+                    a2: j,
+                    key: *key,
+                });
+                count += 1;
+            }
+        }
+    }
+    PairSet { accesses, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::HeldLock;
+    use crate::path::{IPath, PathField};
+    use narada_lang::hir::{FieldId, MethodId};
+    use narada_lang::Span;
+    use narada_vm::Label;
+
+    fn rec(
+        method: u32,
+        span: u32,
+        field: u32,
+        is_write: bool,
+        unprotected: bool,
+        locks: usize,
+    ) -> AccessRecord {
+        AccessRecord {
+            label: Label(span as u64),
+            method: MethodId(method),
+            path: Some(IPath::this().child(PathField::Field(FieldId(field)))),
+            leaf: PathField::Field(FieldId(field)),
+            field: Some(FieldId(field)),
+            is_write,
+            unprotected,
+            writeable: false,
+            locks: vec![HeldLock { path: None }; locks],
+            in_ctor: false,
+            span: Span::new(span, span + 1),
+        }
+    }
+
+    fn prog() -> Program {
+        narada_lang::compile("").unwrap()
+    }
+
+    #[test]
+    fn same_site_write_pairs_with_itself() {
+        let analysis = Analysis {
+            accesses: vec![rec(0, 0, 1, true, true, 0)],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert_eq!(ps.pairs.len(), 1);
+        assert_eq!(ps.pairs[0].a1, ps.pairs[0].a2);
+    }
+
+    #[test]
+    fn read_read_never_pairs() {
+        let analysis = Analysis {
+            accesses: vec![rec(0, 0, 1, false, true, 0), rec(0, 5, 1, false, true, 0)],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert!(ps.pairs.is_empty());
+    }
+
+    #[test]
+    fn protected_write_pairs_with_unprotected_read() {
+        let analysis = Analysis {
+            accesses: vec![rec(0, 0, 1, true, false, 1), rec(1, 5, 1, false, true, 0)],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert_eq!(ps.pairs.len(), 1);
+        assert_ne!(ps.pairs[0].a1, ps.pairs[0].a2);
+    }
+
+    #[test]
+    fn different_fields_never_pair() {
+        let analysis = Analysis {
+            accesses: vec![rec(0, 0, 1, true, true, 0), rec(1, 5, 2, true, true, 0)],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        // Each write self-pairs but they never cross-pair.
+        assert_eq!(ps.pairs.len(), 2);
+        assert!(ps.pairs.iter().all(|p| p.a1 == p.a2));
+    }
+
+    #[test]
+    fn dynamic_duplicates_collapse() {
+        // Same site executed 3 times (a loop) is one static access.
+        let analysis = Analysis {
+            accesses: vec![
+                rec(0, 0, 1, true, true, 0),
+                rec(0, 0, 1, true, true, 0),
+                rec(0, 0, 1, true, true, 0),
+            ],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert_eq!(ps.accesses.len(), 1);
+        assert_eq!(ps.pairs.len(), 1);
+    }
+
+    #[test]
+    fn ctor_accesses_excluded() {
+        let mut a = rec(0, 0, 1, true, true, 0);
+        a.in_ctor = true;
+        let analysis = Analysis {
+            accesses: vec![a],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert!(ps.pairs.is_empty());
+    }
+
+    #[test]
+    fn strict_unprotected_filters_locked_accesses() {
+        // Unprotected on the owner, but some other lock held (§4's
+        // lock-correlation case).
+        let analysis = Analysis {
+            accesses: vec![rec(0, 0, 1, true, true, 1)],
+            ..Default::default()
+        };
+        let lax = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert_eq!(lax.pairs.len(), 1, "conservative default keeps the pair");
+        let strict = generate_pairs(
+            &prog(),
+            &analysis,
+            &SynthesisOptions {
+                strict_unprotected: true,
+                ..Default::default()
+            },
+        );
+        assert!(strict.pairs.is_empty(), "A1 ablation drops it");
+    }
+
+    #[test]
+    fn pathless_accesses_do_not_pair() {
+        let mut a = rec(0, 0, 1, true, true, 0);
+        a.path = None;
+        let analysis = Analysis {
+            accesses: vec![a],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert!(ps.pairs.is_empty());
+    }
+}

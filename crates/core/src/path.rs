@@ -1,0 +1,247 @@
+//! Access paths rooted at the paper's `I`-variables.
+//!
+//! An [`IPath`] names a client-reachable position *relative to one
+//! client-level library invocation*: its root is the receiver (`I_this`),
+//! one of the parameters (`I_p0`, …), or the return value (`I_r`), followed
+//! by a field chain. Examples from the paper: `I1.x.o` (the unprotected
+//! access of Fig. 11), `Ithis.x ⤳ Iz.w` (the setter summary of `bar`),
+//! `Ir.z.f ⤳ Iy` (a return summary).
+
+use narada_lang::hir::{FieldId, Program};
+use std::fmt;
+
+/// The root of an access path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathRoot {
+    /// The receiver of the client invocation (`I_this`).
+    This,
+    /// The i-th parameter (`I_p{i}`).
+    Param(usize),
+    /// The return value (`I_r`), used in return summaries.
+    Ret,
+}
+
+impl fmt::Display for PathRoot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathRoot::This => write!(f, "I_this"),
+            PathRoot::Param(i) => write!(f, "I_p{i}"),
+            PathRoot::Ret => write!(f, "I_r"),
+        }
+    }
+}
+
+/// One step of a field chain. Array elements are abstracted to a single
+/// pseudo-field `[*]` for aliasing purposes (concrete indices matter only to
+/// the dynamic detectors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathField {
+    /// A named field.
+    Field(FieldId),
+    /// Any element of an array.
+    Elem,
+}
+
+impl PathField {
+    /// The field id, when this is a named field.
+    pub fn field(self) -> Option<FieldId> {
+        match self {
+            PathField::Field(f) => Some(f),
+            PathField::Elem => None,
+        }
+    }
+}
+
+/// A client-relative access path: root plus field chain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IPath {
+    /// The root `I`-variable.
+    pub root: PathRoot,
+    /// Field chain from the root.
+    pub fields: Vec<PathField>,
+}
+
+impl IPath {
+    /// A path that is just a root.
+    pub fn root(root: PathRoot) -> Self {
+        IPath {
+            root,
+            fields: Vec::new(),
+        }
+    }
+
+    /// The receiver path `I_this`.
+    pub fn this() -> Self {
+        Self::root(PathRoot::This)
+    }
+
+    /// The parameter path `I_p{i}`.
+    pub fn param(i: usize) -> Self {
+        Self::root(PathRoot::Param(i))
+    }
+
+    /// Extends the path by one field.
+    pub fn child(&self, f: PathField) -> IPath {
+        let mut fields = self.fields.clone();
+        fields.push(f);
+        IPath {
+            root: self.root,
+            fields,
+        }
+    }
+
+    /// Number of fields in the chain.
+    pub fn depth(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Splits off the last field: `(owner, leaf)`. `None` when the path is
+    /// a bare root.
+    pub fn split_last(&self) -> Option<(IPath, PathField)> {
+        let (&last, rest) = self.fields.split_last()?;
+        Some((
+            IPath {
+                root: self.root,
+                fields: rest.to_vec(),
+            },
+            last,
+        ))
+    }
+
+    /// Drops the last `n` fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.depth()`.
+    pub fn drop_suffix(&self, n: usize) -> IPath {
+        assert!(n <= self.fields.len());
+        IPath {
+            root: self.root,
+            fields: self.fields[..self.fields.len() - n].to_vec(),
+        }
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other` with the same
+    /// root.
+    pub fn is_prefix_of(&self, other: &IPath) -> bool {
+        self.root == other.root
+            && self.fields.len() <= other.fields.len()
+            && other.fields[..self.fields.len()] == self.fields[..]
+    }
+
+    /// The suffix of `other` after `self`, when `self` is a prefix.
+    pub fn suffix_of<'a>(&self, other: &'a IPath) -> Option<&'a [PathField]> {
+        if self.is_prefix_of(other) {
+            Some(&other.fields[self.fields.len()..])
+        } else {
+            None
+        }
+    }
+
+    /// Length of the longest common suffix of two field chains.
+    pub fn common_suffix_len(&self, other: &IPath) -> usize {
+        self.fields
+            .iter()
+            .rev()
+            .zip(other.fields.iter().rev())
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// Renders the path with real field names from `prog`.
+    pub fn display<'a>(&'a self, prog: &'a Program) -> IPathDisplay<'a> {
+        IPathDisplay { path: self, prog }
+    }
+}
+
+impl fmt::Display for IPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)?;
+        for pf in &self.fields {
+            match pf {
+                PathField::Field(id) => write!(f, ".{id}")?,
+                PathField::Elem => write!(f, ".[*]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Helper returned by [`IPath::display`].
+#[derive(Debug)]
+pub struct IPathDisplay<'a> {
+    path: &'a IPath,
+    prog: &'a Program,
+}
+
+impl fmt::Display for IPathDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.path.root)?;
+        for pf in &self.path.fields {
+            match pf {
+                PathField::Field(id) => write!(f, ".{}", self.prog.field(*id).name)?,
+                PathField::Elem => write!(f, ".[*]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(root: PathRoot, fields: &[u32]) -> IPath {
+        IPath {
+            root,
+            fields: fields.iter().map(|&f| PathField::Field(FieldId(f))).collect(),
+        }
+    }
+
+    #[test]
+    fn child_and_split() {
+        let base = IPath::this();
+        let ext = base.child(PathField::Field(FieldId(3)));
+        assert_eq!(ext.depth(), 1);
+        let (owner, leaf) = ext.split_last().unwrap();
+        assert_eq!(owner, base);
+        assert_eq!(leaf, PathField::Field(FieldId(3)));
+        assert!(base.split_last().is_none());
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let a = p(PathRoot::This, &[1]);
+        let b = p(PathRoot::This, &[1, 2]);
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_prefix_of(&a));
+        assert!(!b.is_prefix_of(&a));
+        assert!(!p(PathRoot::Param(0), &[1]).is_prefix_of(&b));
+        assert_eq!(a.suffix_of(&b).unwrap(), &[PathField::Field(FieldId(2))]);
+    }
+
+    #[test]
+    fn common_suffix() {
+        let a = p(PathRoot::This, &[1, 5, 9]);
+        let b = p(PathRoot::Param(0), &[7, 5, 9]);
+        assert_eq!(a.common_suffix_len(&b), 2);
+        assert_eq!(a.common_suffix_len(&a), 3);
+        assert_eq!(a.common_suffix_len(&p(PathRoot::This, &[2])), 0);
+    }
+
+    #[test]
+    fn drop_suffix() {
+        let a = p(PathRoot::This, &[1, 2, 3]);
+        assert_eq!(a.drop_suffix(2), p(PathRoot::This, &[1]));
+        assert_eq!(a.drop_suffix(0), a);
+    }
+
+    #[test]
+    fn display_raw() {
+        let a = p(PathRoot::Param(1), &[4]);
+        assert_eq!(a.to_string(), "I_p1.f4");
+        assert_eq!(IPath::root(PathRoot::Ret).to_string(), "I_r");
+        let e = IPath::this().child(PathField::Elem);
+        assert_eq!(e.to_string(), "I_this.[*]");
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end driver: seed execution → trace analysis → pair generation →
+//! context derivation → deduplicated synthesized test suite.
+//!
+//! This is the full Narada pipeline of Fig. 6, producing the numbers of
+//! Table 4 (racing pairs, synthesized tests, synthesis time) for any MJ
+//! program with a seed suite.
+
+use crate::access::Analysis;
+use crate::analyze::analyze;
+use crate::context::derive_plan;
+use crate::options::SynthesisOptions;
+use crate::pairs::{generate_pairs, PairSet};
+use crate::synth::SynthesizedTest;
+use narada_lang::hir::Program;
+use narada_lang::mir::MirProgram;
+use narada_vm::{Machine, MachineOptions, VecSink, VmError};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Everything the pipeline produced for one program.
+#[derive(Debug)]
+pub struct SynthesisOutput {
+    /// The trace analysis result (access map, summaries).
+    pub analysis: Analysis,
+    /// Deduplicated accesses and racing pairs.
+    pub pairs: PairSet,
+    /// The deduplicated synthesized test suite.
+    pub tests: Vec<SynthesizedTest>,
+    /// Wall-clock time of the whole synthesis (trace + analysis + pairing
+    /// + derivation), the paper's Table 4 "Time" column.
+    pub elapsed: Duration,
+    /// Seed tests that failed during tracing (reported, not fatal).
+    pub seed_failures: Vec<(String, VmError)>,
+}
+
+impl SynthesisOutput {
+    /// Number of racing pairs (Table 4 "Race Pairs").
+    pub fn pair_count(&self) -> usize {
+        self.pairs.pairs.len()
+    }
+
+    /// Number of synthesized tests (Table 4 "Tests").
+    pub fn test_count(&self) -> usize {
+        self.tests.len()
+    }
+}
+
+/// Runs the full synthesis pipeline on `prog` using all its `test`
+/// declarations as the sequential seed suite.
+pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> SynthesisOutput {
+    let start = Instant::now();
+
+    // Stage 1: execute the seed suite, recording traces.
+    let mut sink = VecSink::new();
+    let mut seed_failures = Vec::new();
+    {
+        let mut machine = Machine::new(prog, mir, MachineOptions::default());
+        for t in &prog.tests {
+            if let Err(e) = machine.run_test(t.id, &mut sink) {
+                seed_failures.push((t.name.clone(), e));
+            }
+        }
+    }
+
+    // Stage 1b: the Access Analyzer.
+    let analysis = analyze(prog, &sink.events);
+
+    // Stage 2a: the Pair Generator.
+    let pairs = generate_pairs(prog, &analysis, opts);
+
+    // Stage 2b + 3: Context Deriver + plan construction, deduplicated into
+    // a test suite (multiple pairs per test, §5).
+    let mut by_key: HashMap<String, usize> = HashMap::new();
+    let mut tests: Vec<SynthesizedTest> = Vec::new();
+    for (i, pair) in pairs.pairs.iter().enumerate() {
+        let plan = derive_plan(prog, &analysis, &pairs, pair, opts);
+        let key = plan.dedup_key();
+        match by_key.get(&key) {
+            Some(&t) => tests[t].covered_pairs.push(i),
+            None => {
+                let index = tests.len();
+                by_key.insert(key, index);
+                tests.push(SynthesizedTest {
+                    index,
+                    plan,
+                    covered_pairs: vec![i],
+                });
+            }
+        }
+    }
+
+    SynthesisOutput {
+        analysis,
+        pairs,
+        tests,
+        elapsed: start.elapsed(),
+        seed_failures,
+    }
+}
+
+/// Compiles MJ source and runs the pipeline — the one-call entry point used
+/// by examples and benchmarks.
+///
+/// # Errors
+///
+/// Returns front-end diagnostics when `src` does not compile.
+pub fn synthesize_source(
+    src: &str,
+    opts: &SynthesisOptions,
+) -> Result<(Program, MirProgram, SynthesisOutput), narada_lang::Diagnostics> {
+    let prog = narada_lang::compile(src)?;
+    let mir = narada_lang::lower::lower_program(&prog);
+    let out = synthesize(&prog, &mir, opts);
+    Ok((prog, mir, out))
+}

@@ -1,0 +1,132 @@
+//! Error paths of the test-plan executor: every failure mode must surface
+//! as a typed [`ExecError`] rather than a panic or a silent no-op.
+
+use narada_core::context::{CaptureSpec, ObjRef, PlanCall, Slot, TestPlan};
+use narada_core::{execute_plan, ExecError, RaceKey, SynthesisOptions};
+use narada_lang::hir::FieldId;
+use narada_lang::lower::lower_program;
+use narada_vm::{Label, Machine, NullSink, RoundRobin};
+
+const LIB: &str = r#"
+    class C {
+        int v;
+        void poke() { this.v = this.v + 1; }
+        void never() { this.v = 0; }
+    }
+    test seed { var c = new C(); c.poke(); }
+"#;
+
+fn plan_with_capture_of(method: narada_lang::hir::MethodId, n_params: usize) -> TestPlan {
+    let call = |cap: usize| PlanCall {
+        method,
+        recv: Some(ObjRef::Capture {
+            capture: cap,
+            slot: Slot::Recv,
+        }),
+        args: (0..n_params)
+            .map(|i| ObjRef::Capture {
+                capture: cap,
+                slot: Slot::Arg(i),
+            })
+            .collect(),
+        stop_after: None,
+    };
+    TestPlan {
+        captures: vec![CaptureSpec { method }, CaptureSpec { method }],
+        builders: vec![],
+        setters: vec![],
+        racy: [call(0), call(1)],
+        key: RaceKey::Field(FieldId(0)),
+        labels: (Label(0), Label(0)),
+        anchors: None,
+        expects_race: false,
+    }
+}
+
+#[test]
+fn capture_miss_is_reported() {
+    // `never` is not invoked by any seed test, so object collection cannot
+    // find a call site for it.
+    let prog = narada_lang::compile(LIB).unwrap();
+    let mir = lower_program(&prog);
+    let never = prog.methods.iter().find(|m| m.name == "never").unwrap().id;
+    let plan = plan_with_capture_of(never, 0);
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let mut machine = Machine::with_defaults(&prog, &mir);
+    let mut sched = RoundRobin::new();
+    let err = execute_plan(&mut machine, &seeds, &plan, &mut sched, &mut NullSink, 100_000)
+        .expect_err("capture must miss");
+    assert!(matches!(err, ExecError::CaptureMissed(_)), "{err}");
+    assert!(err.to_string().contains("never"), "{err}");
+}
+
+#[test]
+fn failing_seed_is_reported() {
+    let prog = narada_lang::compile(
+        r#"
+        class C { int v; void poke() { this.v = 1; } }
+        test seed { assert false; }
+        "#,
+    )
+    .unwrap();
+    let mir = lower_program(&prog);
+    let poke = prog.methods.iter().find(|m| m.name == "poke").unwrap().id;
+    let plan = plan_with_capture_of(poke, 0);
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let mut machine = Machine::with_defaults(&prog, &mir);
+    let mut sched = RoundRobin::new();
+    let err = execute_plan(&mut machine, &seeds, &plan, &mut sched, &mut NullSink, 100_000)
+        .expect_err("seed failure must propagate");
+    assert!(matches!(err, ExecError::SeedFailed(_)), "{err}");
+}
+
+#[test]
+fn crashing_racy_thread_is_a_report_not_an_error() {
+    // A thread crash during the concurrent phase is *evidence*, not a
+    // harness failure.
+    let (prog, mir, out) = narada_core::synthesize_source(
+        r#"
+        class R {
+            int[] buf;
+            int n;
+            init() { this.buf = new int[2]; this.n = 2; }
+            int read() {
+                if (this.n > 0) { return this.buf[this.n - 1]; }
+                return 0 - 1;
+            }
+            void close() { this.buf = null; }
+        }
+        test seed { var r = new R(); var x = r.read(); r.close(); }
+        "#,
+        &SynthesisOptions::default(),
+    )
+    .unwrap();
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    // Find a close||read style plan and run under many schedules; a crash
+    // must land in `failures`, never in Err.
+    let mut saw_crash = false;
+    for t in out.tests.iter().filter(|t| t.plan.expects_race) {
+        for seed in 0..15 {
+            let mut machine = Machine::with_defaults(&prog, &mir);
+            let mut sched = narada_vm::RandomScheduler::new(seed);
+            let report = execute_plan(
+                &mut machine,
+                &seeds,
+                &t.plan,
+                &mut sched,
+                &mut NullSink,
+                1_000_000,
+            )
+            .expect("executor must not error on thread crashes");
+            if !report.failures.is_empty() {
+                saw_crash = true;
+                assert!(
+                    report.failures.iter().any(|f| f.contains("null")),
+                    "{:?}",
+                    report.failures
+                );
+            }
+        }
+    }
+    assert!(saw_crash, "close||read should crash under some schedule");
+}

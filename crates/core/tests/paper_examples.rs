@@ -1,0 +1,310 @@
+//! Fidelity tests: the analyzer must derive, on the paper's own worked
+//! examples, exactly the classifications the paper reports.
+//!
+//! * Fig. 8/Fig. 11 (`A.foo`): the paper derives
+//!   `A : {4 ↦ (false,false), 5 ↦ (false,true), 6 ↦ (true,false)}` —
+//!   the read of `b.x` is protected (receiver locked), the write
+//!   `t.o := rand()` is unprotected but not writeable (rhs `rand()` is not
+//!   controllable), the write `b.y := y` is writeable but protected.
+//! * §3.2 (`D`): the binding at the `b.y := y` label relates the receiver
+//!   (`I_this.y`) to the supplied argument (`I_p0`); the unprotected
+//!   access at the rand-write label is `I_this.x.o`.
+//! * Fig. 13 (`bar`/`baz`): `bar`'s writeable assignment summarizes as
+//!   `I_this.x ⤳ I_p0.w` and `baz`'s as `I_this.w ⤳ I_p0`.
+
+use narada_core::{analyze, IPath, PathField, PathRoot};
+use narada_lang::lower::lower_program;
+use narada_vm::{Machine, VecSink};
+
+/// Fig. 8 extended per Fig. 13 so every piece is exercised by a seed.
+const FIG13_FULL: &str = r#"
+    class X { int o; }
+    class Y { }
+    class Z {
+        X w;
+        void baz(X x) { this.w = x; }
+    }
+    class A {
+        X x;
+        Y y;
+        void foo(Y y) {
+            sync (this) {
+                var b = this;
+                var t = b.x;
+                t.o = rand();
+                b.y = y;
+            }
+        }
+        void bar(Z z) { this.x = z.w; }
+    }
+    test seed {
+        var x = new X();
+        var y = new Y();
+        var z = new Z();
+        var a = new A();
+        z.baz(x);
+        a.bar(z);
+        a.foo(y);
+    }
+"#;
+
+fn analyzed() -> (narada_lang::hir::Program, narada_core::Analysis) {
+    let prog = narada_lang::compile(FIG13_FULL).unwrap();
+    let mir = lower_program(&prog);
+    let mut machine = Machine::with_defaults(&prog, &mir);
+    let mut sink = VecSink::new();
+    for t in &prog.tests {
+        machine.run_test(t.id, &mut sink).unwrap();
+    }
+    let analysis = analyze(&prog, &sink.events);
+    (prog, analysis)
+}
+
+fn method(prog: &narada_lang::hir::Program, name: &str) -> narada_lang::hir::MethodId {
+    prog.methods.iter().find(|m| m.name == name).unwrap().id
+}
+
+fn field(prog: &narada_lang::hir::Program, class: &str, name: &str) -> PathField {
+    let c = prog.class_by_name(class).unwrap();
+    PathField::Field(prog.field_by_name(c, name).unwrap())
+}
+
+#[test]
+fn fig11_label4_read_is_protected_and_not_writeable() {
+    let (prog, analysis) = analyzed();
+    let foo = method(&prog, "foo");
+    // `t := b.x` — a read of field x while holding the lock on b (= this).
+    let read_x = analysis
+        .accesses
+        .iter()
+        .find(|a| {
+            a.method == foo
+                && !a.is_write
+                && a.path
+                    == Some(IPath {
+                        root: PathRoot::This,
+                        fields: vec![field(&prog, "A", "x")],
+                    })
+        })
+        .expect("read of this.x inside foo");
+    assert!(!read_x.writeable, "reads are never writeable");
+    assert!(
+        !read_x.unprotected,
+        "paper: label 4 is protected — b is locked (L)"
+    );
+}
+
+#[test]
+fn fig11_label5_rand_write_is_unprotected_not_writeable() {
+    let (prog, analysis) = analyzed();
+    let foo = method(&prog, "foo");
+    // `t.o := rand()` — the paper's unprotected access I1.x.o.
+    let expected_path = IPath {
+        root: PathRoot::This,
+        fields: vec![field(&prog, "A", "x"), field(&prog, "X", "o")],
+    };
+    let write_o = analysis
+        .accesses
+        .iter()
+        .find(|a| a.method == foo && a.is_write && a.path == Some(expected_path.clone()))
+        .expect("write of this.x.o inside foo");
+    assert!(
+        write_o.unprotected,
+        "paper: label 5 is unprotected — t is unlocked (U)"
+    );
+    assert!(
+        !write_o.writeable,
+        "paper: label 5 is not writeable — rand() is not controllable"
+    );
+    // The access happens with the receiver's lock held (lock on I_this).
+    assert_eq!(write_o.locks.len(), 1);
+    assert_eq!(
+        write_o.locks[0].path,
+        Some(IPath::root(PathRoot::This)),
+        "the held lock is the receiver"
+    );
+}
+
+#[test]
+fn fig11_label6_param_write_is_writeable_but_protected() {
+    let (prog, analysis) = analyzed();
+    let foo = method(&prog, "foo");
+    // `b.y := y` — writeable (both sides controllable), protected (b locked).
+    let write_y = analysis
+        .accesses
+        .iter()
+        .find(|a| {
+            a.method == foo
+                && a.is_write
+                && a.path
+                    == Some(IPath {
+                        root: PathRoot::This,
+                        fields: vec![field(&prog, "A", "y")],
+                    })
+        })
+        .expect("write of this.y inside foo");
+    assert!(
+        write_y.writeable,
+        "paper: label 6 is writeable — y and b are both controllable (C)"
+    );
+    assert!(
+        !write_y.unprotected,
+        "paper: label 6 is protected — b is locked (L)"
+    );
+}
+
+#[test]
+fn fig13_bar_summary_is_ithis_x_from_ip0_w() {
+    let (prog, analysis) = analyzed();
+    let bar = method(&prog, "bar");
+    // Paper: D for bar contains (Ithis.x ⤳ Iz.w).
+    let s = analysis
+        .setters
+        .iter()
+        .find(|s| s.method == bar)
+        .expect("bar has a writeable-assignment summary");
+    assert_eq!(
+        s.lhs,
+        IPath {
+            root: PathRoot::This,
+            fields: vec![field(&prog, "A", "x")],
+        },
+        "lhs is I_this.x"
+    );
+    assert_eq!(
+        s.rhs,
+        IPath {
+            root: PathRoot::Param(0),
+            fields: vec![field(&prog, "Z", "w")],
+        },
+        "rhs is I_p0.w — the field of the parameter"
+    );
+}
+
+#[test]
+fn fig13_baz_summary_is_ithis_w_from_ip0() {
+    let (prog, analysis) = analyzed();
+    let baz = method(&prog, "baz");
+    let s = analysis
+        .setters
+        .iter()
+        .find(|s| s.method == baz)
+        .expect("baz has a writeable-assignment summary");
+    assert_eq!(
+        s.lhs,
+        IPath {
+            root: PathRoot::This,
+            fields: vec![field(&prog, "Z", "w")],
+        }
+    );
+    assert_eq!(s.rhs, IPath::root(PathRoot::Param(0)));
+}
+
+#[test]
+fn fig11_foo_y_write_summary_relates_receiver_to_argument() {
+    let (prog, analysis) = analyzed();
+    let foo = method(&prog, "foo");
+    // §3.2: D at label 6 is { I1.y ⤳ I2 } — receiver's y from the argument.
+    let s = analysis
+        .setters
+        .iter()
+        .find(|s| s.method == foo)
+        .expect("foo's b.y := y produces a summary");
+    assert_eq!(
+        s.lhs,
+        IPath {
+            root: PathRoot::This,
+            fields: vec![field(&prog, "A", "y")],
+        }
+    );
+    assert_eq!(s.rhs, IPath::root(PathRoot::Param(0)));
+}
+
+#[test]
+fn return_summary_for_factory_pattern() {
+    // §3.2's foo(x,y) return example: the returned object exposes the
+    // client parameters at Ir.z and Ir.z.f.
+    let src = r#"
+        class W { P z; }
+        class P { Q f; }
+        class Q { }
+        class F {
+            static W foo(P x, Q y) {
+                x.f = y;
+                var w = new W();
+                w.z = x;
+                return w;
+            }
+        }
+        test seed {
+            var x = new P();
+            var y = new Q();
+            var w = F.foo(x, y);
+        }
+    "#;
+    let prog = narada_lang::compile(src).unwrap();
+    let mir = lower_program(&prog);
+    let mut machine = Machine::with_defaults(&prog, &mir);
+    let mut sink = VecSink::new();
+    machine.run_test(prog.tests[0].id, &mut sink).unwrap();
+    let analysis = analyze(&prog, &sink.events);
+    let foo = prog.methods.iter().find(|m| m.name == "foo").unwrap().id;
+
+    let w = prog.class_by_name("W").unwrap();
+    let p = prog.class_by_name("P").unwrap();
+    let z = PathField::Field(prog.field_by_name(w, "z").unwrap());
+    let f = PathField::Field(prog.field_by_name(p, "f").unwrap());
+
+    // { Ir.z ⤳ Ix }
+    assert!(
+        analysis.returns.iter().any(|r| {
+            r.method == foo
+                && r.ret_path.fields == vec![z]
+                && r.src == IPath::root(PathRoot::Param(0))
+        }),
+        "expected Ir.z ⤳ I_p0; got {:?}",
+        analysis.returns
+    );
+    // { Ir.z.f ⤳ Iy }
+    assert!(
+        analysis.returns.iter().any(|r| {
+            r.method == foo
+                && r.ret_path.fields == vec![z, f]
+                && r.src == IPath::root(PathRoot::Param(1))
+        }),
+        "expected Ir.z.f ⤳ I_p1; got {:?}",
+        analysis.returns
+    );
+}
+
+#[test]
+fn ctor_accesses_are_flagged_in_ctor() {
+    let src = r#"
+        class C {
+            int v;
+            init(int v) { this.v = v; }
+            void poke() { this.v = this.v + 1; }
+        }
+        test seed { var c = new C(5); c.poke(); }
+    "#;
+    let prog = narada_lang::compile(src).unwrap();
+    let mir = lower_program(&prog);
+    let mut machine = Machine::with_defaults(&prog, &mir);
+    let mut sink = VecSink::new();
+    machine.run_test(prog.tests[0].id, &mut sink).unwrap();
+    let analysis = analyze(&prog, &sink.events);
+    let ctor_writes: Vec<_> = analysis
+        .accesses
+        .iter()
+        .filter(|a| a.is_write && a.in_ctor)
+        .collect();
+    assert!(!ctor_writes.is_empty(), "ctor write recorded");
+    // §4: constructors' unprotected accesses are discarded by the pair
+    // generator but the setter summary survives (ctors set context).
+    let ctor = prog.methods.iter().find(|m| m.is_ctor).unwrap().id;
+    assert!(
+        analysis.setters.iter().any(|s| s.method == ctor),
+        "ctor setter summary kept: {:?}",
+        analysis.setters
+    );
+}

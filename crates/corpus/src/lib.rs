@@ -1,0 +1,386 @@
+//! # narada-corpus — the paper's benchmark classes, ported to MJ
+//!
+//! MJ ports of the nine classes Narada was evaluated on (paper Table 3),
+//! preserving each original's method inventory and — crucially — its
+//! concurrency defect pattern:
+//!
+//! | Id | Benchmark | Class | Defect pattern |
+//! |----|-----------|-------|----------------|
+//! | C1 | hazelcast 3.3.2 | `SynchronizedWriteBehindQueue` | wrong mutex object (`this` instead of the wrapped queue) |
+//! | C2 | openjdk 1.7 | `SynchronizedCollection` | shared backing collection under distinct mutexes |
+//! | C3 | openjdk 1.7 | `CharArrayWriter` | `writeTo` mutates the target under the source's lock; unsynchronized `reset`/`size` |
+//! | C4 | colt 1.2.0 | `DynamicBin1D` | representation exposure + internal fields with no client setter |
+//! | C5 | hsqldb 2.3.2 | `DoubleIntIndex` | mostly unsynchronized parallel-array index |
+//! | C6 | hsqldb 2.3.2 | `Scanner` | unsynchronized tokenizer; `reset` writes constants (benign races) |
+//! | C7 | hedc | `PooledExecutorWithInvalidate` | unsynchronized kill-switch and drain |
+//! | C8 | h2 1.4.182 | `Sequence` | unsynchronized accessors beside synchronized `getNext` |
+//! | C9 | classpath 0.99 | `CharArrayReader` | `close` tears down without the lock |
+//!
+//! Each entry bundles the MJ source (library classes **and** the
+//! sequential seed suite invoking every method once, §5) plus the paper's
+//! reference numbers from Tables 3–5 so the benchmark harness can print
+//! paper-vs-measured rows.
+
+#![warn(missing_docs)]
+
+use narada_lang::hir::Program;
+use narada_lang::Diagnostics;
+
+/// Reference numbers reported in the paper for one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperNumbers {
+    /// Table 4: methods in the class.
+    pub methods: usize,
+    /// Table 4: lines of code of the original Java class.
+    pub loc: usize,
+    /// Table 4: racing pairs.
+    pub race_pairs: usize,
+    /// Table 4: synthesized tests.
+    pub tests: usize,
+    /// Table 4: synthesis time in seconds.
+    pub time_secs: f64,
+    /// Table 5: races detected by RaceFuzzer.
+    pub races_detected: usize,
+    /// Table 5: reproduced harmful races.
+    pub harmful: usize,
+    /// Table 5: reproduced benign races.
+    pub benign: usize,
+    /// Table 5: manually-triaged true positives among unreproduced races.
+    pub manual_tp: usize,
+    /// Table 5: manually-triaged false positives.
+    pub manual_fp: usize,
+}
+
+/// One corpus entry: a benchmark class with its seed suite and paper
+/// reference numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Short id (`C1`…`C9`).
+    pub id: &'static str,
+    /// Originating benchmark (Table 3).
+    pub benchmark: &'static str,
+    /// Benchmark version (Table 3).
+    pub version: &'static str,
+    /// The analyzed class (Table 3).
+    pub class_name: &'static str,
+    /// Full MJ source: library classes plus seed tests.
+    pub source: &'static str,
+    /// The paper's reference numbers.
+    pub paper: PaperNumbers,
+}
+
+impl CorpusEntry {
+    /// Compiles the entry's MJ source.
+    ///
+    /// # Errors
+    ///
+    /// Corpus sources are tested to compile; errors indicate a build skew.
+    pub fn compile(&self) -> Result<Program, Diagnostics> {
+        narada_lang::compile(self.source)
+    }
+
+    /// Number of methods (including the constructor) of the analyzed class
+    /// in the MJ port.
+    pub fn method_count(&self, prog: &Program) -> usize {
+        let class = prog
+            .class_by_name(self.class_name)
+            .unwrap_or_else(|| panic!("{} missing class {}", self.id, self.class_name));
+        let c = prog.class(class);
+        c.own_methods.len() + usize::from(c.ctor.is_some())
+    }
+
+    /// Lines of MJ source (comments and blanks excluded).
+    pub fn loc(&self) -> usize {
+        self.source
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("//"))
+            .count()
+    }
+}
+
+/// The nine corpus entries, in paper order.
+pub fn all() -> Vec<CorpusEntry> {
+    vec![c1(), c2(), c3(), c4(), c5(), c6(), c7(), c8(), c9()]
+}
+
+/// Looks up an entry by id (`"C1"`…`"C9"`, case-insensitive).
+pub fn by_id(id: &str) -> Option<CorpusEntry> {
+    all().into_iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+/// C1 — hazelcast `SynchronizedWriteBehindQueue` (the motivating example).
+pub fn c1() -> CorpusEntry {
+    CorpusEntry {
+        id: "C1",
+        benchmark: "hazelcast",
+        version: "3.3.2",
+        class_name: "SynchronizedWriteBehindQueue",
+        source: include_str!("mj/c1_write_behind_queue.mj"),
+        paper: PaperNumbers {
+            methods: 14,
+            loc: 104,
+            race_pairs: 65,
+            tests: 15,
+            time_secs: 12.2,
+            races_detected: 76,
+            harmful: 58,
+            benign: 2,
+            manual_tp: 12,
+            manual_fp: 4,
+        },
+    }
+}
+
+/// C2 — openjdk `SynchronizedCollection`.
+pub fn c2() -> CorpusEntry {
+    CorpusEntry {
+        id: "C2",
+        benchmark: "openjdk",
+        version: "1.7",
+        class_name: "SynchronizedCollection",
+        source: include_str!("mj/c2_synchronized_collection.mj"),
+        paper: PaperNumbers {
+            methods: 19,
+            loc: 85,
+            race_pairs: 131,
+            tests: 40,
+            time_secs: 13.5,
+            races_detected: 84,
+            harmful: 65,
+            benign: 1,
+            manual_tp: 18,
+            manual_fp: 0,
+        },
+    }
+}
+
+/// C3 — openjdk `CharArrayWriter`.
+pub fn c3() -> CorpusEntry {
+    CorpusEntry {
+        id: "C3",
+        benchmark: "openjdk",
+        version: "1.7",
+        class_name: "CharArrayWriter",
+        source: include_str!("mj/c3_char_array_writer.mj"),
+        paper: PaperNumbers {
+            methods: 13,
+            loc: 92,
+            race_pairs: 13,
+            tests: 9,
+            time_secs: 2.2,
+            races_detected: 8,
+            harmful: 7,
+            benign: 1,
+            manual_tp: 0,
+            manual_fp: 0,
+        },
+    }
+}
+
+/// C4 — colt `DynamicBin1D`.
+pub fn c4() -> CorpusEntry {
+    CorpusEntry {
+        id: "C4",
+        benchmark: "colt",
+        version: "1.2.0",
+        class_name: "DynamicBin1D",
+        source: include_str!("mj/c4_dynamic_bin.mj"),
+        paper: PaperNumbers {
+            methods: 35,
+            loc: 313,
+            race_pairs: 26,
+            tests: 11,
+            time_secs: 33.0,
+            races_detected: 4,
+            harmful: 2,
+            benign: 0,
+            manual_tp: 2,
+            manual_fp: 0,
+        },
+    }
+}
+
+/// C5 — hsqldb `DoubleIntIndex`.
+pub fn c5() -> CorpusEntry {
+    CorpusEntry {
+        id: "C5",
+        benchmark: "hsqldb",
+        version: "2.3.2",
+        class_name: "DoubleIntIndex",
+        source: include_str!("mj/c5_double_int_index.mj"),
+        paper: PaperNumbers {
+            methods: 32,
+            loc: 508,
+            race_pairs: 136,
+            tests: 8,
+            time_secs: 7.4,
+            races_detected: 36,
+            harmful: 30,
+            benign: 6,
+            manual_tp: 0,
+            manual_fp: 0,
+        },
+    }
+}
+
+/// C6 — hsqldb `Scanner`.
+pub fn c6() -> CorpusEntry {
+    CorpusEntry {
+        id: "C6",
+        benchmark: "hsqldb",
+        version: "2.3.2",
+        class_name: "Scanner",
+        source: include_str!("mj/c6_scanner.mj"),
+        paper: PaperNumbers {
+            methods: 26,
+            loc: 1802,
+            race_pairs: 85,
+            tests: 8,
+            time_secs: 121.7,
+            races_detected: 89,
+            harmful: 15,
+            benign: 62,
+            manual_tp: 12,
+            manual_fp: 0,
+        },
+    }
+}
+
+/// C7 — hedc `PooledExecutorWithInvalidate`.
+pub fn c7() -> CorpusEntry {
+    CorpusEntry {
+        id: "C7",
+        benchmark: "hedc",
+        version: "NA",
+        class_name: "PooledExecutorWithInvalidate",
+        source: include_str!("mj/c7_pooled_executor.mj"),
+        paper: PaperNumbers {
+            methods: 9,
+            loc: 191,
+            race_pairs: 4,
+            tests: 4,
+            time_secs: 3.6,
+            races_detected: 4,
+            harmful: 4,
+            benign: 0,
+            manual_tp: 0,
+            manual_fp: 0,
+        },
+    }
+}
+
+/// C8 — h2 `Sequence`.
+pub fn c8() -> CorpusEntry {
+    CorpusEntry {
+        id: "C8",
+        benchmark: "h2",
+        version: "1.4.182",
+        class_name: "Sequence",
+        source: include_str!("mj/c8_sequence.mj"),
+        paper: PaperNumbers {
+            methods: 18,
+            loc: 233,
+            race_pairs: 4,
+            tests: 4,
+            time_secs: 5.8,
+            races_detected: 4,
+            harmful: 4,
+            benign: 0,
+            manual_tp: 0,
+            manual_fp: 0,
+        },
+    }
+}
+
+/// C9 — classpath `CharArrayReader`.
+pub fn c9() -> CorpusEntry {
+    CorpusEntry {
+        id: "C9",
+        benchmark: "classpath",
+        version: "0.99",
+        class_name: "CharArrayReader",
+        source: include_str!("mj/c9_char_array_reader.mj"),
+        paper: PaperNumbers {
+            methods: 8,
+            loc: 102,
+            race_pairs: 2,
+            tests: 2,
+            time_secs: 1.9,
+            races_detected: 2,
+            harmful: 2,
+            benign: 0,
+            manual_tp: 0,
+            manual_fp: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_nine_entries_in_order() {
+        let ids: Vec<_> = all().iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9"]);
+    }
+
+    #[test]
+    fn by_id_lookup() {
+        assert_eq!(by_id("c5").unwrap().class_name, "DoubleIntIndex");
+        assert!(by_id("C10").is_none());
+    }
+
+    #[test]
+    fn every_entry_compiles() {
+        for e in all() {
+            e.compile()
+                .unwrap_or_else(|err| panic!("{} does not compile:\n{err}", e.id));
+        }
+    }
+
+    #[test]
+    fn method_counts_match_paper() {
+        for e in all() {
+            let prog = e.compile().unwrap();
+            assert_eq!(
+                e.method_count(&prog),
+                e.paper.methods,
+                "{}: MJ port must keep the paper's method inventory ({})",
+                e.id,
+                e.class_name
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_has_a_seed_suite() {
+        for e in all() {
+            let prog = e.compile().unwrap();
+            assert!(
+                !prog.tests.is_empty(),
+                "{} needs at least one seed test",
+                e.id
+            );
+        }
+    }
+
+    #[test]
+    fn paper_totals_match_table4() {
+        let pairs: usize = all().iter().map(|e| e.paper.race_pairs).sum();
+        let tests: usize = all().iter().map(|e| e.paper.tests).sum();
+        assert_eq!(pairs, 466, "Table 4 total racing pairs");
+        assert_eq!(tests, 101, "Table 4 total synthesized tests");
+    }
+
+    #[test]
+    fn paper_totals_match_table5() {
+        let detected: usize = all().iter().map(|e| e.paper.races_detected).sum();
+        let harmful: usize = all().iter().map(|e| e.paper.harmful).sum();
+        let benign: usize = all().iter().map(|e| e.paper.benign).sum();
+        assert_eq!(detected, 307, "Table 5 total races");
+        assert_eq!(harmful, 187, "Table 5 total harmful");
+        assert_eq!(benign, 72, "Table 5 total benign");
+    }
+}

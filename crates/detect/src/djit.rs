@@ -1,0 +1,280 @@
+//! Djit⁺ happens-before race detection (Pozniansky & Schuster, PPoPP
+//! 2003) — the full-vector-clock baseline that FastTrack's epochs
+//! optimize. Kept as an independent implementation for two reasons:
+//!
+//! * a differential-testing oracle: Djit⁺ and FastTrack must report the
+//!   same races on every trace (asserted by property tests);
+//! * the benchmark suite reproduces FastTrack's headline comparison
+//!   (epochs vs. per-location vector clocks).
+
+use crate::race::{RaceAccess, RaceReport, StaticRaceKey};
+use crate::vclock::VectorClock;
+use narada_lang::Span;
+use narada_vm::{Event, EventKind, EventSink, FieldKey, ObjId, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Default)]
+struct VarState {
+    /// Full write vector clock: component `t` is the clock of `t`'s last
+    /// write, with the site of the overall last write kept for reports.
+    writes: VectorClock,
+    last_write: Option<(ThreadId, Span)>,
+    /// Full read vector clock plus last read site per thread.
+    reads: VectorClock,
+    read_sites: HashMap<ThreadId, Span>,
+}
+
+/// The Djit⁺ detector; feed it a concurrent execution.
+#[derive(Debug, Default)]
+pub struct DjitDetector {
+    threads: HashMap<ThreadId, VectorClock>,
+    locks: HashMap<ObjId, VectorClock>,
+    vars: HashMap<(ObjId, FieldKey), VarState>,
+    races: Vec<RaceReport>,
+    seen: HashSet<StaticRaceKey>,
+}
+
+impl DjitDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distinct races detected so far.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    fn clock(&mut self, tid: ThreadId) -> &mut VectorClock {
+        self.threads.entry(tid).or_insert_with(|| {
+            let mut vc = VectorClock::new();
+            vc.set(tid, 1);
+            vc
+        })
+    }
+
+    fn report(&mut self, obj: ObjId, field: FieldKey, first: RaceAccess, second: RaceAccess) {
+        let r = RaceReport {
+            obj,
+            field,
+            first,
+            second,
+        };
+        if self.seen.insert(r.static_key()) {
+            self.races.push(r);
+        }
+    }
+
+    fn on_read(&mut self, tid: ThreadId, obj: ObjId, field: FieldKey, span: Span) {
+        let ct = self.clock(tid).clone();
+        let state = self.vars.entry((obj, field)).or_default();
+        // Djit⁺ read check: the write clock must be ⊑ the reader's clock.
+        let mut conflict = None;
+        for u in 0..16u32 {
+            let ut = ThreadId(u);
+            if ut != tid && state.writes.get(ut) > ct.get(ut) {
+                conflict = state.last_write;
+                break;
+            }
+        }
+        state.reads.set(tid, ct.get(tid));
+        state.read_sites.insert(tid, span);
+        if let Some((wt, wspan)) = conflict {
+            self.report(
+                obj,
+                field,
+                RaceAccess {
+                    tid: wt,
+                    is_write: true,
+                    span: wspan,
+                },
+                RaceAccess {
+                    tid,
+                    is_write: false,
+                    span,
+                },
+            );
+        }
+    }
+
+    fn on_write(&mut self, tid: ThreadId, obj: ObjId, field: FieldKey, span: Span) {
+        let ct = self.clock(tid).clone();
+        let state = self.vars.entry((obj, field)).or_default();
+        let mut conflicts: Vec<(RaceAccess, RaceAccess)> = Vec::new();
+        // write-write: every prior write must be ⊑ C_t.
+        for u in 0..16u32 {
+            let ut = ThreadId(u);
+            if ut != tid && state.writes.get(ut) > ct.get(ut) {
+                if let Some((wt, wspan)) = state.last_write {
+                    conflicts.push((
+                        RaceAccess {
+                            tid: wt,
+                            is_write: true,
+                            span: wspan,
+                        },
+                        RaceAccess {
+                            tid,
+                            is_write: true,
+                            span,
+                        },
+                    ));
+                }
+                break;
+            }
+        }
+        // read-write: every prior read must be ⊑ C_t.
+        for u in 0..16u32 {
+            let ut = ThreadId(u);
+            if ut != tid && state.reads.get(ut) > ct.get(ut) {
+                if let Some(&rspan) = state.read_sites.get(&ut) {
+                    conflicts.push((
+                        RaceAccess {
+                            tid: ut,
+                            is_write: false,
+                            span: rspan,
+                        },
+                        RaceAccess {
+                            tid,
+                            is_write: true,
+                            span,
+                        },
+                    ));
+                }
+            }
+        }
+        state.writes.set(tid, ct.get(tid));
+        state.last_write = Some((tid, span));
+        for (a, b) in conflicts {
+            self.report(obj, field, a, b);
+        }
+    }
+}
+
+impl EventSink for DjitDetector {
+    fn event(&mut self, ev: &Event) {
+        match &ev.kind {
+            EventKind::Lock { obj, .. } => {
+                let lvc = self.locks.get(obj).cloned().unwrap_or_default();
+                self.clock(ev.tid).join(&lvc);
+            }
+            EventKind::Unlock { obj, .. } => {
+                let ct = self.clock(ev.tid).clone();
+                self.locks.insert(*obj, ct);
+                self.clock(ev.tid).tick(ev.tid);
+            }
+            EventKind::ThreadSpawn { child } => {
+                let parent = self.clock(ev.tid).clone();
+                self.clock(*child).join(&parent);
+                self.clock(ev.tid).tick(ev.tid);
+            }
+            EventKind::Read { obj, field, .. } => {
+                self.on_read(ev.tid, *obj, *field, ev.span);
+            }
+            EventKind::Write { obj, field, .. } => {
+                self.on_write(ev.tid, *obj, *field, ev.span);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use narada_lang::mir::VarId;
+    use narada_vm::{InvId, Label, Value};
+
+    fn ev(label: u64, tid: u32, kind: EventKind) -> Event {
+        Event {
+            label: Label(label),
+            tid: ThreadId(tid),
+            span: Span::new(label as u32 * 10, label as u32 * 10 + 1),
+            kind,
+        }
+    }
+
+    fn write(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Write {
+                inv: InvId(0),
+                obj_var: VarId(0),
+                obj: ObjId(obj),
+                field: FieldKey::Elem(0),
+                src_var: VarId(1),
+                value: Value::Int(0),
+            },
+        )
+    }
+
+    fn read(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Read {
+                inv: InvId(0),
+                dst: VarId(0),
+                obj_var: VarId(0),
+                obj: ObjId(obj),
+                field: FieldKey::Elem(0),
+                value: Value::Int(0),
+            },
+        )
+    }
+
+    fn lock(label: u64, tid: u32, obj: u32) -> Event {
+        ev(label, tid, EventKind::Lock { inv: InvId(0), var: None, obj: ObjId(obj) })
+    }
+
+    fn unlock(label: u64, tid: u32, obj: u32) -> Event {
+        ev(label, tid, EventKind::Unlock { inv: InvId(0), obj: ObjId(obj) })
+    }
+
+    #[test]
+    fn concurrent_writes_race() {
+        let mut d = DjitDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&write(1, 2, 5));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn lock_ordered_writes_do_not_race() {
+        let mut d = DjitDetector::new();
+        d.event(&lock(0, 1, 9));
+        d.event(&write(1, 1, 5));
+        d.event(&unlock(2, 1, 9));
+        d.event(&lock(3, 2, 9));
+        d.event(&write(4, 2, 5));
+        d.event(&unlock(5, 2, 9));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn read_write_races() {
+        let mut d = DjitDetector::new();
+        d.event(&read(0, 1, 5));
+        d.event(&write(1, 2, 5));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn fork_orders() {
+        let mut d = DjitDetector::new();
+        d.event(&write(0, 0, 5));
+        d.event(&ev(1, 0, EventKind::ThreadSpawn { child: ThreadId(1) }));
+        d.event(&write(2, 1, 5));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn multi_reader_write_races_each_unordered_read() {
+        let mut d = DjitDetector::new();
+        d.event(&read(0, 1, 5));
+        d.event(&read(1, 2, 5));
+        d.event(&write(2, 3, 5));
+        // Both reads are concurrent with the write: two distinct races.
+        assert_eq!(d.races().len(), 2);
+    }
+}

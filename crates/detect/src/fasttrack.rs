@@ -1,0 +1,346 @@
+//! FastTrack-style happens-before race detection (Flanagan & Freund,
+//! PLDI 2009).
+//!
+//! Thread clocks advance on lock releases and forks; locks carry the
+//! release clock; every location keeps its last-write *epoch* (the
+//! FastTrack compression: a totally ordered write history needs one
+//! `(thread, clock)` pair, not a full vector) plus per-thread read entries.
+//! Unlike the original, read entries always carry the access span so that
+//! race reports name both source sites — the space optimization FastTrack
+//! applies to read sets is irrelevant at our trace sizes.
+
+use crate::race::{RaceAccess, RaceReport, StaticRaceKey};
+use crate::vclock::{Epoch, VectorClock};
+use narada_lang::Span;
+use narada_vm::{Event, EventKind, EventSink, FieldKey, ObjId, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Default)]
+struct VarState {
+    /// Last write, as an epoch plus its source site.
+    write: Option<(Epoch, Span)>,
+    /// Reads since the last write that "covers" them: per thread the read
+    /// clock and site.
+    reads: HashMap<ThreadId, (u32, Span)>,
+}
+
+/// The happens-before detector; feed it a concurrent execution.
+#[derive(Debug, Default)]
+pub struct FastTrackDetector {
+    threads: HashMap<ThreadId, VectorClock>,
+    locks: HashMap<ObjId, VectorClock>,
+    vars: HashMap<(ObjId, FieldKey), VarState>,
+    races: Vec<RaceReport>,
+    seen: HashSet<StaticRaceKey>,
+}
+
+impl FastTrackDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distinct races detected so far.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Consumes the detector, returning its races.
+    pub fn into_races(self) -> Vec<RaceReport> {
+        self.races
+    }
+
+    fn clock(&mut self, tid: ThreadId) -> &mut VectorClock {
+        self.threads.entry(tid).or_insert_with(|| {
+            let mut vc = VectorClock::new();
+            vc.set(tid, 1);
+            vc
+        })
+    }
+
+    fn report(
+        &mut self,
+        obj: ObjId,
+        field: FieldKey,
+        first: RaceAccess,
+        second: RaceAccess,
+    ) {
+        let r = RaceReport {
+            obj,
+            field,
+            first,
+            second,
+        };
+        if self.seen.insert(r.static_key()) {
+            self.races.push(r);
+        }
+    }
+
+    fn on_read(&mut self, tid: ThreadId, obj: ObjId, field: FieldKey, span: Span) {
+        let ct = self.clock(tid).clone();
+        let state = self.vars.entry((obj, field)).or_default();
+        // Write-read race: last write not ordered before this read. The
+        // read is recorded either way (FastTrack reports and continues),
+        // so later writes race against the most recent read.
+        let mut race = None;
+        if let Some((w, wspan)) = state.write {
+            if w.tid != tid && !w.leq(&ct) {
+                race = Some((
+                    RaceAccess {
+                        tid: w.tid,
+                        is_write: true,
+                        span: wspan,
+                    },
+                    RaceAccess {
+                        tid,
+                        is_write: false,
+                        span,
+                    },
+                ));
+            }
+        }
+        state.reads.insert(tid, (ct.get(tid), span));
+        if let Some((first, second)) = race {
+            self.report(obj, field, first, second);
+        }
+    }
+
+    fn on_write(&mut self, tid: ThreadId, obj: ObjId, field: FieldKey, span: Span) {
+        let ct = self.clock(tid).clone();
+        let me = Epoch::of(tid, &ct);
+        let state = self.vars.entry((obj, field)).or_default();
+        // FastTrack fast path: same epoch as the last write. The stored
+        // site still moves to the newest write so that race reports name
+        // the access a later conflicting thread actually races with.
+        if let Some((w, stored)) = &mut state.write {
+            if *w == me {
+                *stored = span;
+                return;
+            }
+        }
+        let mut found: Vec<(RaceAccess, RaceAccess)> = Vec::new();
+        if let Some((w, wspan)) = state.write {
+            if w.tid != tid && !w.leq(&ct) {
+                found.push((
+                    RaceAccess {
+                        tid: w.tid,
+                        is_write: true,
+                        span: wspan,
+                    },
+                    RaceAccess {
+                        tid,
+                        is_write: true,
+                        span,
+                    },
+                ));
+            }
+        }
+        for (&u, &(c, rspan)) in &state.reads {
+            if u != tid && c > ct.get(u) {
+                found.push((
+                    RaceAccess {
+                        tid: u,
+                        is_write: false,
+                        span: rspan,
+                    },
+                    RaceAccess {
+                        tid,
+                        is_write: true,
+                        span,
+                    },
+                ));
+            }
+        }
+        state.write = Some((me, span));
+        state.reads.retain(|&u, &mut (c, _)| c > ct.get(u) && u != tid);
+        for (first, second) in found {
+            self.report(obj, field, first, second);
+        }
+    }
+}
+
+impl EventSink for FastTrackDetector {
+    fn event(&mut self, ev: &Event) {
+        match &ev.kind {
+            EventKind::Lock { obj, .. } => {
+                let lvc = self.locks.get(obj).cloned().unwrap_or_default();
+                self.clock(ev.tid).join(&lvc);
+            }
+            EventKind::Unlock { obj, .. } => {
+                let ct = self.clock(ev.tid).clone();
+                self.locks.insert(*obj, ct);
+                self.clock(ev.tid).tick(ev.tid);
+            }
+            EventKind::ThreadSpawn { child } => {
+                let parent = self.clock(ev.tid).clone();
+                self.clock(*child).join(&parent);
+                self.clock(ev.tid).tick(ev.tid);
+            }
+            EventKind::Read { obj, field, .. } => {
+                self.on_read(ev.tid, *obj, *field, ev.span);
+            }
+            EventKind::Write { obj, field, .. } => {
+                self.on_write(ev.tid, *obj, *field, ev.span);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use narada_lang::mir::VarId;
+    use narada_vm::{InvId, Label, Value};
+
+    fn ev(label: u64, tid: u32, kind: EventKind) -> Event {
+        Event {
+            label: Label(label),
+            tid: ThreadId(tid),
+            span: Span::new(label as u32 * 10, label as u32 * 10 + 1),
+            kind,
+        }
+    }
+
+    fn write(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Write {
+                inv: InvId(0),
+                obj_var: VarId(0),
+                obj: ObjId(obj),
+                field: FieldKey::Elem(0),
+                src_var: VarId(1),
+                value: Value::Int(0),
+            },
+        )
+    }
+
+    fn read(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Read {
+                inv: InvId(0),
+                dst: VarId(0),
+                obj_var: VarId(0),
+                obj: ObjId(obj),
+                field: FieldKey::Elem(0),
+                value: Value::Int(0),
+            },
+        )
+    }
+
+    fn lock(label: u64, tid: u32, obj: u32) -> Event {
+        ev(label, tid, EventKind::Lock { inv: InvId(0), var: None, obj: ObjId(obj) })
+    }
+
+    fn unlock(label: u64, tid: u32, obj: u32) -> Event {
+        ev(label, tid, EventKind::Unlock { inv: InvId(0), obj: ObjId(obj) })
+    }
+
+    fn spawn(label: u64, parent: u32, child: u32) -> Event {
+        ev(
+            label,
+            parent,
+            EventKind::ThreadSpawn {
+                child: ThreadId(child),
+            },
+        )
+    }
+
+    #[test]
+    fn concurrent_writes_race() {
+        let mut d = FastTrackDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&write(1, 2, 5));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn lock_ordered_writes_do_not_race() {
+        let mut d = FastTrackDetector::new();
+        d.event(&lock(0, 1, 9));
+        d.event(&write(1, 1, 5));
+        d.event(&unlock(2, 1, 9));
+        d.event(&lock(3, 2, 9));
+        d.event(&write(4, 2, 5));
+        d.event(&unlock(5, 2, 9));
+        assert!(d.races().is_empty(), "release→acquire orders the writes");
+    }
+
+    #[test]
+    fn fork_orders_parent_before_child() {
+        let mut d = FastTrackDetector::new();
+        d.event(&write(0, 0, 5)); // parent writes
+        d.event(&spawn(1, 0, 1));
+        d.event(&write(2, 1, 5)); // child writes after fork
+        assert!(d.races().is_empty(), "fork edge orders the accesses");
+    }
+
+    #[test]
+    fn sibling_threads_race() {
+        let mut d = FastTrackDetector::new();
+        d.event(&spawn(0, 0, 1));
+        d.event(&spawn(1, 0, 2));
+        d.event(&write(2, 1, 5));
+        d.event(&write(3, 2, 5));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn read_write_race() {
+        let mut d = FastTrackDetector::new();
+        d.event(&read(0, 1, 5));
+        d.event(&write(1, 2, 5));
+        assert_eq!(d.races().len(), 1);
+        let r = &d.races()[0];
+        assert!(!r.first.is_write && r.second.is_write);
+    }
+
+    #[test]
+    fn write_read_race() {
+        let mut d = FastTrackDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&read(1, 2, 5));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn disjoint_locks_still_race() {
+        // Eraser and HB agree here: different locks do not order accesses.
+        let mut d = FastTrackDetector::new();
+        d.event(&lock(0, 1, 8));
+        d.event(&write(1, 1, 5));
+        d.event(&unlock(2, 1, 8));
+        d.event(&lock(3, 2, 9));
+        d.event(&write(4, 2, 5));
+        d.event(&unlock(5, 2, 9));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn same_epoch_write_fast_path() {
+        let mut d = FastTrackDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&write(1, 1, 5)); // same thread, same epoch
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn release_acquire_covers_earlier_read() {
+        // t1's unlocked read is still ordered before t2's write by the
+        // release→acquire edge, so happens-before reports nothing (this is
+        // exactly the scheduling sensitivity that makes HB detectors need
+        // racy schedules — and why the paper pairs with RaceFuzzer).
+        let mut d = FastTrackDetector::new();
+        d.event(&read(0, 1, 5));
+        d.event(&lock(1, 1, 9));
+        d.event(&unlock(2, 1, 9));
+        d.event(&lock(3, 2, 9));
+        d.event(&read(4, 2, 5));
+        d.event(&write(5, 2, 5));
+        assert!(d.races().is_empty());
+    }
+}

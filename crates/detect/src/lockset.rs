@@ -1,0 +1,325 @@
+//! Eraser-style lockset race detection (Savage et al., TOCS 1997),
+//! adapted to report *both* accesses of each race so that the
+//! RaceFuzzer-style confirmer has concrete target sites.
+//!
+//! For every memory location we keep a bounded history of access summaries
+//! `(thread, is_write, lockset, site)`; a new access races with a recorded
+//! one when the threads differ, at least one side writes, and the held
+//! locksets are disjoint — exactly the lockset discipline Narada inverts to
+//! *generate* tests (paper §1: "while Eraser uses this property to detect
+//! races, we apply the same property to generate race inducing tests").
+
+use crate::race::{RaceAccess, RaceReport, StaticRaceKey};
+use narada_lang::Span;
+use narada_vm::{Event, EventKind, EventSink, FieldKey, Label, ObjId, ThreadId};
+use std::collections::{HashMap, HashSet};
+
+/// Bounded per-location access history.
+const MAX_HISTORY: usize = 64;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AccessSummary {
+    tid: ThreadId,
+    is_write: bool,
+    locks: Vec<ObjId>,
+    span: Span,
+    label: Label,
+}
+
+/// The Eraser-style detector; implement [`EventSink`] and feed it a
+/// concurrent execution.
+#[derive(Debug, Default)]
+pub struct LocksetDetector {
+    /// Locks currently held, per thread.
+    held: HashMap<ThreadId, Vec<ObjId>>,
+    /// Access history per location.
+    history: HashMap<(ObjId, FieldKey), Vec<AccessSummary>>,
+    /// Trace label at which each thread was spawned: accesses by the
+    /// spawner before this point happen-before everything in the child
+    /// (fork awareness — Eraser's exclusive-state analogue).
+    spawned_at: HashMap<ThreadId, (ThreadId, Label)>,
+    /// Distinct races found (deduplicated by static key).
+    races: Vec<RaceReport>,
+    seen: HashSet<StaticRaceKey>,
+}
+
+impl LocksetDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The distinct races detected so far.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Consumes the detector, returning its races.
+    pub fn into_races(self) -> Vec<RaceReport> {
+        self.races
+    }
+
+    /// `a` happens-before `b` through a fork edge.
+    fn fork_ordered(&self, a: &AccessSummary, b_tid: ThreadId) -> bool {
+        match self.spawned_at.get(&b_tid) {
+            Some(&(spawner, at)) => a.tid == spawner && a.label < at,
+            None => false,
+        }
+    }
+
+    fn on_access(
+        &mut self,
+        tid: ThreadId,
+        obj: ObjId,
+        field: FieldKey,
+        is_write: bool,
+        span: Span,
+        label: Label,
+    ) {
+        let locks = self.held.get(&tid).cloned().unwrap_or_default();
+        let candidates: Vec<AccessSummary> = self
+            .history
+            .get(&(obj, field))
+            .map(|h| h.to_vec())
+            .unwrap_or_default();
+        for prev in &candidates {
+            if prev.tid == tid {
+                continue;
+            }
+            if !prev.is_write && !is_write {
+                continue;
+            }
+            if prev.locks.iter().any(|l| locks.contains(l)) {
+                continue; // common lock
+            }
+            if self.fork_ordered(prev, tid) {
+                continue; // ordered by thread creation
+            }
+            let report = RaceReport {
+                obj,
+                field,
+                first: RaceAccess {
+                    tid: prev.tid,
+                    is_write: prev.is_write,
+                    span: prev.span,
+                },
+                second: RaceAccess {
+                    tid,
+                    is_write,
+                    span,
+                },
+            };
+            if self.seen.insert(report.static_key()) {
+                self.races.push(report);
+            }
+        }
+        let summary = AccessSummary {
+            tid,
+            is_write,
+            locks,
+            span,
+            label,
+        };
+        let history = self.history.entry((obj, field)).or_default();
+        let dup = history
+            .iter()
+            .any(|h| (h.tid, h.is_write, &h.locks, h.span) == (tid, is_write, &summary.locks, span));
+        if !dup && history.len() < MAX_HISTORY {
+            history.push(summary);
+        }
+    }
+}
+
+impl EventSink for LocksetDetector {
+    fn event(&mut self, ev: &Event) {
+        match &ev.kind {
+            EventKind::Lock { obj, .. } => {
+                self.held.entry(ev.tid).or_default().push(*obj);
+            }
+            EventKind::Unlock { obj, .. } => {
+                if let Some(held) = self.held.get_mut(&ev.tid) {
+                    if let Some(pos) = held.iter().rposition(|l| l == obj) {
+                        held.remove(pos);
+                    }
+                }
+            }
+            EventKind::Read { obj, field, .. } => {
+                self.on_access(ev.tid, *obj, *field, false, ev.span, ev.label);
+            }
+            EventKind::Write { obj, field, .. } => {
+                self.on_access(ev.tid, *obj, *field, true, ev.span, ev.label);
+            }
+            EventKind::ThreadSpawn { child } => {
+                self.spawned_at.insert(*child, (ev.tid, ev.label));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use narada_lang::mir::VarId;
+    use narada_vm::{InvId, Label, Value};
+
+    fn ev(label: u64, tid: u32, kind: EventKind) -> Event {
+        Event {
+            label: Label(label),
+            tid: ThreadId(tid),
+            span: Span::new(label as u32, label as u32 + 1),
+            kind,
+        }
+    }
+
+    fn write(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Write {
+                inv: InvId(0),
+                obj_var: VarId(0),
+                obj: ObjId(obj),
+                field: FieldKey::Elem(0),
+                src_var: VarId(1),
+                value: Value::Int(0),
+            },
+        )
+    }
+
+    fn read(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Read {
+                inv: InvId(0),
+                dst: VarId(0),
+                obj_var: VarId(0),
+                obj: ObjId(obj),
+                field: FieldKey::Elem(0),
+                value: Value::Int(0),
+            },
+        )
+    }
+
+    fn lock(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Lock {
+                inv: InvId(0),
+                var: None,
+                obj: ObjId(obj),
+            },
+        )
+    }
+
+    fn unlock(label: u64, tid: u32, obj: u32) -> Event {
+        ev(
+            label,
+            tid,
+            EventKind::Unlock {
+                inv: InvId(0),
+                obj: ObjId(obj),
+            },
+        )
+    }
+
+    #[test]
+    fn unlocked_write_write_races() {
+        let mut d = LocksetDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&write(1, 2, 5));
+        assert_eq!(d.races().len(), 1);
+        assert!(d.races()[0].first.is_write && d.races()[0].second.is_write);
+    }
+
+    #[test]
+    fn read_read_is_no_race() {
+        let mut d = LocksetDetector::new();
+        d.event(&read(0, 1, 5));
+        d.event(&read(1, 2, 5));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn common_lock_suppresses() {
+        let mut d = LocksetDetector::new();
+        d.event(&lock(0, 1, 9));
+        d.event(&write(1, 1, 5));
+        d.event(&unlock(2, 1, 9));
+        d.event(&lock(3, 2, 9));
+        d.event(&write(4, 2, 5));
+        d.event(&unlock(5, 2, 9));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn different_locks_race() {
+        let mut d = LocksetDetector::new();
+        d.event(&lock(0, 1, 8));
+        d.event(&write(1, 1, 5));
+        d.event(&unlock(2, 1, 8));
+        d.event(&lock(3, 2, 9));
+        d.event(&write(4, 2, 5));
+        d.event(&unlock(5, 2, 9));
+        assert_eq!(d.races().len(), 1, "disjoint locksets do not protect");
+    }
+
+    #[test]
+    fn same_thread_never_races() {
+        let mut d = LocksetDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&write(1, 1, 5));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn different_objects_never_race() {
+        let mut d = LocksetDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&write(1, 2, 6));
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn duplicate_dynamic_races_dedup() {
+        let mut d = LocksetDetector::new();
+        // Same static pair executed repeatedly.
+        for i in 0..10 {
+            let mut e1 = write(0, 1, 5);
+            e1.label = Label(i * 2);
+            let mut e2 = write(1, 2, 5);
+            e2.label = Label(i * 2 + 1);
+            d.event(&e1);
+            d.event(&e2);
+        }
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn fork_ordered_setup_does_not_race() {
+        let mut d = LocksetDetector::new();
+        // Main writes during setup, then spawns T2 which writes.
+        d.event(&write(0, 0, 5));
+        d.event(&ev(1, 0, EventKind::ThreadSpawn { child: ThreadId(2) }));
+        d.event(&write(2, 2, 5));
+        assert!(d.races().is_empty(), "spawn orders setup before child");
+        // But a main write AFTER the spawn does race.
+        d.event(&write(3, 0, 5));
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn write_read_races_both_directions() {
+        let mut d = LocksetDetector::new();
+        d.event(&write(0, 1, 5));
+        d.event(&read(1, 2, 5));
+        assert_eq!(d.races().len(), 1);
+
+        let mut d = LocksetDetector::new();
+        d.event(&read(3, 2, 5));
+        d.event(&write(4, 1, 5));
+        assert_eq!(d.races().len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Common race-report types shared by all detectors.
+
+use narada_lang::hir::Program;
+use narada_lang::Span;
+use narada_vm::{FieldKey, ObjId, ThreadId};
+use std::fmt;
+
+/// One side of a race: a dynamic access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceAccess {
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// Whether it was a write.
+    pub is_write: bool,
+    /// Static source location of the access.
+    pub span: Span,
+}
+
+/// A detected data race: two conflicting accesses to one location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The object raced on.
+    pub obj: ObjId,
+    /// The location within the object.
+    pub field: FieldKey,
+    /// First access (earlier in the trace).
+    pub first: RaceAccess,
+    /// Second access.
+    pub second: RaceAccess,
+}
+
+impl RaceReport {
+    /// Static identity of the race: the unordered pair of source sites plus
+    /// the kind of location. Dynamic repetitions of the same race share a
+    /// key.
+    pub fn static_key(&self) -> StaticRaceKey {
+        let (a, b) = if self.first.span.start <= self.second.span.start {
+            (self.first.span, self.second.span)
+        } else {
+            (self.second.span, self.first.span)
+        };
+        StaticRaceKey {
+            span_a: a,
+            span_b: b,
+            elem: matches!(self.field, FieldKey::Elem(_)),
+        }
+    }
+
+    /// Renders the report (field names need the heap, so only spans and
+    /// ids are shown).
+    pub fn render(&self, _prog: &Program) -> String {
+        format!(
+            "race on {}.{}: {} {} at {} vs {} {} at {}",
+            self.obj,
+            self.field,
+            self.first.tid,
+            rw(self.first.is_write),
+            self.first.span,
+            self.second.tid,
+            rw(self.second.is_write),
+            self.second.span,
+        )
+    }
+}
+
+fn rw(w: bool) -> &'static str {
+    if w {
+        "write"
+    } else {
+        "read"
+    }
+}
+
+/// Static identity of a race (see [`RaceReport::static_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StaticRaceKey {
+    /// Lexicographically smaller source site.
+    pub span_a: Span,
+    /// Larger source site.
+    pub span_b: Span,
+    /// Whether the race is on an array element.
+    pub elem: bool,
+}
+
+impl fmt::Display for StaticRaceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}↔{}{}",
+            self.span_a,
+            self.span_b,
+            if self.elem { " (elem)" } else { "" }
+        )
+    }
+}
+
+/// The granularity at which the paper *counts* races: which two methods
+/// race on which field. Many concrete source-site pairs (loop iterations,
+/// multiple accesses per method) collapse onto one coarse race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoarseRaceKey {
+    /// Method containing the lexicographically smaller site (if known).
+    pub method_a: Option<narada_lang::hir::MethodId>,
+    /// Method containing the larger site.
+    pub method_b: Option<narada_lang::hir::MethodId>,
+    /// The field raced on (`None` for array elements).
+    pub field: Option<narada_lang::hir::FieldId>,
+}
+
+/// Maps source spans back to the enclosing method, for coarse race keys.
+#[derive(Debug)]
+pub struct MethodIndex {
+    ranges: Vec<(Span, narada_lang::hir::MethodId)>,
+}
+
+impl MethodIndex {
+    /// Builds the index from a program's method declaration spans.
+    pub fn new(prog: &Program) -> Self {
+        let mut ranges: Vec<_> = prog.methods.iter().map(|m| (m.span, m.id)).collect();
+        // Smaller (more specific) ranges first, so nested methods resolve
+        // to the innermost declaration.
+        ranges.sort_by_key(|(s, _)| s.end - s.start);
+        MethodIndex { ranges }
+    }
+
+    /// The method whose declaration contains `span`, if any.
+    pub fn enclosing(&self, span: Span) -> Option<narada_lang::hir::MethodId> {
+        self.ranges
+            .iter()
+            .find(|(r, _)| r.start <= span.start && span.end <= r.end)
+            .map(|&(_, m)| m)
+    }
+
+    /// Coarsens a fine race report to the paper's counting granularity
+    /// (unordered method pair × field).
+    pub fn coarsen(&self, report: &RaceReport) -> CoarseRaceKey {
+        let key = report.static_key();
+        let a = self.enclosing(key.span_a);
+        let b = self.enclosing(key.span_b);
+        let (method_a, method_b) = if a <= b { (a, b) } else { (b, a) };
+        CoarseRaceKey {
+            method_a,
+            method_b,
+            field: match report.field {
+                FieldKey::Field(f) => Some(f),
+                FieldKey::Elem(_) => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_key_is_order_insensitive() {
+        let a = RaceAccess {
+            tid: ThreadId(1),
+            is_write: true,
+            span: Span::new(10, 12),
+        };
+        let b = RaceAccess {
+            tid: ThreadId(2),
+            is_write: false,
+            span: Span::new(3, 5),
+        };
+        let r1 = RaceReport {
+            obj: ObjId(0),
+            field: FieldKey::Elem(0),
+            first: a,
+            second: b,
+        };
+        let r2 = RaceReport {
+            obj: ObjId(9),
+            field: FieldKey::Elem(5),
+            first: b,
+            second: a,
+        };
+        assert_eq!(r1.static_key(), r2.static_key());
+    }
+}

@@ -1,0 +1,230 @@
+//! RaceFuzzer-style active race confirmation (Sen, PLDI 2008).
+//!
+//! Given a *potential* race — a pair of static access sites from a lockset
+//! pre-pass (or straight from the Narada pair generator) — the directed
+//! scheduler re-executes the test randomly, but when a thread is about to
+//! perform one of the target accesses it is *postponed* until some other
+//! thread reaches the matching access on the same concrete location. The
+//! two accesses then execute back-to-back: the race is real ("reproduced"),
+//! and the racing pair's values classify it as harmful or benign.
+
+use crate::race::StaticRaceKey;
+use narada_lang::Span;
+use narada_vm::{FieldKey, Machine, ObjId, Scheduler, ThreadId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// How many scheduling decisions a thread may stay postponed before the
+/// scheduler gives up on pairing it (prevents livelock when the partner
+/// access never comes).
+const POSTPONE_BUDGET: u32 = 50_000;
+
+/// A race confirmed by adjacent scheduling of its two accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfirmedRace {
+    /// Static identity (source-site pair).
+    pub key: StaticRaceKey,
+    /// The concrete object raced on.
+    pub obj: ObjId,
+    /// The concrete location.
+    pub field: FieldKey,
+    /// Whether the triage judged the race benign (both orders leave the
+    /// same observable value — e.g. two `reset`-style writes of identical
+    /// values, the paper's C6 case).
+    pub benign: bool,
+    /// Kinds of the two accesses (`is_write` for postponed/partner).
+    pub kinds: (bool, bool),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Postponed {
+    tid: ThreadId,
+    obj: ObjId,
+    field: FieldKey,
+    is_write: bool,
+    span: Span,
+    value: Option<Value>,
+    age: u32,
+}
+
+/// The directed scheduler. Plug into [`Machine::run_threads`]; confirmed
+/// races accumulate in [`RaceFuzzerScheduler::confirmed`].
+#[derive(Debug)]
+pub struct RaceFuzzerScheduler {
+    /// Target source sites (both sides of the potential race).
+    targets: HashSet<Span>,
+    rng: StdRng,
+    postponed: Option<Postponed>,
+    /// Races confirmed during the run.
+    pub confirmed: Vec<ConfirmedRace>,
+}
+
+impl RaceFuzzerScheduler {
+    /// Creates a scheduler targeting the given potential race.
+    pub fn new(target: StaticRaceKey, seed: u64) -> Self {
+        let mut targets = HashSet::new();
+        targets.insert(target.span_a);
+        targets.insert(target.span_b);
+        RaceFuzzerScheduler {
+            targets,
+            rng: StdRng::seed_from_u64(seed),
+            postponed: None,
+            confirmed: Vec::new(),
+        }
+    }
+
+    /// Creates a scheduler targeting several potential races at once.
+    pub fn with_targets(keys: &[StaticRaceKey], seed: u64) -> Self {
+        let mut targets = HashSet::new();
+        for k in keys {
+            targets.insert(k.span_a);
+            targets.insert(k.span_b);
+        }
+        RaceFuzzerScheduler {
+            targets,
+            rng: StdRng::seed_from_u64(seed),
+            postponed: None,
+            confirmed: Vec::new(),
+        }
+    }
+
+    fn classify(
+        machine: &Machine<'_>,
+        obj: ObjId,
+        field: FieldKey,
+        a_write: bool,
+        a_value: Option<Value>,
+        b_write: bool,
+        b_value: Option<Value>,
+    ) -> bool {
+        // benign ⇔ the conflicting values are indistinguishable.
+        let current = match field {
+            FieldKey::Field(f) => Some(machine.heap.get_field(obj, f)),
+            FieldKey::Elem(i) => machine.heap.get_elem(obj, i),
+        };
+        match (a_write, b_write) {
+            (true, true) => match (a_value, b_value) {
+                (Some(x), Some(y)) => x.same(y),
+                _ => false,
+            },
+            (true, false) => a_value.zip(current).map(|(w, c)| w.same(c)).unwrap_or(false),
+            (false, true) => b_value.zip(current).map(|(w, c)| w.same(c)).unwrap_or(false),
+            (false, false) => true, // cannot happen (no read-read races)
+        }
+    }
+}
+
+impl Scheduler for RaceFuzzerScheduler {
+    fn choose(&mut self, machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId {
+        // Drop a postponement whose thread finished some other way.
+        if let Some(p) = self.postponed {
+            if !runnable.contains(&p.tid) {
+                self.postponed = None;
+            }
+        }
+        // Age out stale postponements.
+        if let Some(p) = &mut self.postponed {
+            p.age += 1;
+            if p.age > POSTPONE_BUDGET {
+                let tid = p.tid;
+                self.postponed = None;
+                return tid;
+            }
+        }
+
+        // Find threads whose next step is a targeted access.
+        for &t in runnable {
+            let Some((preview, span)) = machine.preview_detail(t) else {
+                continue;
+            };
+            if !self.targets.contains(&span) {
+                continue;
+            }
+            let Some((obj, field, is_write)) = preview.access() else {
+                continue;
+            };
+            match self.postponed {
+                None => {
+                    // Postpone unless it is the only runnable thread.
+                    if runnable.len() > 1 {
+                        self.postponed = Some(Postponed {
+                            tid: t,
+                            obj,
+                            field,
+                            is_write,
+                            span,
+                            value: preview.written_value(),
+                            age: 0,
+                        });
+                    } else {
+                        return t;
+                    }
+                }
+                Some(p) => {
+                    if p.tid != t
+                        && p.obj == obj
+                        && p.field == field
+                        && (p.is_write || is_write)
+                    {
+                        // Both threads poised at the same location: the
+                        // race is real. Classify, then let them collide.
+                        let benign = Self::classify(
+                            machine,
+                            obj,
+                            field,
+                            p.is_write,
+                            p.value,
+                            is_write,
+                            preview.written_value(),
+                        );
+                        let key = crate::race::RaceReport {
+                            obj,
+                            field,
+                            first: crate::race::RaceAccess {
+                                tid: p.tid,
+                                is_write: p.is_write,
+                                span: p.span,
+                            },
+                            second: crate::race::RaceAccess {
+                                tid: t,
+                                is_write,
+                                span,
+                            },
+                        }
+                        .static_key();
+                        if !self.confirmed.iter().any(|c| c.key == key) {
+                            self.confirmed.push(ConfirmedRace {
+                                key,
+                                obj,
+                                field,
+                                benign,
+                                kinds: (p.is_write, is_write),
+                            });
+                        }
+                        self.postponed = None;
+                        // Randomly pick which access goes first.
+                        return if self.rng.gen_bool(0.5) { t } else { p.tid };
+                    }
+                }
+            }
+        }
+
+        // Pick randomly among runnable threads that are not postponed.
+        let candidates: Vec<ThreadId> = runnable
+            .iter()
+            .copied()
+            .filter(|&t| self.postponed.map(|p| p.tid != t).unwrap_or(true))
+            .collect();
+        if candidates.is_empty() {
+            // Only the postponed thread remains: release it.
+            let t = self.postponed.take().map(|p| p.tid).unwrap_or(runnable[0]);
+            return t;
+        }
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    fn name(&self) -> &str {
+        "racefuzzer"
+    }
+}

@@ -1,0 +1,212 @@
+//! Top-level evaluation harness: run a synthesized test under the
+//! detectors exactly like the paper's §5 evaluation.
+//!
+//! For each synthesized test:
+//!
+//! 1. run it under several random schedules with the Eraser lockset and
+//!    FastTrack detectors attached → the *detected* races, counted at the
+//!    paper's granularity (unordered method pair × field, see
+//!    [`CoarseRaceKey`]);
+//! 2. for each detected race, re-execute under the RaceFuzzer-style
+//!    directed scheduler targeting its concrete source sites → the
+//!    *reproduced* races, triaged into harmful/benign.
+
+use crate::fasttrack::FastTrackDetector;
+use crate::lockset::LocksetDetector;
+use crate::race::{CoarseRaceKey, MethodIndex, RaceReport, StaticRaceKey};
+use crate::racefuzzer::{ConfirmedRace, RaceFuzzerScheduler};
+use narada_core::synth::execute_plan;
+use narada_core::TestPlan;
+use narada_lang::hir::{Program, TestId};
+use narada_lang::mir::MirProgram;
+use narada_vm::{Machine, MachineOptions, RandomScheduler, TeeSink};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Detection configuration.
+#[derive(Debug, Clone)]
+pub struct DetectConfig {
+    /// Number of random schedules per test in the detection pass.
+    pub schedule_trials: usize,
+    /// Number of directed attempts per potential race in the confirmation
+    /// pass.
+    pub confirm_trials: usize,
+    /// Base RNG seed (each trial derives its own).
+    pub seed: u64,
+    /// Step budget for each concurrent run.
+    pub budget: u64,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            schedule_trials: 10,
+            confirm_trials: 5,
+            seed: 0xdecaf,
+            budget: 2_000_000,
+        }
+    }
+}
+
+/// Detection results for one synthesized test (one row's worth of Table 5
+/// contributions).
+#[derive(Debug, Default)]
+pub struct TestReport {
+    /// Distinct races detected by the lockset/HB pass (coarse keys).
+    pub detected: Vec<CoarseRaceKey>,
+    /// Races reproduced (confirmed) by the directed scheduler.
+    pub reproduced: Vec<(CoarseRaceKey, ConfirmedRace)>,
+    /// Setup problems (capture misses etc.); the test counts as executed
+    /// but found nothing.
+    pub setup_errors: Vec<String>,
+}
+
+impl TestReport {
+    /// Number of reproduced harmful races.
+    pub fn harmful(&self) -> usize {
+        self.reproduced.iter().filter(|(_, r)| !r.benign).count()
+    }
+
+    /// Number of reproduced benign races.
+    pub fn benign(&self) -> usize {
+        self.reproduced.iter().filter(|(_, r)| r.benign).count()
+    }
+}
+
+/// Runs the full detection protocol on one synthesized test plan.
+pub fn evaluate_test(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    cfg: &DetectConfig,
+) -> TestReport {
+    let index = MethodIndex::new(prog);
+    let mut report = TestReport::default();
+    // Coarse race → the fine site pairs witnessing it (confirmation
+    // targets).
+    let mut detected: BTreeMap<CoarseRaceKey, Vec<StaticRaceKey>> = BTreeMap::new();
+    let mut seen_fine: BTreeSet<StaticRaceKey> = BTreeSet::new();
+
+    // Pass 1: random schedules with passive detectors.
+    for trial in 0..cfg.schedule_trials {
+        let mut machine = Machine::new(
+            prog,
+            mir,
+            MachineOptions {
+                seed: cfg.seed ^ (trial as u64),
+                ..MachineOptions::default()
+            },
+        );
+        let mut lockset = LocksetDetector::new();
+        let mut hb = FastTrackDetector::new();
+        let mut sink = TeeSink {
+            a: &mut lockset,
+            b: &mut hb,
+        };
+        let mut sched = RandomScheduler::new(cfg.seed.wrapping_add(trial as u64 * 977));
+        match execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget) {
+            Ok(_) => {}
+            Err(e) => {
+                report.setup_errors.push(e.to_string());
+                return report;
+            }
+        }
+        let reports: Vec<RaceReport> = lockset
+            .races()
+            .iter()
+            .chain(hb.races())
+            .cloned()
+            .collect();
+        for r in reports {
+            let fine = r.static_key();
+            if seen_fine.insert(fine) {
+                detected.entry(index.coarsen(&r)).or_default().push(fine);
+            }
+        }
+    }
+
+    // Pass 2: directed confirmation per coarse race, targeting each of its
+    // witnessing site pairs in turn.
+    for (coarse, fine_keys) in &detected {
+        'confirm: for fine in fine_keys {
+            for trial in 0..cfg.confirm_trials {
+                let mut machine = Machine::new(
+                    prog,
+                    mir,
+                    MachineOptions {
+                        seed: cfg.seed ^ 0x5eed ^ (trial as u64),
+                        ..MachineOptions::default()
+                    },
+                );
+                let mut sched =
+                    RaceFuzzerScheduler::new(*fine, cfg.seed.wrapping_add(31 * trial as u64));
+                let mut sink = narada_vm::NullSink;
+                if execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget)
+                    .is_err()
+                {
+                    continue;
+                }
+                if let Some(c) = sched.confirmed.into_iter().find(|c| c.key == *fine) {
+                    report.reproduced.push((*coarse, c));
+                    break 'confirm;
+                }
+            }
+        }
+    }
+
+    report.detected = detected.into_keys().collect();
+    report
+}
+
+/// Aggregated per-class detection numbers (one Table 5 row).
+#[derive(Debug, Default, Clone)]
+pub struct ClassDetection {
+    /// Distinct races detected across all tests.
+    pub races_detected: usize,
+    /// Races reproduced and judged harmful.
+    pub harmful: usize,
+    /// Races reproduced and judged benign.
+    pub benign: usize,
+    /// Detected but not reproduced (the paper's manually-triaged column).
+    pub unreproduced: usize,
+    /// Per-test detected-race counts (Fig. 14's distribution input).
+    pub per_test_races: Vec<usize>,
+}
+
+/// Evaluates a whole synthesized suite and aggregates per-class numbers.
+pub fn evaluate_suite(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plans: &[&TestPlan],
+    cfg: &DetectConfig,
+) -> ClassDetection {
+    let mut all_detected: BTreeSet<CoarseRaceKey> = BTreeSet::new();
+    let mut all_reproduced: BTreeSet<CoarseRaceKey> = BTreeSet::new();
+    let mut harmful = 0usize;
+    let mut benign = 0usize;
+    let mut per_test = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let rep = evaluate_test(prog, mir, seeds, plan, cfg);
+        per_test.push(rep.detected.len());
+        for k in &rep.detected {
+            all_detected.insert(*k);
+        }
+        for (k, c) in &rep.reproduced {
+            if all_reproduced.insert(*k) {
+                if c.benign {
+                    benign += 1;
+                } else {
+                    harmful += 1;
+                }
+            }
+        }
+    }
+    ClassDetection {
+        races_detected: all_detected.len(),
+        harmful,
+        benign,
+        unreproduced: all_detected.len().saturating_sub(all_reproduced.len()),
+        per_test_races: per_test,
+    }
+}

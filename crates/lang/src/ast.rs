@@ -1,0 +1,457 @@
+//! Parsed (untyped) abstract syntax tree for MJ.
+//!
+//! The parser produces this tree verbatim from the source; all names are
+//! unresolved strings. The type checker (`crate::typeck`) lowers it into the
+//! resolved [`crate::hir`] representation that the VM executes.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// The name text.
+    pub name: String,
+    /// Where the name appears in the source.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier.
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident {
+            name: name.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A syntactic type annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`
+    Int(Span),
+    /// `bool`
+    Bool(Span),
+    /// A class name.
+    Named(Ident),
+    /// `T[]`
+    Array(Box<TypeExpr>, Span),
+}
+
+impl TypeExpr {
+    /// Source span of the annotation.
+    pub fn span(&self) -> Span {
+        match self {
+            TypeExpr::Int(s) | TypeExpr::Bool(s) | TypeExpr::Array(_, s) => *s,
+            TypeExpr::Named(id) => id.span,
+        }
+    }
+}
+
+impl fmt::Display for TypeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeExpr::Int(_) => write!(f, "int"),
+            TypeExpr::Bool(_) => write!(f, "bool"),
+            TypeExpr::Named(id) => write!(f, "{id}"),
+            TypeExpr::Array(t, _) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+/// A whole compilation unit: class declarations plus sequential tests.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Class declarations, in source order.
+    pub classes: Vec<ClassDecl>,
+    /// Sequential client tests, in source order.
+    pub tests: Vec<TestDecl>,
+}
+
+/// `class Name extends Parent { … }`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// The class name.
+    pub name: Ident,
+    /// Optional superclass name.
+    pub parent: Option<Ident>,
+    /// Field declarations.
+    pub fields: Vec<FieldDecl>,
+    /// Method declarations (including constructors).
+    pub methods: Vec<MethodDecl>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A field declaration with an optional initializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Field name.
+    pub name: Ident,
+    /// Optional initializer expression, evaluated at allocation with `this`
+    /// in scope.
+    pub init: Option<Expr>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A method (or constructor) declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// `static` modifier.
+    pub is_static: bool,
+    /// `sync` modifier — the whole body runs holding the receiver's monitor.
+    pub is_sync: bool,
+    /// `true` for `init(…)` constructors.
+    pub is_ctor: bool,
+    /// Return type; `None` means `void` (always `None` for constructors).
+    pub ret: Option<TypeExpr>,
+    /// Method name (`"init"` for constructors).
+    pub name: Ident,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Method body.
+    pub body: Block,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Parameter name.
+    pub name: Ident,
+}
+
+/// `test name { … }` — a sequential client test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestDecl {
+    /// The test name.
+    pub name: Ident,
+    /// Test body (client code).
+    pub body: Block,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A `{ … }` statement sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// Span including the braces.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `var x = e;`
+    Let {
+        /// Variable being introduced.
+        name: Ident,
+        /// Initializer.
+        init: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// `place = e;`
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// `if (c) { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_blk: Block,
+        /// Optional else-branch.
+        else_blk: Option<Block>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `while (c) { … }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Statement span.
+        span: Span,
+    },
+    /// `sync (e) { … }` — monitor-style critical section.
+    Sync {
+        /// Lock expression (must be a reference type).
+        lock: Expr,
+        /// Body executed while holding the lock.
+        body: Block,
+        /// Statement span.
+        span: Span,
+    },
+    /// `return;` or `return e;`
+    Return {
+        /// Optional value.
+        value: Option<Expr>,
+        /// Statement span.
+        span: Span,
+    },
+    /// `assert e;` — aborts the executing thread if `e` is false.
+    Assert {
+        /// Condition asserted to be true.
+        cond: Expr,
+        /// Statement span.
+        span: Span,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+}
+
+impl Stmt {
+    /// Source span of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Let { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::Sync { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::Assert { span, .. } => *span,
+            Stmt::Expr(e) => e.span(),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuiting)
+    And,
+    /// `||` (short-circuiting)
+    Or,
+}
+
+impl BinOp {
+    /// Surface syntax for the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `!`
+    Not,
+    /// unary `-`
+    Neg,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnOp::Not => write!(f, "!"),
+            UnOp::Neg => write!(f, "-"),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// `null`
+    Null(Span),
+    /// `this`
+    This(Span),
+    /// A bare name: local variable, or class name in `C.m(…)` position.
+    Name(Ident),
+    /// `e.f` — field read (or class-qualified call receiver; disambiguated
+    /// during checking).
+    Field {
+        /// Object expression.
+        obj: Box<Expr>,
+        /// Field name.
+        field: Ident,
+        /// Expression span.
+        span: Span,
+    },
+    /// `a[i]` — array element read.
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// `e.m(args)` — instance method call, or `C.m(args)` static call when
+    /// `recv` is a class name (disambiguated during checking).
+    Call {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        method: Ident,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// A bare call `f(args)` — reserved for builtins such as `rand()`.
+    BuiltinCall {
+        /// Builtin name.
+        name: Ident,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// `new C(args)`
+    New {
+        /// Class name.
+        class: Ident,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// `new T[len]`
+    NewArray {
+        /// Element type.
+        elem: TypeExpr,
+        /// Length expression.
+        len: Box<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Expression span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s) | Expr::Bool(_, s) | Expr::Null(s) | Expr::This(s) => *s,
+            Expr::Name(id) => id.span,
+            Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::BuiltinCall { span, .. }
+            | Expr::New { span, .. }
+            | Expr::NewArray { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_expr_display() {
+        let t = TypeExpr::Array(
+            Box::new(TypeExpr::Named(Ident::new("Counter", Span::DUMMY))),
+            Span::DUMMY,
+        );
+        assert_eq!(t.to_string(), "Counter[]");
+        assert_eq!(TypeExpr::Int(Span::DUMMY).to_string(), "int");
+    }
+
+    #[test]
+    fn binop_symbols_unique() {
+        use BinOp::*;
+        let all = [Add, Sub, Mul, Div, Rem, Eq, Ne, Lt, Le, Gt, Ge, And, Or];
+        let mut seen = std::collections::HashSet::new();
+        for op in all {
+            assert!(seen.insert(op.symbol()), "duplicate symbol {}", op.symbol());
+        }
+    }
+
+    #[test]
+    fn stmt_span_matches_expr() {
+        let e = Expr::Int(1, Span::new(4, 5));
+        assert_eq!(Stmt::Expr(e).span(), Span::new(4, 5));
+    }
+}

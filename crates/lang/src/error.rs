@@ -1,0 +1,161 @@
+//! Diagnostics for lexing, parsing, and type checking.
+
+use crate::span::{SourceMap, Span};
+use std::error::Error;
+use std::fmt;
+
+/// The phase of the front end that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name resolution and type checking.
+    Check,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Check => write!(f, "type"),
+        }
+    }
+}
+
+/// A front-end diagnostic with a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which phase produced this diagnostic.
+    pub phase: Phase,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source location the diagnostic points at.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates a new diagnostic.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the diagnostic with a line/column prefix resolved via `map`.
+    pub fn render(&self, map: &SourceMap) -> String {
+        format!(
+            "{} error at {}: {}",
+            self.phase,
+            map.locate_span(self.span),
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for Diagnostic {}
+
+/// An aggregate of one or more diagnostics, returned by the front end.
+///
+/// The parser and checker accumulate as many errors as they can before
+/// giving up, so callers see everything wrong with a program at once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostics {
+    errors: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Wraps a non-empty list of diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `errors` is empty: an error value must describe an error.
+    pub fn new(errors: Vec<Diagnostic>) -> Self {
+        assert!(!errors.is_empty(), "Diagnostics must contain an error");
+        Diagnostics { errors }
+    }
+
+    /// Wraps a single diagnostic.
+    pub fn single(diag: Diagnostic) -> Self {
+        Diagnostics { errors: vec![diag] }
+    }
+
+    /// The individual diagnostics, in source order.
+    pub fn errors(&self) -> &[Diagnostic] {
+        &self.errors
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Always false; kept for API symmetry with collections.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Renders all diagnostics, one per line, with positions from `map`.
+    pub fn render(&self, map: &SourceMap) -> String {
+        self.errors
+            .iter()
+            .map(|e| e.render(map))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_uses_line_col() {
+        let map = SourceMap::new("class A {\n  junk\n}");
+        let d = Diagnostic::new(Phase::Parse, "unexpected identifier", Span::new(12, 16));
+        assert_eq!(d.render(&map), "parse error at 2:3: unexpected identifier");
+    }
+
+    #[test]
+    fn diagnostics_display_joins_lines() {
+        let ds = Diagnostics::new(vec![
+            Diagnostic::new(Phase::Lex, "a", Span::new(0, 1)),
+            Diagnostic::new(Phase::Check, "b", Span::new(2, 3)),
+        ]);
+        let s = ds.to_string();
+        assert!(s.contains("lex error"));
+        assert!(s.contains("type error"));
+        assert_eq!(s.lines().count(), 2);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain an error")]
+    fn empty_diagnostics_panics() {
+        let _ = Diagnostics::new(vec![]);
+    }
+}

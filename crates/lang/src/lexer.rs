@@ -1,0 +1,281 @@
+//! Hand-rolled lexer for the MJ language.
+//!
+//! Produces a flat [`Token`] vector in one pass. Comments (`// …` to end of
+//! line and `/* … */` block comments) and ASCII whitespace are skipped.
+
+use crate::error::{Diagnostic, Diagnostics, Phase};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into tokens, ending with a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns all lexical errors found (unknown characters, unterminated block
+/// comments, integer overflow) rather than stopping at the first.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostics> {
+    let mut lexer = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        tokens: Vec::new(),
+        errors: Vec::new(),
+    };
+    lexer.run();
+    if lexer.errors.is_empty() {
+        Ok(lexer.tokens)
+    } else {
+        Err(Diagnostics::new(lexer.errors))
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    errors: Vec<Diagnostic>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let b = self.src[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment(start);
+                }
+                b'0'..=b'9' => self.number(start),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                _ => self.punct(start),
+            }
+        }
+        let end = self.src.len() as u32;
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end),
+        });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn block_comment(&mut self, start: usize) {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        if depth > 0 {
+            self.errors.push(Diagnostic::new(
+                Phase::Lex,
+                "unterminated block comment",
+                Span::new(start as u32, self.src.len() as u32),
+            ));
+        }
+    }
+
+    fn number(&mut self, start: usize) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("digits are valid utf-8")
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        let span = Span::new(start as u32, self.pos as u32);
+        match text.parse::<i64>() {
+            Ok(n) => self.push(TokenKind::Int(n), span),
+            Err(_) => self.errors.push(Diagnostic::new(
+                Phase::Lex,
+                format!("integer literal `{text}` does not fit in 64 bits"),
+                span,
+            )),
+        }
+    }
+
+    fn ident(&mut self, start: usize) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ident is valid utf-8");
+        let span = Span::new(start as u32, self.pos as u32);
+        match TokenKind::keyword(text) {
+            Some(kw) => self.push(kw, span),
+            None => self.push(TokenKind::Ident(text.to_string()), span),
+        }
+    }
+
+    fn punct(&mut self, start: usize) {
+        use TokenKind::*;
+        let b = self.src[self.pos];
+        let two = self.peek(1);
+        let (kind, len) = match (b, two) {
+            (b'=', Some(b'=')) => (EqEq, 2),
+            (b'!', Some(b'=')) => (NotEq, 2),
+            (b'<', Some(b'=')) => (Le, 2),
+            (b'>', Some(b'=')) => (Ge, 2),
+            (b'&', Some(b'&')) => (AndAnd, 2),
+            (b'|', Some(b'|')) => (OrOr, 2),
+            (b'=', _) => (Eq, 1),
+            (b'!', _) => (Bang, 1),
+            (b'<', _) => (Lt, 1),
+            (b'>', _) => (Gt, 1),
+            (b'+', _) => (Plus, 1),
+            (b'-', _) => (Minus, 1),
+            (b'*', _) => (Star, 1),
+            (b'/', _) => (Slash, 1),
+            (b'%', _) => (Percent, 1),
+            (b'(', _) => (LParen, 1),
+            (b')', _) => (RParen, 1),
+            (b'{', _) => (LBrace, 1),
+            (b'}', _) => (RBrace, 1),
+            (b'[', _) => (LBracket, 1),
+            (b']', _) => (RBracket, 1),
+            (b';', _) => (Semi, 1),
+            (b',', _) => (Comma, 1),
+            (b'.', _) => (Dot, 1),
+            _ => {
+                self.errors.push(Diagnostic::new(
+                    Phase::Lex,
+                    format!("unexpected character `{}`", b as char),
+                    Span::new(start as u32, start as u32 + 1),
+                ));
+                self.pos += 1;
+                return;
+            }
+        };
+        self.pos += len;
+        self.push(kind, Span::new(start as u32, self.pos as u32));
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(src: &str) -> Vec<K> {
+        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_class() {
+        let ks = kinds("class A { int x; }");
+        assert_eq!(
+            ks,
+            vec![
+                K::Class,
+                K::Ident("A".into()),
+                K::LBrace,
+                K::IntTy,
+                K::Ident("x".into()),
+                K::Semi,
+                K::RBrace,
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        let ks = kinds("== != <= >= && || = ! < > + - * / %");
+        assert_eq!(
+            ks,
+            vec![
+                K::EqEq,
+                K::NotEq,
+                K::Le,
+                K::Ge,
+                K::AndAnd,
+                K::OrOr,
+                K::Eq,
+                K::Bang,
+                K::Lt,
+                K::Gt,
+                K::Plus,
+                K::Minus,
+                K::Star,
+                K::Slash,
+                K::Percent,
+                K::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers_with_underscores() {
+        assert_eq!(kinds("1_000"), vec![K::Int(1000), K::Eof]);
+        assert_eq!(kinds("0"), vec![K::Int(0), K::Eof]);
+    }
+
+    #[test]
+    fn lex_line_comment() {
+        assert_eq!(kinds("1 // two three\n2"), vec![K::Int(1), K::Int(2), K::Eof]);
+    }
+
+    #[test]
+    fn lex_block_comment_nested() {
+        assert_eq!(kinds("1 /* a /* b */ c */ 2"), vec![K::Int(1), K::Int(2), K::Eof]);
+    }
+
+    #[test]
+    fn lex_unterminated_block_comment_errors() {
+        let err = lex("/* oops").unwrap_err();
+        assert!(err.errors()[0].message.contains("unterminated"));
+    }
+
+    #[test]
+    fn lex_unknown_char_errors() {
+        let err = lex("a # b").unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err.errors()[0].message.contains('#'));
+    }
+
+    #[test]
+    fn lex_huge_int_errors() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(err.errors()[0].message.contains("64 bits"));
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+        assert_eq!(toks[2].span, Span::new(5, 5)); // EOF
+    }
+
+    #[test]
+    fn keywords_vs_idents() {
+        assert_eq!(kinds("classy"), vec![K::Ident("classy".into()), K::Eof]);
+        assert_eq!(kinds("class"), vec![K::Class, K::Eof]);
+    }
+}

@@ -1,0 +1,960 @@
+//! Recursive-descent parser for MJ.
+//!
+//! Grammar sketch (see the crate docs for the full language reference):
+//!
+//! ```text
+//! program   := (class | test)*
+//! class     := "class" IDENT ("extends" IDENT)? "{" member* "}"
+//! member    := field | method | ctor
+//! field     := type IDENT ("=" expr)? ";"
+//! method    := "static"? "sync"? (type | "void") IDENT "(" params ")" block
+//! ctor      := "sync"? "init" "(" params ")" block
+//! test      := "test" IDENT block
+//! stmt      := "var" IDENT "=" expr ";" | "if" …| "while" … | "sync" (e) block
+//!            | "return" expr? ";" | "assert" expr ";" | expr ("=" expr)? ";"
+//! expr      := precedence climbing over || && == != < <= > >= + - * / % ! -
+//!              with postfix `.f`, `.m(args)`, `[i]`
+//! ```
+
+use crate::ast::*;
+use crate::error::{Diagnostic, Diagnostics, Phase};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete MJ program.
+///
+/// # Errors
+///
+/// Returns accumulated lexical and syntax errors. The parser recovers at
+/// declaration boundaries so multiple errors can be reported at once.
+pub fn parse(src: &str) -> Result<Program, Diagnostics> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        errors: Vec::new(),
+    };
+    let program = p.program();
+    if p.errors.is_empty() {
+        Ok(program)
+    } else {
+        Err(Diagnostics::new(p.errors))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    errors: Vec<Diagnostic>,
+}
+
+/// Signals that the current declaration could not be parsed; the caller
+/// skips ahead to a synchronization point.
+struct Bail;
+
+type PResult<T> = Result<T, Bail>;
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, ahead: usize) -> &TokenKind {
+        let i = (self.pos + ahead).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> PResult<Token> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            self.error_here(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            ));
+            Err(Bail)
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<Ident> {
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let t = self.bump();
+            Ok(Ident::new(name, t.span))
+        } else {
+            self.error_here(format!(
+                "expected identifier, found {}",
+                self.peek().describe()
+            ));
+            Err(Bail)
+        }
+    }
+
+    fn error_here(&mut self, msg: String) {
+        let span = self.span();
+        self.errors.push(Diagnostic::new(Phase::Parse, msg, span));
+    }
+
+    /// Skips tokens until the next likely declaration start.
+    fn recover_to_decl(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return,
+                TokenKind::LBrace => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::RBrace => {
+                    self.bump();
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                TokenKind::Class | TokenKind::Test if depth == 0 => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn program(&mut self) -> Program {
+        let mut program = Program::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::Class => match self.class_decl() {
+                    Ok(c) => program.classes.push(c),
+                    Err(Bail) => self.recover_to_decl(),
+                },
+                TokenKind::Test => match self.test_decl() {
+                    Ok(t) => program.tests.push(t),
+                    Err(Bail) => self.recover_to_decl(),
+                },
+                _ => {
+                    self.error_here(format!(
+                        "expected `class` or `test`, found {}",
+                        self.peek().describe()
+                    ));
+                    self.bump();
+                    self.recover_to_decl();
+                }
+            }
+        }
+        program
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let start = self.span();
+        self.expect(TokenKind::Class)?;
+        let name = self.expect_ident()?;
+        let parent = if self.eat(&TokenKind::Extends) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                self.error_here("unclosed class body".into());
+                return Err(Bail);
+            }
+            self.member(&mut fields, &mut methods)?;
+        }
+        Ok(ClassDecl {
+            name,
+            parent,
+            fields,
+            methods,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn member(&mut self, fields: &mut Vec<FieldDecl>, methods: &mut Vec<MethodDecl>) -> PResult<()> {
+        let start = self.span();
+        let is_static = self.eat(&TokenKind::Static);
+        let is_sync = self.eat(&TokenKind::Sync);
+
+        // Constructor: `init ( … ) { … }`
+        if self.peek() == &TokenKind::Init {
+            let name_tok = self.bump();
+            if is_static {
+                self.errors.push(Diagnostic::new(
+                    Phase::Parse,
+                    "constructors cannot be static",
+                    name_tok.span,
+                ));
+            }
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                is_static: false,
+                is_sync,
+                is_ctor: true,
+                ret: None,
+                name: Ident::new("init", name_tok.span),
+                params,
+                body,
+                span: start.merge(self.prev_span()),
+            });
+            return Ok(());
+        }
+
+        // `void m(…) {…}` or `T m(…) {…}` or field `T f (= e)? ;`
+        let ret = if self.eat(&TokenKind::Void) {
+            None
+        } else {
+            Some(self.type_expr()?)
+        };
+        let name = self.expect_ident()?;
+        if self.peek() == &TokenKind::LParen {
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                is_static,
+                is_sync,
+                is_ctor: false,
+                ret,
+                name,
+                params,
+                body,
+                span: start.merge(self.prev_span()),
+            });
+        } else {
+            if is_static || is_sync {
+                self.errors.push(Diagnostic::new(
+                    Phase::Parse,
+                    "field declarations cannot be `static` or `sync`",
+                    start,
+                ));
+            }
+            let Some(ty) = ret else {
+                self.error_here("fields cannot have type `void`".into());
+                return Err(Bail);
+            };
+            let init = if self.eat(&TokenKind::Eq) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(TokenKind::Semi)?;
+            fields.push(FieldDecl {
+                ty,
+                name,
+                init,
+                span: start.merge(self.prev_span()),
+            });
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> PResult<Vec<Param>> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.type_expr()?;
+                let name = self.expect_ident()?;
+                params.push(Param { ty, name });
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        Ok(params)
+    }
+
+    fn test_decl(&mut self) -> PResult<TestDecl> {
+        let start = self.span();
+        self.expect(TokenKind::Test)?;
+        let name = self.expect_ident()?;
+        let body = self.block()?;
+        Ok(TestDecl {
+            name,
+            body,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn type_expr(&mut self) -> PResult<TypeExpr> {
+        let base = match self.peek().clone() {
+            TokenKind::IntTy => {
+                let t = self.bump();
+                TypeExpr::Int(t.span)
+            }
+            TokenKind::BoolTy => {
+                let t = self.bump();
+                TypeExpr::Bool(t.span)
+            }
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                TypeExpr::Named(Ident::new(name, t.span))
+            }
+            other => {
+                self.error_here(format!("expected a type, found {}", other.describe()));
+                return Err(Bail);
+            }
+        };
+        let mut ty = base;
+        while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket {
+            let l = self.bump();
+            let r = self.bump();
+            ty = TypeExpr::Array(Box::new(ty), l.span.merge(r.span));
+        }
+        Ok(ty)
+    }
+
+    fn block(&mut self) -> PResult<Block> {
+        let start = self.span();
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            if self.peek() == &TokenKind::Eof {
+                self.error_here("unclosed block".into());
+                return Err(Bail);
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block {
+            stmts,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::Var => {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect(TokenKind::Eq)?;
+                let init = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Let {
+                    name,
+                    init,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&TokenKind::Else) {
+                    if self.peek() == &TokenKind::If {
+                        // `else if` sugar: wrap the nested if in a block.
+                        let nested = self.stmt()?;
+                        let span = nested.span();
+                        Some(Block {
+                            stmts: vec![nested],
+                            span,
+                        })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While {
+                    cond,
+                    body,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::Sync => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let lock = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::Sync {
+                    lock,
+                    body,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return {
+                    value,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            TokenKind::Assert => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Assert {
+                    cond,
+                    span: start.merge(self.prev_span()),
+                })
+            }
+            _ => {
+                let e = self.expr()?;
+                if self.eat(&TokenKind::Eq) {
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Assign {
+                        target: e,
+                        value,
+                        span: start.merge(self.prev_span()),
+                    })
+                } else {
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+        }
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().merge(rhs.span());
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let start = self.span();
+        if self.eat(&TokenKind::Bang) {
+            let operand = self.unary_expr()?;
+            let span = start.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.unary_expr()?;
+            let span = start.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            if self.eat(&TokenKind::Dot) {
+                let name = self.expect_ident()?;
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.args()?;
+                    let span = e.span().merge(self.prev_span());
+                    e = Expr::Call {
+                        recv: Box::new(e),
+                        method: name,
+                        args,
+                        span,
+                    };
+                } else {
+                    let span = e.span().merge(name.span);
+                    e = Expr::Field {
+                        obj: Box::new(e),
+                        field: name,
+                        span,
+                    };
+                }
+            } else if self.peek() == &TokenKind::LBracket {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                let span = e.span().merge(self.prev_span());
+                e = Expr::Index {
+                    arr: Box::new(e),
+                    idx: Box::new(idx),
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> PResult<Vec<Expr>> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat(&TokenKind::RParen) {
+                    break;
+                }
+                self.expect(TokenKind::Comma)?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n, start))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true, start))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false, start))
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr::Null(start))
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr::This(start))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::New => {
+                self.bump();
+                // `new int[len]`, `new bool[len]`, `new C(args)`, `new C[len]`
+                match self.peek().clone() {
+                    TokenKind::IntTy | TokenKind::BoolTy => {
+                        let elem = self.type_expr_no_array()?;
+                        self.expect(TokenKind::LBracket)?;
+                        let len = self.expr()?;
+                        self.expect(TokenKind::RBracket)?;
+                        Ok(Expr::NewArray {
+                            elem,
+                            len: Box::new(len),
+                            span: start.merge(self.prev_span()),
+                        })
+                    }
+                    TokenKind::Ident(_) => {
+                        let class = self.expect_ident()?;
+                        if self.peek() == &TokenKind::LBracket {
+                            self.bump();
+                            let len = self.expr()?;
+                            self.expect(TokenKind::RBracket)?;
+                            Ok(Expr::NewArray {
+                                elem: TypeExpr::Named(class),
+                                len: Box::new(len),
+                                span: start.merge(self.prev_span()),
+                            })
+                        } else {
+                            let args = self.args()?;
+                            Ok(Expr::New {
+                                class,
+                                args,
+                                span: start.merge(self.prev_span()),
+                            })
+                        }
+                    }
+                    other => {
+                        self.error_here(format!(
+                            "expected a type after `new`, found {}",
+                            other.describe()
+                        ));
+                        Err(Bail)
+                    }
+                }
+            }
+            TokenKind::Ident(name) => {
+                let t = self.bump();
+                let id = Ident::new(name, t.span);
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.args()?;
+                    Ok(Expr::BuiltinCall {
+                        name: id,
+                        args,
+                        span: start.merge(self.prev_span()),
+                    })
+                } else {
+                    Ok(Expr::Name(id))
+                }
+            }
+            other => {
+                self.error_here(format!(
+                    "expected an expression, found {}",
+                    other.describe()
+                ));
+                Err(Bail)
+            }
+        }
+    }
+
+    fn type_expr_no_array(&mut self) -> PResult<TypeExpr> {
+        match self.peek().clone() {
+            TokenKind::IntTy => {
+                let t = self.bump();
+                Ok(TypeExpr::Int(t.span))
+            }
+            TokenKind::BoolTy => {
+                let t = self.bump();
+                Ok(TypeExpr::Bool(t.span))
+            }
+            other => {
+                self.error_here(format!("expected a type, found {}", other.describe()));
+                Err(Bail)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse failed:\n{e}"))
+    }
+
+    #[test]
+    fn parse_counter_lib() {
+        let p = ok(r#"
+            class Counter {
+                int count;
+                void inc() { this.count = this.count + 1; }
+            }
+            class Lib {
+                Counter c;
+                sync void update() { this.c.inc(); }
+                sync void set(Counter x) { this.c = x; }
+            }
+            test t1 {
+                var r = new Counter();
+                var p = new Lib();
+                p.set(r);
+                p.update();
+            }
+        "#);
+        assert_eq!(p.classes.len(), 2);
+        assert_eq!(p.tests.len(), 1);
+        assert_eq!(p.classes[0].name.name, "Counter");
+        assert_eq!(p.classes[0].fields.len(), 1);
+        assert_eq!(p.classes[1].methods.len(), 2);
+        assert!(p.classes[1].methods[0].is_sync);
+        assert_eq!(p.tests[0].body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parse_extends_and_ctor() {
+        let p = ok(r#"
+            class Base { int x; }
+            class Derived extends Base {
+                init(int v) { this.x = v; }
+            }
+        "#);
+        assert_eq!(p.classes[1].parent.as_ref().unwrap().name, "Base");
+        assert!(p.classes[1].methods[0].is_ctor);
+    }
+
+    #[test]
+    fn parse_static_method() {
+        let p = ok(r#"
+            class Factory {
+                static Factory create() { return new Factory(); }
+            }
+        "#);
+        assert!(p.classes[0].methods[0].is_static);
+    }
+
+    #[test]
+    fn parse_arrays() {
+        let p = ok(r#"
+            class Buf {
+                int[] data;
+                init(int n) { this.data = new int[n]; }
+                int get(int i) { return this.data[i]; }
+                void put(int i, int v) { this.data[i] = v; }
+            }
+        "#);
+        let m = &p.classes[0].methods[2];
+        assert!(matches!(m.body.stmts[0], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn parse_control_flow() {
+        let p = ok(r#"
+            class C {
+                int m(int n) {
+                    var s = 0;
+                    var i = 0;
+                    while (i < n) {
+                        if (i % 2 == 0) { s = s + i; } else if (i > 10) { s = s - 1; } else { s = s + 1; }
+                        i = i + 1;
+                    }
+                    return s;
+                }
+            }
+        "#);
+        let m = &p.classes[0].methods[0];
+        assert_eq!(m.body.stmts.len(), 4);
+    }
+
+    #[test]
+    fn parse_sync_block() {
+        let p = ok(r#"
+            class C {
+                int x;
+                void m(C other) { sync (other) { this.x = 1; } }
+            }
+        "#);
+        assert!(matches!(
+            p.classes[0].methods[0].body.stmts[0],
+            Stmt::Sync { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_builtin_call() {
+        let p = ok("class C { int m() { return rand(); } }");
+        let Stmt::Return { value: Some(e), .. } = &p.classes[0].methods[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        assert!(matches!(e, Expr::BuiltinCall { .. }));
+    }
+
+    #[test]
+    fn parse_static_call_shape() {
+        // `Factory.create()` parses as a Call on Name("Factory"); the checker
+        // disambiguates.
+        let p = ok("test t { var f = Factory.create(); }");
+        let Stmt::Let { init, .. } = &p.tests[0].body.stmts[0] else {
+            panic!()
+        };
+        let Expr::Call { recv, method, .. } = init else {
+            panic!("expected call, got {init:?}")
+        };
+        assert!(matches!(**recv, Expr::Name(_)));
+        assert_eq!(method.name, "create");
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let p = ok("test t { var x = 1 + 2 * 3; }");
+        let Stmt::Let { init, .. } = &p.tests[0].body.stmts[0] else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = init else {
+            panic!("expected +, got {init:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_below_logic() {
+        let p = ok("test t { var x = 1 < 2 && 3 >= 4 || true; }");
+        let Stmt::Let { init, .. } = &p.tests[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(init, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn error_recovery_reports_multiple() {
+        let err = parse("class A { int ; } class B { void m() { return 1 } }").unwrap_err();
+        assert!(err.len() >= 2, "expected >=2 errors, got: {err}");
+    }
+
+    #[test]
+    fn error_missing_semi() {
+        let err = parse("test t { var x = 1 }").unwrap_err();
+        assert!(err.to_string().contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn chained_postfix() {
+        let p = ok("test t { a.b.c.m(1, 2)[3] = 4; }");
+        let Stmt::Assign { target, .. } = &p.tests[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(target, Expr::Index { .. }));
+    }
+
+    #[test]
+    fn unary_chains() {
+        let p = ok("test t { var x = !!true; var y = --1; }");
+        assert_eq!(p.tests[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn field_initializer() {
+        let p = ok("class C { int x = 5; C next = null; }");
+        assert!(p.classes[0].fields[0].init.is_some());
+        assert!(matches!(
+            p.classes[0].fields[1].init,
+            Some(Expr::Null(_))
+        ));
+    }
+
+    #[test]
+    fn new_array_of_class() {
+        let p = ok("test t { var a = new Task[10]; }");
+        let Stmt::Let { init, .. } = &p.tests[0].body.stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(init, Expr::NewArray { .. }));
+    }
+
+    #[test]
+    fn return_without_value() {
+        let p = ok("class C { void m() { return; } }");
+        assert!(matches!(
+            p.classes[0].methods[0].body.stmts[0],
+            Stmt::Return { value: None, .. }
+        ));
+    }
+}

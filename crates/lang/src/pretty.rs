@@ -1,0 +1,448 @@
+//! Pretty-printer: renders resolved [`hir`] back to MJ surface syntax.
+//!
+//! Used to display synthesized tests as readable client programs and in
+//! round-trip tests (`parse → check → pretty → parse → check` must agree).
+//!
+//! [`hir`]: crate::hir
+
+use crate::ast::BinOp;
+use crate::hir::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program (classes then tests) as MJ source.
+pub fn program(prog: &Program) -> String {
+    let mut out = String::new();
+    for class in &prog.classes {
+        class_decl(prog, class, &mut out);
+        out.push('\n');
+    }
+    for test in &prog.tests {
+        let _ = writeln!(out, "test {} {{", test.name);
+        let mut pp = Pretty {
+            prog,
+            locals: &test.locals,
+            out: &mut out,
+            indent: 1,
+        };
+        pp.block_stmts(&test.body);
+        out.push_str("}\n\n");
+    }
+    out
+}
+
+/// Renders a single class declaration.
+pub fn class_decl(prog: &Program, class: &Class, out: &mut String) {
+    match class.parent {
+        Some(p) => {
+            let _ = writeln!(out, "class {} extends {} {{", class.name, prog.class(p).name);
+        }
+        None => {
+            let _ = writeln!(out, "class {} {{", class.name);
+        }
+    }
+    for &f in &class.own_fields {
+        let field = prog.field(f);
+        let _ = write!(out, "    {} {}", field.ty.display(prog), field.name);
+        if let Some(init) = &field.init {
+            out.push_str(" = ");
+            let mut pp = Pretty {
+                prog,
+                locals: &[Local {
+                    name: "this".into(),
+                    ty: Ty::Class(class.id),
+                }],
+                out,
+                indent: 0,
+            };
+            pp.expr(init);
+        }
+        out.push_str(";\n");
+    }
+    let mut methods: Vec<MethodId> = class.own_methods.clone();
+    if let Some(ctor) = class.ctor {
+        methods.insert(0, ctor);
+    }
+    for m in methods {
+        method_decl(prog, prog.method(m), out);
+    }
+    out.push_str("}\n");
+}
+
+/// Renders a single method declaration (indented one level).
+pub fn method_decl(prog: &Program, m: &Method, out: &mut String) {
+    out.push_str("    ");
+    if m.is_static {
+        out.push_str("static ");
+    }
+    if m.is_sync {
+        out.push_str("sync ");
+    }
+    if m.is_ctor {
+        out.push_str("init");
+    } else {
+        let _ = write!(out, "{} {}", m.ret.display(prog), m.name);
+    }
+    out.push('(');
+    for (i, l) in m.param_locals().into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let local = &m.locals[l.index()];
+        let _ = write!(out, "{} {}", local.ty.display(prog), local.name);
+    }
+    out.push_str(") {\n");
+    let mut pp = Pretty {
+        prog,
+        locals: &m.locals,
+        out,
+        indent: 2,
+    };
+    pp.block_stmts(&m.body);
+    out.push_str("    }\n");
+}
+
+/// Renders a single statement with the given local table (used when
+/// displaying synthesized test bodies).
+pub fn stmt_str(prog: &Program, locals: &[Local], stmt: &Stmt) -> String {
+    let mut out = String::new();
+    let mut pp = Pretty {
+        prog,
+        locals,
+        out: &mut out,
+        indent: 0,
+    };
+    pp.stmt(stmt);
+    out.trim_end().to_string()
+}
+
+/// Renders a single expression with the given local table.
+pub fn expr_str(prog: &Program, locals: &[Local], expr: &Expr) -> String {
+    let mut out = String::new();
+    let mut pp = Pretty {
+        prog,
+        locals,
+        out: &mut out,
+        indent: 0,
+    };
+    pp.expr(expr);
+    out
+}
+
+struct Pretty<'a> {
+    prog: &'a Program,
+    locals: &'a [Local],
+    out: &'a mut String,
+    indent: usize,
+}
+
+impl Pretty<'_> {
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn block_stmts(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn local_name(&self, l: LocalId) -> &str {
+        self.locals
+            .get(l.index())
+            .map(|l| l.name.as_str())
+            .unwrap_or("<local?>")
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.pad();
+        match s {
+            Stmt::Let { local, init, .. } => {
+                let name = self.local_name(*local).to_string();
+                let _ = write!(self.out, "var {name} = ");
+                self.expr(init);
+                self.out.push_str(";\n");
+            }
+            Stmt::Assign { place, value, .. } => {
+                match place {
+                    Place::Local(l) => {
+                        let name = self.local_name(*l).to_string();
+                        self.out.push_str(&name);
+                    }
+                    Place::Field { obj, field } => {
+                        self.expr(obj);
+                        let _ = write!(self.out, ".{}", self.prog.field(*field).name);
+                    }
+                    Place::Index { arr, idx } => {
+                        self.expr(arr);
+                        self.out.push('[');
+                        self.expr(idx);
+                        self.out.push(']');
+                    }
+                }
+                self.out.push_str(" = ");
+                self.expr(value);
+                self.out.push_str(";\n");
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.out.push_str("if (");
+                self.expr(cond);
+                self.out.push_str(") {\n");
+                self.indent += 1;
+                self.block_stmts(then_blk);
+                self.indent -= 1;
+                self.pad();
+                self.out.push('}');
+                if let Some(e) = else_blk {
+                    self.out.push_str(" else {\n");
+                    self.indent += 1;
+                    self.block_stmts(e);
+                    self.indent -= 1;
+                    self.pad();
+                    self.out.push('}');
+                }
+                self.out.push('\n');
+            }
+            Stmt::While { cond, body, .. } => {
+                self.out.push_str("while (");
+                self.expr(cond);
+                self.out.push_str(") {\n");
+                self.indent += 1;
+                self.block_stmts(body);
+                self.indent -= 1;
+                self.pad();
+                self.out.push_str("}\n");
+            }
+            Stmt::Sync { lock, body, .. } => {
+                self.out.push_str("sync (");
+                self.expr(lock);
+                self.out.push_str(") {\n");
+                self.indent += 1;
+                self.block_stmts(body);
+                self.indent -= 1;
+                self.pad();
+                self.out.push_str("}\n");
+            }
+            Stmt::Return { value, .. } => {
+                self.out.push_str("return");
+                if let Some(v) = value {
+                    self.out.push(' ');
+                    self.expr(v);
+                }
+                self.out.push_str(";\n");
+            }
+            Stmt::Assert { cond, .. } => {
+                self.out.push_str("assert ");
+                self.expr(cond);
+                self.out.push_str(";\n");
+            }
+            Stmt::Expr(e) => {
+                self.expr(e);
+                self.out.push_str(";\n");
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(n, _) => {
+                let _ = write!(self.out, "{n}");
+            }
+            Expr::Bool(b, _) => {
+                let _ = write!(self.out, "{b}");
+            }
+            Expr::Null(_) => self.out.push_str("null"),
+            Expr::Local(l, _) => {
+                let name = self.local_name(*l).to_string();
+                self.out.push_str(&name);
+            }
+            Expr::GetField { obj, field, .. } => {
+                self.postfix_operand(obj);
+                let _ = write!(self.out, ".{}", self.prog.field(*field).name);
+            }
+            Expr::Index { arr, idx, .. } => {
+                self.postfix_operand(arr);
+                self.out.push('[');
+                self.expr(idx);
+                self.out.push(']');
+            }
+            Expr::ArrayLen { arr, .. } => {
+                self.postfix_operand(arr);
+                self.out.push_str(".length");
+            }
+            Expr::New { class, args, .. } => {
+                let _ = write!(self.out, "new {}(", self.prog.class(*class).name);
+                self.args(args);
+                self.out.push(')');
+            }
+            Expr::NewArray { elem, len, .. } => {
+                let _ = write!(self.out, "new {}[", elem.display(self.prog));
+                self.expr(len);
+                self.out.push(']');
+            }
+            Expr::Call {
+                recv, method, args, ..
+            } => {
+                self.postfix_operand(recv);
+                let _ = write!(self.out, ".{}(", self.prog.method(*method).name);
+                self.args(args);
+                self.out.push(')');
+            }
+            Expr::StaticCall { method, args, .. } => {
+                let _ = write!(self.out, "{}(", self.prog.qualified_name(*method));
+                self.args(args);
+                self.out.push(')');
+            }
+            Expr::Rand(_) => self.out.push_str("rand()"),
+            Expr::Binary { op, lhs, rhs, .. } => {
+                self.binary_operand(lhs, *op);
+                let _ = write!(self.out, " {op} ");
+                self.binary_operand(rhs, *op);
+            }
+            Expr::Unary { op, operand, .. } => {
+                let _ = write!(self.out, "{op}");
+                self.binary_operand(operand, BinOp::Mul);
+            }
+        }
+    }
+
+    fn args(&mut self, args: &[Expr]) {
+        for (i, a) in args.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.expr(a);
+        }
+    }
+
+    /// Parenthesizes operands that would re-parse differently.
+    fn binary_operand(&mut self, e: &Expr, parent: BinOp) {
+        let needs_parens = match e {
+            Expr::Binary { op, .. } => prec(*op) < prec(parent) || prec(*op) == prec(parent),
+            Expr::Unary { .. } => false,
+            _ => false,
+        };
+        if needs_parens {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        } else {
+            self.expr(e);
+        }
+    }
+
+    /// Parenthesizes non-primary expressions used as postfix bases.
+    fn postfix_operand(&mut self, e: &Expr) {
+        let needs_parens = matches!(e, Expr::Binary { .. } | Expr::Unary { .. });
+        if needs_parens {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        } else {
+            self.expr(e);
+        }
+    }
+}
+
+fn prec(op: BinOp) -> u8 {
+    use BinOp::*;
+    match op {
+        Or => 0,
+        And => 1,
+        Eq | Ne | Lt | Le | Gt | Ge => 2,
+        Add | Sub => 3,
+        Mul | Div | Rem => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    #[test]
+    fn round_trip_counter() {
+        let src = r#"
+            class Counter {
+                int count;
+                void inc() { this.count = this.count + 1; }
+            }
+            class Lib {
+                Counter c;
+                sync void update() { this.c.inc(); }
+                sync void set(Counter x) { this.c = x; }
+            }
+            test t1 {
+                var r = new Counter();
+                var l = new Lib();
+                l.set(r);
+                l.update();
+            }
+        "#;
+        let prog = compile(src).unwrap();
+        let printed = program(&prog);
+        // Printed output must itself compile, to an equivalent program.
+        let reprog = compile(&printed).unwrap_or_else(|e| panic!("reparse failed:\n{e}\n{printed}"));
+        assert_eq!(reprog.classes.len(), prog.classes.len());
+        assert_eq!(reprog.tests.len(), prog.tests.len());
+        let printed2 = program(&reprog);
+        assert_eq!(printed, printed2, "pretty-print must be a fixpoint");
+    }
+
+    #[test]
+    fn round_trip_control_flow_and_arrays() {
+        let src = r#"
+            class Buf {
+                int[] data;
+                int size;
+                init(int cap) { this.data = new int[cap]; this.size = 0; }
+                sync void push(int v) {
+                    if (this.size < this.data.length) {
+                        this.data[this.size] = v;
+                        this.size = this.size + 1;
+                    } else {
+                        var bigger = new int[this.data.length * 2 + 1];
+                        var i = 0;
+                        while (i < this.size) {
+                            bigger[i] = this.data[i];
+                            i = i + 1;
+                        }
+                        this.data = bigger;
+                    }
+                }
+            }
+            test t { var b = new Buf(2); b.push(1); b.push(2); b.push(3); }
+        "#;
+        let prog = compile(src).unwrap();
+        let printed = program(&prog);
+        let reprog = compile(&printed).unwrap_or_else(|e| panic!("reparse failed:\n{e}\n{printed}"));
+        assert_eq!(program(&reprog), printed);
+    }
+
+    #[test]
+    fn precedence_preserved() {
+        let src = "test t { var x = (1 + 2) * 3; var y = 1 + 2 * 3; }";
+        let prog = compile(src).unwrap();
+        let printed = program(&prog);
+        assert!(printed.contains("(1 + 2) * 3"), "{printed}");
+        assert!(printed.contains("1 + 2 * 3"), "{printed}");
+    }
+
+    #[test]
+    fn static_call_printed_qualified() {
+        let src = r#"
+            class F { static F make() { return new F(); } }
+            test t { var f = F.make(); }
+        "#;
+        let prog = compile(src).unwrap();
+        let printed = program(&prog);
+        assert!(printed.contains("F.make()"), "{printed}");
+        compile(&printed).unwrap();
+    }
+}

@@ -1,0 +1,170 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] — a half-open byte range into
+//! the original source text. [`SourceMap`] converts byte offsets back into
+//! human-readable line/column pairs for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True if the span covers no characters.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column pair (both 1-based) produced by [`SourceMap::locate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes, not grapheme clusters).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets of one source string to line/column positions.
+#[derive(Debug, Clone)]
+pub struct SourceMap {
+    /// Byte offset at which each line starts; `line_starts[0] == 0`.
+    line_starts: Vec<u32>,
+    len: u32,
+}
+
+impl SourceMap {
+    /// Builds a source map by scanning `src` for newlines.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            line_starts,
+            len: src.len() as u32,
+        }
+    }
+
+    /// Number of lines in the source (at least 1, even for empty input).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Converts a byte offset to a 1-based line/column pair.
+    ///
+    /// Offsets past the end of the source clamp to the last position.
+    pub fn locate(&self, offset: u32) -> LineCol {
+        let offset = offset.min(self.len);
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Locates the start of a span.
+    pub fn locate_span(&self, span: Span) -> LineCol {
+        self.locate(span.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn locate_simple() {
+        let sm = SourceMap::new("ab\ncd\nef");
+        assert_eq!(sm.locate(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.locate(1), LineCol { line: 1, col: 2 });
+        assert_eq!(sm.locate(3), LineCol { line: 2, col: 1 });
+        assert_eq!(sm.locate(4), LineCol { line: 2, col: 2 });
+        assert_eq!(sm.locate(6), LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    fn locate_clamps_past_end() {
+        let sm = SourceMap::new("abc");
+        assert_eq!(sm.locate(99), LineCol { line: 1, col: 4 });
+    }
+
+    #[test]
+    fn locate_empty_source() {
+        let sm = SourceMap::new("");
+        assert_eq!(sm.line_count(), 1);
+        assert_eq!(sm.locate(0), LineCol { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn locate_newline_boundary() {
+        let sm = SourceMap::new("a\nb");
+        // The newline itself belongs to line 1.
+        assert_eq!(sm.locate(1), LineCol { line: 1, col: 2 });
+        assert_eq!(sm.locate(2), LineCol { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 5).len(), 3);
+        assert!(Span::new(4, 4).is_empty());
+        assert!(!Span::new(4, 5).is_empty());
+    }
+}

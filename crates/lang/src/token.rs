@@ -1,0 +1,245 @@
+//! Token definitions for the MJ language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// An integer literal, e.g. `42`.
+    Int(i64),
+    /// An identifier, e.g. `queue` or `Counter`.
+    Ident(String),
+
+    // Keywords
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `static`
+    Static,
+    /// `sync` — `synchronized` method modifier or block.
+    Sync,
+    /// `init` — constructor declaration.
+    Init,
+    /// `test` — sequential client test declaration.
+    Test,
+    /// `var`
+    Var,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `assert`
+    Assert,
+    /// `new`
+    New,
+    /// `this`
+    This,
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `int`
+    IntTy,
+    /// `bool`
+    BoolTy,
+    /// `void`
+    Void,
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+
+    // Operators
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "class" => TokenKind::Class,
+            "extends" => TokenKind::Extends,
+            "static" => TokenKind::Static,
+            "sync" => TokenKind::Sync,
+            "init" => TokenKind::Init,
+            "test" => TokenKind::Test,
+            "var" => TokenKind::Var,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "return" => TokenKind::Return,
+            "assert" => TokenKind::Assert,
+            "new" => TokenKind::New,
+            "this" => TokenKind::This,
+            "null" => TokenKind::Null,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "int" => TokenKind::IntTy,
+            "bool" => TokenKind::BoolTy,
+            "void" => TokenKind::Void,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::Class => "class",
+            TokenKind::Extends => "extends",
+            TokenKind::Static => "static",
+            TokenKind::Sync => "sync",
+            TokenKind::Init => "init",
+            TokenKind::Test => "test",
+            TokenKind::Var => "var",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::Return => "return",
+            TokenKind::Assert => "assert",
+            TokenKind::New => "new",
+            TokenKind::This => "this",
+            TokenKind::Null => "null",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::IntTy => "int",
+            TokenKind::BoolTy => "bool",
+            TokenKind::Void => "void",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Eq => "=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Bang => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Int(_) | TokenKind::Ident(_) | TokenKind::Eof => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A lexical token: a [`TokenKind`] plus the [`Span`] it was read from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for w in [
+            "class", "extends", "static", "sync", "init", "test", "var", "if", "else", "while",
+            "return", "assert", "new", "this", "null", "true", "false", "int", "bool", "void",
+        ] {
+            let k = TokenKind::keyword(w).unwrap_or_else(|| panic!("{w} should be a keyword"));
+            assert_eq!(k.describe(), format!("`{w}`"));
+        }
+    }
+
+    #[test]
+    fn non_keywords_are_none() {
+        assert_eq!(TokenKind::keyword("queue"), None);
+        assert_eq!(TokenKind::keyword("classs"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn describe_literals() {
+        assert_eq!(TokenKind::Int(7).describe(), "integer `7`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

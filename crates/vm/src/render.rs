@@ -1,0 +1,222 @@
+//! Human-readable trace rendering.
+//!
+//! Trace events name registers by [`VarId`], which is only meaningful
+//! relative to the executing body. [`TraceRenderer`] tracks the
+//! invocation→body mapping from `InvokeStart` events, so each event can be
+//! printed with real variable names — the format of the paper's Fig. 8(b):
+//! `t := b.x`, `lock(this)`, `b.y := y`.
+
+use crate::event::{CopySrc, Event, EventKind, InvId};
+use narada_lang::hir::Program;
+use narada_lang::mir::{BodyId, MirProgram, VarId};
+use std::collections::HashMap;
+
+/// Streaming renderer for trace events. Feed events in order.
+#[derive(Debug)]
+pub struct TraceRenderer<'p> {
+    prog: &'p Program,
+    mir: &'p MirProgram,
+    bodies: HashMap<InvId, BodyId>,
+}
+
+impl<'p> TraceRenderer<'p> {
+    /// Creates a renderer for traces of the given program.
+    pub fn new(prog: &'p Program, mir: &'p MirProgram) -> Self {
+        TraceRenderer {
+            prog,
+            mir,
+            bodies: HashMap::new(),
+        }
+    }
+
+    fn var(&self, inv: InvId, v: VarId) -> String {
+        match self.bodies.get(&inv) {
+            Some(&b) => {
+                let body = self.mir.body(b);
+                if v.index() < body.vars.len() {
+                    body.var_name(v).to_string()
+                } else {
+                    format!("{v}")
+                }
+            }
+            None => format!("{v}"),
+        }
+    }
+
+    /// Renders one event; call in trace order so invocation scopes resolve.
+    pub fn render(&mut self, ev: &Event) -> String {
+        let head = format!("{:>6} {} ", ev.label.0, ev.tid);
+        let body = match &ev.kind {
+            EventKind::InvokeStart {
+                inv,
+                body,
+                method,
+                from_client,
+                recv,
+                args,
+                ..
+            } => {
+                self.bodies.insert(*inv, *body);
+                let name = match (method, body) {
+                    (Some(m), _) => self.prog.qualified_name(*m),
+                    (None, BodyId::Test(t)) => format!("test {}", self.prog.test(*t).name),
+                    (None, BodyId::FieldInit(f)) => {
+                        format!("init-field {}", self.prog.qualified_field(*f))
+                    }
+                    (None, BodyId::Method(m)) => self.prog.qualified_name(*m),
+                };
+                let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                let recv = recv.map(|r| format!("{r}.")).unwrap_or_default();
+                let client = if *from_client { " [client]" } else { "" };
+                format!("invoke {recv}{name}({}){client}", args.join(", "))
+            }
+            EventKind::InvokeEnd { inv, ret, .. } => match ret {
+                Some(v) => format!("return {v} from {inv}"),
+                None => format!("return from {inv}"),
+            },
+            EventKind::Copy {
+                inv, dst, src, value,
+            } => match src {
+                CopySrc::Var(v) => format!(
+                    "{} := {}   [{value}]",
+                    self.var(*inv, *dst),
+                    self.var(*inv, *v)
+                ),
+                CopySrc::Opaque => format!("{} := {value}", self.var(*inv, *dst)),
+                CopySrc::CallResult { callee } => {
+                    format!("{} := result of {callee}   [{value}]", self.var(*inv, *dst))
+                }
+            },
+            EventKind::Alloc {
+                inv, dst, obj, class,
+            } => match class {
+                Some(c) => format!(
+                    "{} := alloc {}   [{obj}]",
+                    self.var(*inv, *dst),
+                    self.prog.class(*c).name
+                ),
+                None => format!("{} := alloc []   [{obj}]", self.var(*inv, *dst)),
+            },
+            EventKind::Read {
+                inv,
+                dst,
+                obj_var,
+                obj,
+                field,
+                value,
+            } => {
+                format!(
+                    "{} := {}{}   [{obj}{} = {value}]",
+                    self.var(*inv, *dst),
+                    self.var(*inv, *obj_var),
+                    field_name(self.prog, field),
+                    field_name(self.prog, field),
+                )
+            }
+            EventKind::Write {
+                inv,
+                obj_var,
+                obj,
+                field,
+                src_var,
+                value,
+            } => {
+                format!(
+                    "{}{} := {}   [{obj}{} = {value}]",
+                    self.var(*inv, *obj_var),
+                    field_name(self.prog, field),
+                    self.var(*inv, *src_var),
+                    field_name(self.prog, field),
+                )
+            }
+            EventKind::Lock { inv, var, obj } => match var {
+                Some(v) => format!("lock({})   [{obj}]", self.var(*inv, *v)),
+                None => format!("lock {obj}"),
+            },
+            EventKind::Unlock { obj, .. } => format!("unlock({obj})"),
+            EventKind::ThreadSpawn { child } => format!("spawn {child}"),
+            EventKind::ThreadFinish => "thread finished".to_string(),
+            EventKind::ThreadFail { message } => format!("thread FAILED: {message}"),
+        };
+        head + &body
+    }
+
+    /// Renders a whole trace.
+    pub fn render_all(&mut self, events: &[Event]) -> String {
+        events
+            .iter()
+            .map(|e| self.render(e))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn field_name(prog: &Program, key: &crate::event::FieldKey) -> String {
+    match key {
+        crate::event::FieldKey::Field(f) => format!(".{}", prog.field(*f).name),
+        crate::event::FieldKey::Elem(i) => format!("[{i}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, VecSink};
+    use narada_lang::lower::lower_program;
+
+    #[test]
+    fn renders_fig8_style_lines() {
+        let prog = narada_lang::compile(
+            r#"
+            class X { int o; }
+            class A {
+                X x;
+                init() { this.x = new X(); }
+                sync void foo(X y) {
+                    var b = this;
+                    var t = b.x;
+                    t.o = rand();
+                }
+            }
+            test seed {
+                var a = new A();
+                var y = new X();
+                a.foo(y);
+            }
+            "#,
+        )
+        .unwrap();
+        let mir = lower_program(&prog);
+        let mut machine = Machine::with_defaults(&prog, &mir);
+        let mut sink = VecSink::new();
+        machine.run_test(prog.tests[0].id, &mut sink).unwrap();
+        let mut renderer = TraceRenderer::new(&prog, &mir);
+        let text = renderer.render_all(&sink.events);
+        assert!(text.contains("invoke"), "{text}");
+        assert!(text.contains("A.foo"), "{text}");
+        assert!(text.contains("lock(this)"), "{text}");
+        assert!(text.contains("I_this := this"), "{text}");
+        assert!(text.contains("b := this"), "{text}");
+        assert!(text.contains("t.o :="), "{text}");
+        assert!(text.contains("unlock"), "{text}");
+    }
+
+    #[test]
+    fn renders_array_accesses() {
+        let prog = narada_lang::compile(
+            r#"
+            class B { int[] a; init() { this.a = new int[3]; } void w() { this.a[1] = 9; } }
+            test seed { var b = new B(); b.w(); }
+            "#,
+        )
+        .unwrap();
+        let mir = lower_program(&prog);
+        let mut machine = Machine::with_defaults(&prog, &mir);
+        let mut sink = VecSink::new();
+        machine.run_test(prog.tests[0].id, &mut sink).unwrap();
+        let mut renderer = TraceRenderer::new(&prog, &mir);
+        let text = renderer.render_all(&sink.events);
+        assert!(text.contains("[1] :="), "{text}");
+        assert!(text.contains("alloc []"), "{text}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Thread schedulers for concurrent execution.
+//!
+//! The machine asks the scheduler which runnable thread should execute the
+//! next instruction. Schedulers may inspect the machine (e.g. preview the
+//! next access of each thread) — the RaceFuzzer-style confirmer in
+//! `narada-detect` uses exactly this hook.
+
+use crate::event::ThreadId;
+use crate::machine::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses which runnable thread steps next.
+pub trait Scheduler {
+    /// Picks one element of `runnable` (guaranteed non-empty).
+    fn choose(&mut self, machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+/// Deterministic round-robin over runnable threads.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn choose(&mut self, _machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId {
+        let pick = runnable[self.next % runnable.len()];
+        self.next = self.next.wrapping_add(1);
+        pick
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// Uniformly random interleaving with an optional "stickiness" bias that
+/// keeps running the same thread for short bursts, mimicking real
+/// preemption granularity.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+    /// Probability (0–100) of staying on the previously chosen thread when
+    /// it is still runnable.
+    stay_percent: u8,
+    last: Option<ThreadId>,
+}
+
+impl RandomScheduler {
+    /// Creates a seeded uniform scheduler.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            stay_percent: 0,
+            last: None,
+        }
+    }
+
+    /// Creates a seeded scheduler that keeps the current thread running
+    /// with the given probability (percent).
+    pub fn with_stickiness(seed: u64, stay_percent: u8) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            stay_percent: stay_percent.min(100),
+            last: None,
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose(&mut self, _machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId {
+        if let Some(last) = self.last {
+            if runnable.contains(&last) && self.rng.gen_range(0..100) < self.stay_percent {
+                return last;
+            }
+        }
+        let pick = runnable[self.rng.gen_range(0..runnable.len())];
+        self.last = Some(pick);
+        pick
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Runs the first runnable thread to completion before the next — the
+/// *serialized* schedule used as the ConTeGe baseline's oracle reference.
+#[derive(Debug, Default)]
+pub struct SerialScheduler;
+
+impl SerialScheduler {
+    /// Creates a serializing scheduler.
+    pub fn new() -> Self {
+        SerialScheduler
+    }
+}
+
+impl Scheduler for SerialScheduler {
+    fn choose(&mut self, _machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId {
+        runnable[0]
+    }
+
+    fn name(&self) -> &str {
+        "serial"
+    }
+}
+
+/// Wraps another scheduler, recording every choice so the exact
+/// interleaving can be replayed later with [`ReplayScheduler`] — the
+/// mechanism behind "automatically reproduced" races: once a schedule
+/// manifests a race, it can be re-executed deterministically.
+#[derive(Debug)]
+pub struct RecordingScheduler<S> {
+    inner: S,
+    /// The recorded choices, in order.
+    pub choices: Vec<ThreadId>,
+}
+
+impl<S: Scheduler> RecordingScheduler<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        RecordingScheduler {
+            inner,
+            choices: Vec::new(),
+        }
+    }
+
+    /// The recorded schedule.
+    pub fn into_schedule(self) -> Vec<ThreadId> {
+        self.choices
+    }
+}
+
+impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
+    fn choose(&mut self, machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId {
+        let pick = self.inner.choose(machine, runnable);
+        self.choices.push(pick);
+        pick
+    }
+
+    fn name(&self) -> &str {
+        "recording"
+    }
+}
+
+/// Replays a recorded schedule step for step. When the recording is
+/// exhausted (or the recorded thread is no longer runnable — which cannot
+/// happen when replaying against the same deterministic program and seed),
+/// it falls back to the first runnable thread.
+#[derive(Debug)]
+pub struct ReplayScheduler {
+    schedule: Vec<ThreadId>,
+    pos: usize,
+}
+
+impl ReplayScheduler {
+    /// Creates a replayer for a recorded schedule.
+    pub fn new(schedule: Vec<ThreadId>) -> Self {
+        ReplayScheduler { schedule, pos: 0 }
+    }
+
+    /// True when every recorded choice was consumed.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.schedule.len()
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn choose(&mut self, _machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId {
+        let recorded = self.schedule.get(self.pos).copied();
+        self.pos += 1;
+        match recorded {
+            Some(t) if runnable.contains(&t) => t,
+            _ => runnable[0],
+        }
+    }
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+}

@@ -1,0 +1,136 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A heap object identity. `ObjId`s are never reused within one
+/// [`Machine`](crate::Machine), so they double as stable object identities
+/// for the race detectors and the synthesizer's collected references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    /// Dense index of this object in the heap.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// A runtime value: MJ scalars plus heap references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// The null reference (also the default for uninitialized slots).
+    #[default]
+    Null,
+    /// Reference to a heap object.
+    Ref(ObjId),
+}
+
+impl Value {
+    /// The referenced object, if this is a non-null reference.
+    pub fn as_obj(self) -> Option<ObjId> {
+        match self {
+            Value::Ref(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if any.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// MJ `==` semantics: scalars by value, references by identity,
+    /// `null == null`.
+    pub fn same(self, other: Value) -> bool {
+        self == other
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<ObjId> for Value {
+    fn from(o: ObjId) -> Self {
+        Value::Ref(o)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "null"),
+            Value::Ref(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_semantics() {
+        assert!(Value::Int(3).same(Value::Int(3)));
+        assert!(!Value::Int(3).same(Value::Int(4)));
+        assert!(Value::Null.same(Value::Null));
+        assert!(Value::Ref(ObjId(1)).same(Value::Ref(ObjId(1))));
+        assert!(!Value::Ref(ObjId(1)).same(Value::Ref(ObjId(2))));
+        assert!(!Value::Ref(ObjId(1)).same(Value::Null));
+        assert!(!Value::Int(0).same(Value::Bool(false)));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(ObjId(2)), Value::Ref(ObjId(2)));
+        assert_eq!(Value::default(), Value::Null);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Ref(ObjId(7)).as_obj(), Some(ObjId(7)));
+        assert_eq!(Value::Null.as_obj(), None);
+        assert_eq!(Value::Int(9).as_int(), Some(9));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Ref(ObjId(3)).to_string(), "o3");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

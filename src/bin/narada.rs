@@ -1,0 +1,226 @@
+//! `narada` — command-line driver for the racy-test synthesis pipeline.
+//!
+//! ```text
+//! narada run <file.mj> [--test NAME] [--trace]       run a sequential test
+//! narada mir <file.mj> [--method Class.m]            dump lowered MIR
+//! narada synth <file.mj> [--render] [flags]          synthesize racy tests
+//! narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
+//!                                                    synthesize + detect + confirm
+//! narada corpus [C1..C9]                             run the pipeline on a corpus class
+//! ```
+
+use narada::detect::{evaluate_suite, DetectConfig};
+use narada::lang::lower::lower_program;
+use narada::lang::SourceMap;
+use narada::vm::{Machine, TraceRenderer, VecSink};
+use narada::{synthesize, SynthesisOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(rest),
+        "mir" => cmd_mir(rest),
+        "synth" => cmd_synth(rest),
+        "detect" => cmd_detect(rest),
+        "corpus" => cmd_corpus(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+narada — synthesizing racy tests (PLDI 2015 reproduction)
+
+USAGE:
+    narada run <file.mj> [--test NAME] [--trace]
+    narada mir <file.mj> [--method Class.m]
+    narada synth <file.mj> [--render] [--strict-unprotected]
+                           [--no-prefix-fallback] [--no-lockset-aware]
+    narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
+    narada corpus [C1..C9]";
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn opt_usize(rest: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match opt(rest, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got `{v}`")),
+    }
+}
+
+fn load(rest: &[String]) -> Result<(String, narada::lang::hir::Program), String> {
+    let path = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("expected an .mj file\n{USAGE}"))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let prog = narada::compile(&src).map_err(|d| {
+        let map = SourceMap::new(&src);
+        format!("{path}: compilation failed\n{}", d.render(&map))
+    })?;
+    Ok((src, prog))
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let (_src, prog) = load(rest)?;
+    let mir = lower_program(&prog);
+    let trace = flag(rest, "--trace");
+    let tests: Vec<_> = match opt(rest, "--test") {
+        Some(name) => vec![prog
+            .test_by_name(name)
+            .ok_or_else(|| format!("no test named `{name}`"))?],
+        None => prog.tests.iter().map(|t| t.id).collect(),
+    };
+    if tests.is_empty() {
+        return Err("the program declares no tests".into());
+    }
+    let mut machine = Machine::with_defaults(&prog, &mir);
+    for t in tests {
+        let mut sink = VecSink::new();
+        let name = prog.test(t).name.clone();
+        match machine.run_test(t, &mut sink) {
+            Ok(()) => println!("test {name}: ok ({} events)", sink.events.len()),
+            Err(e) => println!("test {name}: FAILED — {e}"),
+        }
+        if trace {
+            let mut renderer = TraceRenderer::new(&prog, &mir);
+            println!("{}", renderer.render_all(&sink.events));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_mir(rest: &[String]) -> Result<(), String> {
+    let (_src, prog) = load(rest)?;
+    let mir = lower_program(&prog);
+    match opt(rest, "--method") {
+        Some(qname) => {
+            let m = prog
+                .methods
+                .iter()
+                .find(|m| prog.qualified_name(m.id) == qname)
+                .ok_or_else(|| format!("no method `{qname}`"))?;
+            print!("{}", mir.method(m.id).dump());
+        }
+        None => {
+            for m in &prog.methods {
+                println!("// {}", prog.qualified_name(m.id));
+                print!("{}", mir.method(m.id).dump());
+                println!();
+            }
+            for t in &prog.tests {
+                println!("// test {}", t.name);
+                print!("{}", mir.test(t.id).dump());
+                println!();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn synth_opts(rest: &[String]) -> SynthesisOptions {
+    SynthesisOptions {
+        strict_unprotected: flag(rest, "--strict-unprotected"),
+        prefix_fallback: !flag(rest, "--no-prefix-fallback"),
+        lockset_aware: !flag(rest, "--no-lockset-aware"),
+        ..Default::default()
+    }
+}
+
+fn cmd_synth(rest: &[String]) -> Result<(), String> {
+    let (_src, prog) = load(rest)?;
+    let mir = lower_program(&prog);
+    let out = synthesize(&prog, &mir, &synth_opts(rest));
+    println!(
+        "{} racing pairs, {} synthesized tests ({} race-expecting) in {:?}",
+        out.pair_count(),
+        out.test_count(),
+        out.tests.iter().filter(|t| t.plan.expects_race).count(),
+        out.elapsed
+    );
+    for (name, err) in &out.seed_failures {
+        println!("warning: seed `{name}` failed: {err}");
+    }
+    if flag(rest, "--render") {
+        for t in &out.tests {
+            println!("\n=== test #{} ===", t.index);
+            print!("{}", t.plan.render(&prog));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_detect(rest: &[String]) -> Result<(), String> {
+    let (_src, prog) = load(rest)?;
+    let mir = lower_program(&prog);
+    let out = synthesize(&prog, &mir, &synth_opts(rest));
+    let cfg = DetectConfig {
+        schedule_trials: opt_usize(rest, "--schedules", 6)?,
+        confirm_trials: opt_usize(rest, "--confirms", 4)?,
+        seed: opt_usize(rest, "--seed", 42)? as u64,
+        budget: 2_000_000,
+    };
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
+    let agg = evaluate_suite(&prog, &mir, &seeds, &plans, &cfg);
+    println!(
+        "{} tests: {} races detected, {} reproduced ({} harmful, {} benign), {} unreproduced",
+        plans.len(),
+        agg.races_detected,
+        agg.harmful + agg.benign,
+        agg.harmful,
+        agg.benign,
+        agg.unreproduced
+    );
+    Ok(())
+}
+
+fn cmd_corpus(rest: &[String]) -> Result<(), String> {
+    let entries = match rest.first().filter(|a| !a.starts_with("--")) {
+        Some(id) => vec![narada::corpus::by_id(id).ok_or_else(|| format!("unknown corpus id `{id}` (C1..C9)"))?],
+        None => narada::corpus::all(),
+    };
+    for e in entries {
+        let prog = e.compile().map_err(|d| format!("{}: {d}", e.id))?;
+        let mir = lower_program(&prog);
+        let out = synthesize(&prog, &mir, &SynthesisOptions::default());
+        println!(
+            "{} {} ({}): {} pairs, {} tests [paper: {} pairs, {} tests]",
+            e.id,
+            e.class_name,
+            e.benchmark,
+            out.pair_count(),
+            out.test_count(),
+            e.paper.race_pairs,
+            e.paper.tests
+        );
+    }
+    Ok(())
+}

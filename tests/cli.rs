@@ -1,0 +1,133 @@
+//! Tests for the `narada` command-line driver.
+
+use std::process::Command;
+
+fn narada(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_narada"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_fixture(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, src).unwrap();
+    path
+}
+
+const FIXTURE: &str = r#"
+    class Counter { int count; void inc() { this.count = this.count + 1; } }
+    class Lib {
+        Counter c;
+        sync void update() { this.c.inc(); }
+        sync void set(Counter x) { this.c = x; }
+    }
+    test seed {
+        var r = new Counter();
+        var p = new Lib();
+        p.set(r);
+        p.update();
+    }
+"#;
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = narada(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = narada(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("synth"));
+}
+
+#[test]
+fn run_executes_seed_tests() {
+    let path = write_fixture("run.mj", FIXTURE);
+    let out = narada(&["run", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("test seed: ok"), "{stdout}");
+}
+
+#[test]
+fn run_reports_failures_without_crashing() {
+    let path = write_fixture("fail.mj", "test boom { assert false; }");
+    let out = narada(&["run", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILED"), "{stdout}");
+    assert!(stdout.contains("assertion failed"), "{stdout}");
+}
+
+#[test]
+fn mir_dumps_instructions() {
+    let path = write_fixture("mir.mj", FIXTURE);
+    let out = narada(&["mir", path.to_str().unwrap(), "--method", "Lib.update"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lock(this)"), "{stdout}");
+    assert!(stdout.contains("I_this"), "{stdout}");
+}
+
+#[test]
+fn synth_renders_plans() {
+    let path = write_fixture("synth.mj", FIXTURE);
+    let out = narada(&["synth", path.to_str().unwrap(), "--render"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("racing pairs"), "{stdout}");
+    assert!(stdout.contains("collectObjects"), "{stdout}");
+    assert!(stdout.contains("spawn"), "{stdout}");
+}
+
+#[test]
+fn detect_reports_races() {
+    let path = write_fixture("detect.mj", FIXTURE);
+    let out = narada(&["detect", path.to_str().unwrap(), "--schedules", "6", "--confirms", "4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("races detected"), "{stdout}");
+    // Fig. 1's count race must be found and be harmful.
+    assert!(
+        !stdout.contains("0 races detected"),
+        "the Fig. 1 race must be detected: {stdout}"
+    );
+}
+
+#[test]
+fn compile_errors_are_rendered_with_positions() {
+    let path = write_fixture("bad.mj", "test t { var x = 1 + true; }");
+    let out = narada(&["synth", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("type error"), "{stderr}");
+    assert!(stderr.contains("1:"), "positions rendered: {stderr}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = narada(&["frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn corpus_single_entry() {
+    let out = narada(&["corpus", "C9"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CharArrayReader"), "{stdout}");
+    assert!(stdout.contains("paper:"), "{stdout}");
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let out = narada(&["run", "/nonexistent/zzz.mj"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}

@@ -1,0 +1,418 @@
+//! Property-based tests over core invariants:
+//!
+//! * arithmetic: the MJ VM agrees with a direct Rust evaluation oracle on
+//!   arbitrary expression trees;
+//! * pretty-printing: `compile → pretty → compile → pretty` is a fixpoint;
+//! * vector clocks: `join` is a commutative, associative, idempotent
+//!   least-upper-bound;
+//! * detector soundness relation: on arbitrary valid interleavings, every
+//!   happens-before race is also a lockset race (common-lock accesses are
+//!   always HB-ordered, so FastTrack ⊆ Eraser).
+
+use narada::detect::{DjitDetector, FastTrackDetector, LocksetDetector, VectorClock};
+use narada::lang::lower::lower_program;
+use narada::vm::{
+    Event, EventKind, EventSink, FieldKey, InvId, Label, Machine, NullSink, ObjId, ThreadId,
+    Value, VecSink,
+};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Arithmetic oracle
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn to_mj(&self) -> String {
+        match self {
+            Expr::Lit(n) if *n < 0 => format!("(0 - {})", -(*n as i64)),
+            Expr::Lit(n) => format!("{n}"),
+            Expr::Add(a, b) => format!("({} + {})", a.to_mj(), b.to_mj()),
+            Expr::Sub(a, b) => format!("({} - {})", a.to_mj(), b.to_mj()),
+            Expr::Mul(a, b) => format!("({} * {})", a.to_mj(), b.to_mj()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Lit(n) => *n as i64,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-100i32..100).prop_map(Expr::Lit);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vm_arithmetic_matches_oracle(e in arb_expr()) {
+        let src = format!(
+            "class Out {{ int v; void go() {{ this.v = {}; }} }}\n\
+             test t {{ var o = new Out(); o.go(); }}",
+            e.to_mj()
+        );
+        let prog = narada::compile(&src).expect("generated program compiles");
+        let mir = lower_program(&prog);
+        let mut m = Machine::with_defaults(&prog, &mir);
+        m.run_test(prog.tests[0].id, &mut NullSink).expect("runs");
+        let out = prog.class_by_name("Out").unwrap();
+        let v = prog.field_by_name(out, "v").unwrap();
+        let obj = ObjId(0);
+        prop_assert_eq!(m.heap.get_field(obj, v), Value::Int(e.eval()));
+    }
+
+    #[test]
+    fn pretty_print_is_fixpoint(e in arb_expr()) {
+        let src = format!(
+            "class Out {{ int v; void go() {{ this.v = {}; }} }}\n\
+             test t {{ var o = new Out(); o.go(); }}",
+            e.to_mj()
+        );
+        let prog = narada::compile(&src).expect("compiles");
+        let printed = narada::lang::pretty::program(&prog);
+        let reprog = narada::compile(&printed).expect("pretty output recompiles");
+        prop_assert_eq!(narada::lang::pretty::program(&reprog), printed);
+    }
+
+    #[test]
+    fn vm_trace_is_deterministic(seed in any::<u64>()) {
+        let src = r#"
+            class R { int a; int b; void roll() { this.a = rand(); this.b = rand() % 17; } }
+            test t { var r = new R(); r.roll(); r.roll(); }
+        "#;
+        let prog = narada::compile(src).unwrap();
+        let mir = lower_program(&prog);
+        let run = |s: u64| {
+            let mut m = Machine::new(
+                &prog,
+                &mir,
+                narada::vm::MachineOptions { seed: s, ..Default::default() },
+            );
+            let mut sink = VecSink::new();
+            m.run_test(prog.tests[0].id, &mut sink).unwrap();
+            sink.events.iter().filter_map(|e| match e.kind {
+                EventKind::Write { value, .. } => Some(value),
+                _ => None,
+            }).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Vector clock lattice laws
+// ----------------------------------------------------------------------
+
+fn arb_vc() -> impl Strategy<Value = VectorClock> {
+    proptest::collection::vec(0u32..40, 0..6).prop_map(|cs| {
+        let mut vc = VectorClock::new();
+        for (i, c) in cs.into_iter().enumerate() {
+            vc.set(ThreadId(i as u32), c);
+        }
+        vc
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn vc_join_commutative(a in arb_vc(), b in arb_vc()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        for i in 0..8 {
+            prop_assert_eq!(ab.get(ThreadId(i)), ba.get(ThreadId(i)));
+        }
+    }
+
+    #[test]
+    fn vc_join_associative(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        for i in 0..8 {
+            prop_assert_eq!(left.get(ThreadId(i)), right.get(ThreadId(i)));
+        }
+    }
+
+    #[test]
+    fn vc_join_is_upper_bound(a in arb_vc(), b in arb_vc()) {
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        // And idempotent.
+        let mut jj = j.clone();
+        jj.join(&j.clone());
+        for i in 0..8 {
+            prop_assert_eq!(jj.get(ThreadId(i)), j.get(ThreadId(i)));
+        }
+    }
+
+    #[test]
+    fn vc_leq_antisymmetric(a in arb_vc(), b in arb_vc()) {
+        if a.leq(&b) && b.leq(&a) {
+            for i in 0..8 {
+                prop_assert_eq!(a.get(ThreadId(i)), b.get(ThreadId(i)));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// FastTrack ⊆ Eraser on valid interleavings
+// ----------------------------------------------------------------------
+
+/// Per-thread operations; the interleaver below enforces lock exclusion.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Lock(u8),
+    Unlock,
+    Read(u8),
+    Write(u8),
+}
+
+fn arb_thread_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..2).prop_map(Op::Lock),
+            Just(Op::Unlock),
+            (0u8..3).prop_map(Op::Read),
+            (0u8..3).prop_map(Op::Write),
+        ],
+        0..12,
+    )
+}
+
+/// Simulates two threads' op lists under an interleaving choice sequence,
+/// producing a *valid* event stream (locks exclusive, well-nested;
+/// unmatched unlocks dropped).
+fn interleave(threads: [&[Op]; 2], choices: &[bool]) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut label = 0u64;
+    let mut emit = |tid: u32, kind: EventKind| {
+        events.push(Event {
+            label: Label(label),
+            tid: ThreadId(tid),
+            span: narada::lang::Span::new(label as u32 * 2, label as u32 * 2 + 1),
+            kind,
+        });
+        label += 1;
+    };
+    // Spawn both workers from main.
+    emit(0, EventKind::ThreadSpawn { child: ThreadId(1) });
+    emit(0, EventKind::ThreadSpawn { child: ThreadId(2) });
+
+    let mut pc = [0usize; 2];
+    let mut held: [Vec<u8>; 2] = [Vec::new(), Vec::new()];
+    let mut lock_owner: [Option<usize>; 2] = [None, None];
+    let mut ci = 0usize;
+    loop {
+        // Pick a thread with work left whose next op is not blocked.
+        let pick = |t: usize, pc: &[usize; 2], lock_owner: &[Option<usize>; 2]| -> bool {
+            if pc[t] >= threads[t].len() {
+                return false;
+            }
+            match threads[t][pc[t]] {
+                Op::Lock(l) => lock_owner[l as usize].map(|o| o == t).unwrap_or(true),
+                _ => true,
+            }
+        };
+        let c0 = pick(0, &pc, &lock_owner);
+        let c1 = pick(1, &pc, &lock_owner);
+        let t = match (c0, c1) {
+            (false, false) => break,
+            (true, false) => 0,
+            (false, true) => 1,
+            (true, true) => {
+                let choice = choices.get(ci).copied().unwrap_or(false);
+                ci += 1;
+                usize::from(choice)
+            }
+        };
+        let tid = t as u32 + 1;
+        let op = threads[t][pc[t]];
+        pc[t] += 1;
+        match op {
+            Op::Lock(l) => {
+                // Re-entrant acquisition is silent (matches the VM).
+                if lock_owner[l as usize].is_none() {
+                    lock_owner[l as usize] = Some(t);
+                    emit(
+                        tid,
+                        EventKind::Lock {
+                            inv: InvId(0),
+                            var: None,
+                            obj: ObjId(100 + l as u32),
+                        },
+                    );
+                }
+                held[t].push(l);
+            }
+            Op::Unlock => {
+                if let Some(l) = held[t].pop() {
+                    if !held[t].contains(&l) {
+                        lock_owner[l as usize] = None;
+                        emit(
+                            tid,
+                            EventKind::Unlock {
+                                inv: InvId(0),
+                                obj: ObjId(100 + l as u32),
+                            },
+                        );
+                    }
+                }
+            }
+            Op::Read(x) => emit(
+                tid,
+                EventKind::Read {
+                    inv: InvId(0),
+                    dst: narada::lang::mir::VarId(0),
+                    obj_var: narada::lang::mir::VarId(0),
+                    obj: ObjId(x as u32),
+                    field: FieldKey::Elem(0),
+                    value: Value::Int(0),
+                },
+            ),
+            Op::Write(x) => emit(
+                tid,
+                EventKind::Write {
+                    inv: InvId(0),
+                    obj_var: narada::lang::mir::VarId(0),
+                    obj: ObjId(x as u32),
+                    field: FieldKey::Elem(0),
+                    src_var: narada::lang::mir::VarId(1),
+                    value: Value::Int(0),
+                },
+            ),
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fasttrack_within_djit(
+        t1 in arb_thread_ops(),
+        t2 in arb_thread_ops(),
+        choices in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        // FastTrack is an optimization of Djit+'s full vector clocks that
+        // deliberately reports *fewer race instances* (it resets the read
+        // set after a write). The precise relationship, asserted here:
+        // every FastTrack race is a Djit+ race, and both agree on WHICH
+        // LOCATIONS are racy.
+        let events = interleave([&t1, &t2], &choices);
+        let mut ft = FastTrackDetector::new();
+        let mut dj = DjitDetector::new();
+        for ev in &events {
+            ft.event(ev);
+            dj.event(ev);
+        }
+        let ft_keys: std::collections::BTreeSet<_> =
+            ft.races().iter().map(|r| r.static_key()).collect();
+        let dj_keys: std::collections::BTreeSet<_> =
+            dj.races().iter().map(|r| r.static_key()).collect();
+        prop_assert!(
+            ft_keys.is_subset(&dj_keys),
+            "fasttrack races must be djit races: {:?} vs {:?}",
+            ft_keys, dj_keys
+        );
+        let ft_locs: std::collections::BTreeSet<_> =
+            ft.races().iter().map(|r| (r.obj, r.field)).collect();
+        let dj_locs: std::collections::BTreeSet<_> =
+            dj.races().iter().map(|r| (r.obj, r.field)).collect();
+        prop_assert_eq!(ft_locs, dj_locs, "racy locations must agree");
+    }
+
+    #[test]
+    fn fasttrack_races_are_lockset_races(
+        t1 in arb_thread_ops(),
+        t2 in arb_thread_ops(),
+        choices in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let events = interleave([&t1, &t2], &choices);
+        let mut lockset = LocksetDetector::new();
+        let mut hb = FastTrackDetector::new();
+        for ev in &events {
+            lockset.event(ev);
+            hb.event(ev);
+        }
+        // Two accesses ordered only by a common lock are never an HB race,
+        // so every FastTrack race must also violate the lockset discipline.
+        let eraser_keys: std::collections::HashSet<_> =
+            lockset.races().iter().map(|r| r.static_key()).collect();
+        for race in hb.races() {
+            prop_assert!(
+                eraser_keys.contains(&race.static_key()),
+                "HB race {:?} missed by lockset (events: {:?})",
+                race,
+                events.len()
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Front-end robustness
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The front end must never panic: arbitrary byte soup either parses
+    /// or produces diagnostics.
+    #[test]
+    fn compile_never_panics(src in "\\PC*") {
+        let _ = narada::compile(&src);
+    }
+
+    /// Same for inputs built from MJ-ish tokens (much deeper parser
+    /// penetration than raw soup).
+    #[test]
+    fn compile_never_panics_on_tokenish_input(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "class", "test", "sync", "init", "extends", "static",
+                "if", "else", "while", "return", "var", "new", "this",
+                "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "==",
+                "+", "-", "*", "/", "%", "&&", "||", "!", "<", ">",
+                "int", "bool", "void", "x", "y", "Foo", "m", "0", "42",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = narada::compile(&src);
+    }
+}
