@@ -1,8 +1,8 @@
-//! Criterion benchmark for the dynamic race detectors: events/second of
-//! the Eraser lockset and FastTrack happens-before sinks on a recorded
+//! Micro-benchmark for the dynamic race detectors: events/second of the
+//! Eraser lockset and FastTrack happens-before sinks on a recorded
 //! concurrent trace, plus RaceFuzzer confirmation latency.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use narada_bench::harness::{bench_function, bench_throughput};
 use narada_core::{execute_plan, synthesize, SynthesisOptions};
 use narada_detect::{DjitDetector, FastTrackDetector, LocksetDetector, RaceFuzzerScheduler};
 use narada_lang::lower::lower_program;
@@ -30,49 +30,49 @@ fn record_trace() -> (
     let mut machine = Machine::with_defaults(&prog, &mir);
     let mut sink = VecSink::new();
     let mut sched = RandomScheduler::new(3);
-    execute_plan(&mut machine, &seeds, &plan, &mut sched, &mut sink, 2_000_000).unwrap();
+    execute_plan(
+        &mut machine,
+        &seeds,
+        &plan,
+        &mut sched,
+        &mut sink,
+        2_000_000,
+    )
+    .unwrap();
     (prog, mir, sink.events, plan)
 }
 
-fn bench_detectors(c: &mut Criterion) {
+fn bench_detectors() {
     let (_prog, _mir, events, _plan) = record_trace();
-    let mut group = c.benchmark_group("detectors");
-    group.throughput(Throughput::Elements(events.len() as u64));
+    let n = events.len() as u64;
 
-    group.bench_function("lockset", |b| {
-        b.iter(|| {
-            let mut d = LocksetDetector::new();
-            for ev in &events {
-                d.event(ev);
-            }
-            std::hint::black_box(d.races().len())
-        });
+    bench_throughput("detectors/lockset", n, || {
+        let mut d = LocksetDetector::new();
+        for ev in &events {
+            d.event(ev);
+        }
+        d.races().len()
     });
 
-    group.bench_function("fasttrack", |b| {
-        b.iter(|| {
-            let mut d = FastTrackDetector::new();
-            for ev in &events {
-                d.event(ev);
-            }
-            std::hint::black_box(d.races().len())
-        });
+    bench_throughput("detectors/fasttrack", n, || {
+        let mut d = FastTrackDetector::new();
+        for ev in &events {
+            d.event(ev);
+        }
+        d.races().len()
     });
 
     // The FastTrack-paper comparison: epochs vs full vector clocks.
-    group.bench_function("djit_plus", |b| {
-        b.iter(|| {
-            let mut d = DjitDetector::new();
-            for ev in &events {
-                d.event(ev);
-            }
-            std::hint::black_box(d.races().len())
-        });
+    bench_throughput("detectors/djit_plus", n, || {
+        let mut d = DjitDetector::new();
+        for ev in &events {
+            d.event(ev);
+        }
+        d.races().len()
     });
-    group.finish();
 }
 
-fn bench_confirmation(c: &mut Criterion) {
+fn bench_confirmation() {
     let (prog, mir, events, plan) = record_trace();
     // Find a race target from a lockset pass.
     let mut d = LocksetDetector::new();
@@ -85,16 +85,24 @@ fn bench_confirmation(c: &mut Criterion) {
     let key = first.static_key();
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
 
-    c.bench_function("racefuzzer/confirm_c1", |b| {
-        b.iter(|| {
-            let mut machine = Machine::with_defaults(&prog, &mir);
-            let mut sched = RaceFuzzerScheduler::new(key, 1);
-            let mut sink = narada_vm::NullSink;
-            execute_plan(&mut machine, &seeds, &plan, &mut sched, &mut sink, 2_000_000).unwrap();
-            std::hint::black_box(sched.confirmed.len())
-        });
+    bench_function("racefuzzer/confirm_c1", || {
+        let mut machine = Machine::with_defaults(&prog, &mir);
+        let mut sched = RaceFuzzerScheduler::new(key, 1);
+        let mut sink = narada_vm::NullSink;
+        execute_plan(
+            &mut machine,
+            &seeds,
+            &plan,
+            &mut sched,
+            &mut sink,
+            2_000_000,
+        )
+        .unwrap();
+        sched.confirmed.len()
     });
 }
 
-criterion_group!(benches, bench_detectors, bench_confirmation);
-criterion_main!(benches);
+fn main() {
+    bench_detectors();
+    bench_confirmation();
+}

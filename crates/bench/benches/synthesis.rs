@@ -1,47 +1,36 @@
-//! Criterion benchmark for the synthesis pipeline (Table 4's "Time"
-//! column, measured rigorously): full trace → analysis → pairs → contexts
-//! → deduplicated suite, per corpus class.
+//! Micro-benchmark for the synthesis pipeline (Table 4's "Time" column,
+//! measured rigorously): full trace → analysis → pairs → contexts →
+//! deduplicated suite, per corpus class.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use narada_bench::harness::bench_function;
 use narada_core::{synthesize, SynthesisOptions};
 use narada_lang::lower::lower_program;
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesis");
+fn bench_synthesis() {
     for entry in narada_corpus::all() {
         let prog = entry.compile().expect("corpus compiles");
         let mir = lower_program(&prog);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(entry.id),
-            &(&prog, &mir),
-            |b, (prog, mir)| {
-                let opts = SynthesisOptions::default();
-                b.iter(|| {
-                    let out = synthesize(prog, mir, &opts);
-                    std::hint::black_box(out.test_count())
-                });
-            },
-        );
+        let opts = SynthesisOptions::default();
+        bench_function(&format!("synthesis/{}", entry.id), || {
+            synthesize(&prog, &mir, &opts).test_count()
+        });
     }
-    group.finish();
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn bench_stages() {
     // Stage split on C5 (largest pair count): tracing vs analysis vs
     // pairing — useful for spotting pipeline regressions.
     let entry = narada_corpus::c5();
     let prog = entry.compile().unwrap();
     let mir = lower_program(&prog);
 
-    c.bench_function("stage/trace_c5", |b| {
-        b.iter(|| {
-            let mut machine = narada_vm::Machine::with_defaults(&prog, &mir);
-            let mut sink = narada_vm::VecSink::new();
-            for t in &prog.tests {
-                machine.run_test(t.id, &mut sink).unwrap();
-            }
-            std::hint::black_box(sink.events.len())
-        });
+    bench_function("stage/trace_c5", || {
+        let mut machine = narada_vm::Machine::with_defaults(&prog, &mir);
+        let mut sink = narada_vm::VecSink::new();
+        for t in &prog.tests {
+            machine.run_test(t.id, &mut sink).unwrap();
+        }
+        sink.events.len()
     });
 
     let mut machine = narada_vm::Machine::with_defaults(&prog, &mir);
@@ -50,22 +39,20 @@ fn bench_stages(c: &mut Criterion) {
         machine.run_test(t.id, &mut sink).unwrap();
     }
     let events = sink.events;
-    c.bench_function("stage/analyze_c5", |b| {
-        b.iter(|| {
-            let a = narada_core::analyze(&prog, &events);
-            std::hint::black_box(a.accesses.len())
-        });
+    bench_function("stage/analyze_c5", || {
+        narada_core::analyze(&prog, &events).accesses.len()
     });
 
     let analysis = narada_core::analyze(&prog, &events);
-    c.bench_function("stage/pairs_c5", |b| {
-        let opts = SynthesisOptions::default();
-        b.iter(|| {
-            let p = narada_core::generate_pairs(&prog, &analysis, &opts);
-            std::hint::black_box(p.pairs.len())
-        });
+    let opts = SynthesisOptions::default();
+    bench_function("stage/pairs_c5", || {
+        narada_core::generate_pairs(&prog, &analysis, &opts)
+            .pairs
+            .len()
     });
 }
 
-criterion_group!(benches, bench_synthesis, bench_stages);
-criterion_main!(benches);
+fn main() {
+    bench_synthesis();
+    bench_stages();
+}

@@ -1,8 +1,8 @@
-//! Criterion benchmark for the MJ virtual machine itself: sequential
+//! Micro-benchmark for the MJ virtual machine itself: sequential
 //! interpretation throughput (instructions/second), tracing overhead, and
 //! concurrent scheduling overhead.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use narada_bench::harness::bench_function;
 use narada_lang::lower::lower_program;
 use narada_vm::{Machine, NullSink, RandomScheduler, Value, VecSink};
 
@@ -23,29 +23,25 @@ const HOT_LOOP: &str = r#"
     }
 "#;
 
-fn bench_sequential(c: &mut Criterion) {
+fn bench_sequential() {
     let prog = narada_lang::compile(HOT_LOOP).unwrap();
     let mir = lower_program(&prog);
 
-    c.bench_function("vm/sequential_untraced", |b| {
-        b.iter(|| {
-            let mut m = Machine::with_defaults(&prog, &mir);
-            m.run_test(prog.tests[0].id, &mut NullSink).unwrap();
-            std::hint::black_box(m.heap.len())
-        });
+    bench_function("vm/sequential_untraced", || {
+        let mut m = Machine::with_defaults(&prog, &mir);
+        m.run_test(prog.tests[0].id, &mut NullSink).unwrap();
+        m.heap.len()
     });
 
-    c.bench_function("vm/sequential_traced", |b| {
-        b.iter(|| {
-            let mut m = Machine::with_defaults(&prog, &mir);
-            let mut sink = VecSink::new();
-            m.run_test(prog.tests[0].id, &mut sink).unwrap();
-            std::hint::black_box(sink.events.len())
-        });
+    bench_function("vm/sequential_traced", || {
+        let mut m = Machine::with_defaults(&prog, &mir);
+        let mut sink = VecSink::new();
+        m.run_test(prog.tests[0].id, &mut sink).unwrap();
+        sink.events.len()
     });
 }
 
-fn bench_concurrent(c: &mut Criterion) {
+fn bench_concurrent() {
     let prog = narada_lang::compile(
         r#"
         class Work {
@@ -66,20 +62,24 @@ fn bench_concurrent(c: &mut Criterion) {
     let spin = prog.methods.iter().find(|m| m.name == "spin").unwrap().id;
     let work = prog.class_by_name("Work").unwrap();
 
-    c.bench_function("vm/concurrent_4_threads", |b| {
-        b.iter(|| {
-            let mut m = Machine::with_defaults(&prog, &mir);
-            let obj = m.heap.alloc_instance(&prog, work);
-            for _ in 0..4 {
-                m.spawn_invoke(spin, Some(Value::Ref(obj)), vec![Value::Int(2000)], &mut NullSink)
-                    .unwrap();
-            }
-            let mut sched = RandomScheduler::new(7);
-            let out = m.run_threads(&mut sched, &mut NullSink, 10_000_000);
-            std::hint::black_box(out)
-        });
+    bench_function("vm/concurrent_4_threads", || {
+        let mut m = Machine::with_defaults(&prog, &mir);
+        let obj = m.heap.alloc_instance(&prog, work);
+        for _ in 0..4 {
+            m.spawn_invoke(
+                spin,
+                Some(Value::Ref(obj)),
+                vec![Value::Int(2000)],
+                &mut NullSink,
+            )
+            .unwrap();
+        }
+        let mut sched = RandomScheduler::new(7);
+        m.run_threads(&mut sched, &mut NullSink, 10_000_000)
     });
 }
 
-criterion_group!(benches, bench_sequential, bench_concurrent);
-criterion_main!(benches);
+fn main() {
+    bench_sequential();
+    bench_concurrent();
+}

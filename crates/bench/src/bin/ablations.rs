@@ -11,31 +11,36 @@
 //! Printed per configuration: racing pairs, synthesized tests, and how
 //! many plans expect to manifest a race.
 
-use narada_bench::{render_table, run_all};
+use narada_bench::{env_threads, render_table, run_all};
 use narada_core::SynthesisOptions;
 
 fn main() {
+    let threads = env_threads();
+    let base = SynthesisOptions {
+        threads,
+        ..SynthesisOptions::default()
+    };
     let configs: Vec<(&str, SynthesisOptions)> = vec![
-        ("baseline (paper)", SynthesisOptions::default()),
+        ("baseline (paper)", base.clone()),
         (
             "A1 strict unprotected",
             SynthesisOptions {
                 strict_unprotected: true,
-                ..Default::default()
+                ..base.clone()
             },
         ),
         (
             "A2 no prefix fallback",
             SynthesisOptions {
                 prefix_fallback: false,
-                ..Default::default()
+                ..base.clone()
             },
         ),
         (
             "A3 lockset-blind sharing",
             SynthesisOptions {
                 lockset_aware: false,
-                ..Default::default()
+                ..base
             },
         ),
     ];
@@ -60,7 +65,12 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["Configuration", "Race pairs", "Tests", "Race-expecting tests"],
+            &[
+                "Configuration",
+                "Race pairs",
+                "Tests",
+                "Race-expecting tests"
+            ],
             &rows
         )
     );

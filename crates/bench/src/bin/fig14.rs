@@ -6,7 +6,7 @@
 //! Environment knobs as in `table5` (`NARADA_SCHEDULES`,
 //! `NARADA_CONFIRMS`, `NARADA_MAX_TESTS`).
 
-use narada_bench::{fig14_distribution, render_table, run_all, FIG14_BUCKETS};
+use narada_bench::{env_threads, fig14_distribution, render_table, run_all, FIG14_BUCKETS};
 use narada_core::SynthesisOptions;
 use narada_detect::{evaluate_suite, DetectConfig};
 
@@ -18,14 +18,19 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() {
+    let threads = env_threads();
     let cfg = DetectConfig {
         schedule_trials: env_usize("NARADA_SCHEDULES", 4),
         confirm_trials: env_usize("NARADA_CONFIRMS", 1),
         seed: 0xf1614,
         budget: 2_000_000,
+        threads,
     };
     let max_tests = env_usize("NARADA_MAX_TESTS", usize::MAX);
-    let runs = run_all(&SynthesisOptions::default());
+    let runs = run_all(&SynthesisOptions {
+        threads,
+        ..SynthesisOptions::default()
+    });
     let mut rows = Vec::new();
     let mut all_dists = Vec::new();
     for r in &runs {

@@ -6,11 +6,17 @@
 //! to check: pairs ≫ tests, C2/C5/C6 dominating the pair counts, and total
 //! synthesis time far under the paper's four minutes.
 
-use narada_bench::{render_table, run_all, secs};
+use narada_bench::{env_threads, render_table, run_all, secs};
 use narada_core::SynthesisOptions;
 
 fn main() {
-    let runs = run_all(&SynthesisOptions::default());
+    let threads = env_threads();
+    let wall = std::time::Instant::now();
+    let runs = run_all(&SynthesisOptions {
+        threads,
+        ..SynthesisOptions::default()
+    });
+    let wall = wall.elapsed();
     let mut rows = Vec::new();
     let mut total_pairs = 0usize;
     let mut total_tests = 0usize;
@@ -38,6 +44,11 @@ fn main() {
     ]);
     println!("Table 4: Synthesized test count and synthesis time");
     println!("measured (paper) per cell");
+    println!(
+        "threads = {} (NARADA_THREADS), wall-clock {}s",
+        narada_core::effective_threads(threads),
+        secs(wall)
+    );
     print!(
         "{}",
         render_table(

@@ -8,7 +8,7 @@
 //! `NARADA_MAX_TESTS` (cap on tests evaluated per class, default
 //! unlimited).
 
-use narada_bench::{render_table, run_all};
+use narada_bench::{env_threads, render_table, run_all};
 use narada_core::SynthesisOptions;
 use narada_detect::{evaluate_suite, DetectConfig};
 
@@ -20,14 +20,20 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() {
+    let threads = env_threads();
+    let wall = std::time::Instant::now();
     let cfg = DetectConfig {
         schedule_trials: env_usize("NARADA_SCHEDULES", 4),
         confirm_trials: env_usize("NARADA_CONFIRMS", 3),
         seed: 0x7ab1e5,
         budget: 2_000_000,
+        threads,
     };
     let max_tests = env_usize("NARADA_MAX_TESTS", usize::MAX);
-    let runs = run_all(&SynthesisOptions::default());
+    let runs = run_all(&SynthesisOptions {
+        threads,
+        ..SynthesisOptions::default()
+    });
     let mut rows = Vec::new();
     let mut totals = (0usize, 0usize, 0usize, 0usize);
     for r in &runs {
@@ -62,10 +68,21 @@ fn main() {
     ]);
     println!("Table 5: Analysis of synthesized tests by the RaceFuzzer-style detector");
     println!("measured (paper) per cell; 'Unreproduced' = detected - reproduced");
+    println!(
+        "threads = {} (NARADA_THREADS), wall-clock {:.3}s",
+        narada_core::effective_threads(threads),
+        wall.elapsed().as_secs_f64()
+    );
     print!(
         "{}",
         render_table(
-            &["Class", "Races Detected", "Harmful", "Benign", "Unreproduced"],
+            &[
+                "Class",
+                "Races Detected",
+                "Harmful",
+                "Benign",
+                "Unreproduced"
+            ],
             &rows
         )
     );

@@ -1,0 +1,118 @@
+//! Minimal self-contained micro-benchmark harness (criterion-style output,
+//! zero dependencies — the container has no network access to fetch one).
+//!
+//! Each measurement warms up, then runs timed batches until either the
+//! time budget (`NARADA_BENCH_MS`, default 300 ms per benchmark) or the
+//! iteration cap is reached, reporting mean and best-of-batch times.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget in milliseconds.
+fn budget() -> Duration {
+    let ms = std::env::var("NARADA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Times `f`, printing a `name  mean  min  iters` line.
+pub fn bench_function<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up: run at least once, keep going briefly to fill caches.
+    let warm_start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        if warm_start.elapsed() > Duration::from_millis(50) {
+            break;
+        }
+    }
+    let budget = budget();
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    while total < budget && iters < 1_000_000 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let d = t.elapsed();
+        total += d;
+        best = best.min(d);
+        iters += 1;
+    }
+    let mean = total / iters.max(1) as u32;
+    println!(
+        "{name:<40} mean {:>12}  min {:>12}  ({iters} iters)",
+        fmt_duration(mean),
+        fmt_duration(best),
+    );
+}
+
+/// Like [`bench_function`], but also prints a throughput figure computed
+/// from `elements` processed per iteration.
+pub fn bench_throughput<R>(name: &str, elements: u64, mut f: impl FnMut() -> R) {
+    let warm_start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        if warm_start.elapsed() > Duration::from_millis(50) {
+            break;
+        }
+    }
+    let budget = budget();
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    while total < budget && iters < 1_000_000 {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        let d = t.elapsed();
+        total += d;
+        best = best.min(d);
+        iters += 1;
+    }
+    let mean = total / iters.max(1) as u32;
+    let rate = elements as f64 / mean.as_secs_f64();
+    println!(
+        "{name:<40} mean {:>12}  min {:>12}  {:>14}  ({iters} iters)",
+        fmt_duration(mean),
+        fmt_duration(best),
+        fmt_rate(rate),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} Gelem/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} Melem/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} Kelem/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} elem/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_duration(Duration::from_nanos(10)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).ends_with(" s"));
+        assert!(fmt_rate(5e6).ends_with("Melem/s"));
+    }
+}

@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use narada_core::{synthesize, SynthesisOptions, SynthesisOutput};
 use narada_corpus::CorpusEntry;
 use narada_detect::{evaluate_suite, ClassDetection, DetectConfig};
@@ -58,12 +60,40 @@ impl ClassRun {
     }
 }
 
-/// Synthesizes all nine corpus classes.
+/// Synthesizes all nine corpus classes, fanning the classes out across
+/// the worker pool (`threads` = 0 means one worker per core).
+///
+/// Each class is one job on the outer pool; the per-class pipeline then
+/// runs its own sharded stages sequentially (inner `threads = 1` whenever
+/// the outer pool is parallel) so the machine is never oversubscribed.
+/// Output is identical at any thread count: per-class synthesis is a pure
+/// function of `(entry, opts)` and the result vector preserves corpus
+/// order.
+pub fn synthesize_corpus(opts: &SynthesisOptions, threads: usize) -> Vec<ClassRun> {
+    let outer = narada_core::effective_threads(threads);
+    let inner_opts = SynthesisOptions {
+        threads: if outer > 1 { 1 } else { opts.threads },
+        ..opts.clone()
+    };
+    let entries = narada_corpus::all();
+    narada_core::parallel_map(threads, &entries, |_, entry| {
+        ClassRun::synthesize(*entry, &inner_opts)
+    })
+}
+
+/// Synthesizes all nine corpus classes. Thread count comes from
+/// `opts.threads` (the bench bins plumb `NARADA_THREADS` through here).
 pub fn run_all(opts: &SynthesisOptions) -> Vec<ClassRun> {
-    narada_corpus::all()
-        .into_iter()
-        .map(|e| ClassRun::synthesize(e, opts))
-        .collect()
+    synthesize_corpus(opts, opts.threads)
+}
+
+/// Reads the shared `NARADA_THREADS` knob for the bench bins (`0` /
+/// unset = one worker per core).
+pub fn env_threads() -> usize {
+    std::env::var("NARADA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Formats a duration as fractional seconds.
@@ -168,6 +198,9 @@ mod tests {
             ],
         );
         let widths: Vec<usize> = t.lines().map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{t}"
+        );
     }
 }

@@ -17,12 +17,11 @@
 
 use narada_lang::hir::{ClassId, MethodId, Program, Ty};
 use narada_lang::mir::MirProgram;
+use narada_vm::rng::SplitMix64;
 use narada_vm::{
     Machine, MachineOptions, NullSink, ObjId, PendingInvoke, RandomScheduler, RunOutcome,
     SerialScheduler, ThreadStatus, Value,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator options.
 #[derive(Debug, Clone)]
@@ -123,7 +122,7 @@ enum ArgTemplate {
 
 /// Runs the ConTeGe-style campaign against the library classes of `prog`.
 pub fn run_contege(prog: &Program, mir: &MirProgram, opts: &ContegeOptions) -> ContegeResult {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = SplitMix64::seed_from_u64(opts.seed);
     let gen = Generator::new(prog);
     let mut result = ContegeResult::default();
     if gen.constructible.is_empty() {
@@ -168,10 +167,13 @@ impl<'p> Generator<'p> {
             })
             .map(|c| c.id)
             .collect();
-        Generator { prog, constructible }
+        Generator {
+            prog,
+            constructible,
+        }
     }
 
-    fn generate(&self, rng: &mut StdRng, opts: &ContegeOptions) -> Option<GeneratedTest> {
+    fn generate(&self, rng: &mut SplitMix64, opts: &ContegeOptions) -> Option<GeneratedTest> {
         // The pool: indices 0..N of objects created at setup. Object 0 is
         // the "class under test" instance both suffixes share.
         let pool_size = 1 + rng.gen_range(1..4usize);
@@ -195,7 +197,7 @@ impl<'p> Generator<'p> {
         Some(GeneratedTest { prefix, suffixes })
     }
 
-    fn random_call(&self, rng: &mut StdRng, pool: usize) -> Option<CallTemplate> {
+    fn random_call(&self, rng: &mut SplitMix64, pool: usize) -> Option<CallTemplate> {
         // Pick a random instance method of a random constructible class.
         for _ in 0..16 {
             let class = self.constructible[rng.gen_range(0..self.constructible.len())];
@@ -351,7 +353,9 @@ fn materialize(
     let m = prog.method(call.method);
     let recv = match call.recv {
         None => None,
-        Some(i) => Some(Value::Ref(compatible_pool_obj(prog, machine, pool, i, m.owner)?)),
+        Some(i) => Some(Value::Ref(compatible_pool_obj(
+            prog, machine, pool, i, m.owner,
+        )?)),
     };
     let mut args = Vec::with_capacity(call.args.len());
     for (slot, a) in call.args.iter().enumerate() {
@@ -392,11 +396,11 @@ fn execute_test(
     test: &GeneratedTest,
     test_index: usize,
     opts: &ContegeOptions,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Option<Violation> {
     let pool_size = 4;
     for _ in 0..opts.schedules_per_test {
-        let schedule_seed = rng.gen::<u64>();
+        let schedule_seed = rng.next_u64();
         let concurrent = run_once(prog, mir, test, pool_size, opts, Some(schedule_seed))?;
         match concurrent {
             Outcome::Clean => continue,

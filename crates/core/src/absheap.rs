@@ -19,8 +19,8 @@
 //! all of them, cf. the `x.f := y` rule of Fig. 7).
 
 use crate::path::PathField;
-use narada_vm::{InvId, ObjId};
 use narada_lang::mir::VarId;
+use narada_vm::{InvId, ObjId};
 use std::collections::HashMap;
 
 /// An abstract heap location.

@@ -50,7 +50,10 @@ pub struct AccessRecord {
 impl AccessRecord {
     /// Owner path (the path minus the leaf), when available.
     pub fn owner_path(&self) -> Option<IPath> {
-        self.path.as_ref().and_then(|p| p.split_last()).map(|(o, _)| o)
+        self.path
+            .as_ref()
+            .and_then(|p| p.split_last())
+            .map(|(o, _)| o)
     }
 
     /// Grouping key for pair generation: accesses can only race when they
@@ -186,9 +189,7 @@ impl Analysis {
     /// Unprotected accesses (candidates for racing pairs), constructors
     /// excluded per §4.
     pub fn unprotected(&self) -> impl Iterator<Item = &AccessRecord> {
-        self.accesses
-            .iter()
-            .filter(|a| a.unprotected && !a.in_ctor)
+        self.accesses.iter().filter(|a| a.unprotected && !a.in_ctor)
     }
 
     /// Setter summaries whose target is rooted at the receiver and whose

@@ -165,10 +165,7 @@ impl<'p> Analyzer<'p> {
                         Some(l) => *l,
                         // Scalars with no caller symbol: fresh location,
                         // controllable when client-supplied.
-                        None => {
-                            
-                            self.heap.bind_opaque(*inv, *var)
-                        }
+                        None => self.heap.bind_opaque(*inv, *var),
                     };
                     self.heap.bind_var(*inv, *var, l);
                 }
@@ -224,10 +221,7 @@ impl<'p> Analyzer<'p> {
             }
 
             EventKind::InvokeEnd {
-                inv,
-                ret_var,
-                ret,
-                ..
+                inv, ret_var, ret, ..
             } => {
                 // Record the return-value location for CallResult copies.
                 let ret_loc = match ret {
@@ -276,9 +270,7 @@ impl<'p> Analyzer<'p> {
                 }
             },
 
-            EventKind::Alloc {
-                inv, dst, obj, ..
-            } => {
+            EventKind::Alloc { inv, dst, obj, .. } => {
                 // The `alloc` rule: client allocations are controllable,
                 // library-internal ones are not.
                 let controllable = self.in_client_scope(*inv);
@@ -335,9 +327,7 @@ impl<'p> Analyzer<'p> {
                 self.record_access(ev, *inv, owner, pf, true, writeable);
                 // D entry → setter summary when both paths are known and we
                 // are inside a library method.
-                let src_controllable = src_loc
-                    .map(|l| self.heap.controllable(l))
-                    .unwrap_or(false);
+                let src_controllable = src_loc.map(|l| self.heap.controllable(l)).unwrap_or(false);
                 if writeable {
                     if let (Some(root), Some(src_loc)) = (&mut self.root, src_loc) {
                         let lhs = root.paths.get(&owner).cloned();
@@ -420,11 +410,7 @@ impl<'p> Analyzer<'p> {
                 path: root.paths.get(l).cloned(),
             })
             .collect();
-        let in_ctor = self
-            .invs
-            .get(&inv)
-            .map(|i| i.ctor_chain)
-            .unwrap_or(false);
+        let in_ctor = self.invs.get(&inv).map(|i| i.ctor_chain).unwrap_or(false);
         let field = pf.field();
         self.out.accesses.push(AccessRecord {
             label: ev.label,

@@ -134,7 +134,11 @@ impl TestPlan {
     pub fn render(&self, prog: &Program) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "// race on {:?} (labels {} / {})", self.key, self.labels.0, self.labels.1);
+        let _ = writeln!(
+            out,
+            "// race on {:?} (labels {} / {})",
+            self.key, self.labels.0, self.labels.1
+        );
         for (i, c) in self.captures.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -171,8 +175,14 @@ fn render_call(prog: &Program, c: &PlanCall) -> String {
 impl fmt::Display for ObjRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ObjRef::Capture { capture, slot: Slot::Recv } => write!(f, "cap{capture}.recv"),
-            ObjRef::Capture { capture, slot: Slot::Arg(i) } => write!(f, "cap{capture}.arg{i}"),
+            ObjRef::Capture {
+                capture,
+                slot: Slot::Recv,
+            } => write!(f, "cap{capture}.recv"),
+            ObjRef::Capture {
+                capture,
+                slot: Slot::Arg(i),
+            } => write!(f, "cap{capture}.arg{i}"),
             ObjRef::Built { builder } => write!(f, "built{builder}"),
         }
     }
@@ -259,11 +269,7 @@ impl Deriver<'_> {
             if self.opts.lockset_aware && lock_collision(&x.locks, &y.locks, &q1, &q2) {
                 continue;
             }
-            let snapshot = (
-                self.captures.len(),
-                self.builders.len(),
-                self.setters.len(),
-            );
+            let snapshot = (self.captures.len(), self.builders.len(), self.setters.len());
             if let Some(()) = self.build_sharing(x, y, &q1, &q2, &mut call1, &mut call2) {
                 return TestPlan {
                     captures: std::mem::take(&mut self.captures),
@@ -303,11 +309,7 @@ impl Deriver<'_> {
                 if !compatible {
                     continue;
                 }
-                let snapshot = (
-                    self.captures.len(),
-                    self.builders.len(),
-                    self.setters.len(),
-                );
+                let snapshot = (self.captures.len(), self.builders.len(), self.setters.len());
                 if self
                     .build_sharing(x, y, &q1, &q2, &mut call1, &mut call2)
                     .is_some()
@@ -544,7 +546,9 @@ impl Deriver<'_> {
                 .cloned()
                 .collect();
             for s in &head_setters {
-                let PathRoot::Param(j) = s.rhs.root else { continue };
+                let PathRoot::Param(j) = s.rhs.root else {
+                    continue;
+                };
                 let snapshot = (self.captures.len(), self.setters.len(), self.builders.len());
                 // Intermediate object: the collected argument of the head
                 // setter.
@@ -642,7 +646,12 @@ impl Deriver<'_> {
     /// Builder route: find a return summary `I_r.chain ⤳ I_pj` on a method
     /// returning something compatible with `root_ty`, and build the root by
     /// calling it with `shared` in position `j`.
-    fn derive_builder(&mut self, root_ty: &Ty, chain: &[PathField], shared: ObjRef) -> Option<ObjRef> {
+    fn derive_builder(
+        &mut self,
+        root_ty: &Ty,
+        chain: &[PathField],
+        shared: ObjRef,
+    ) -> Option<ObjRef> {
         self.derive_builder_impl(root_ty, chain, Some(shared))
             .map(|(built, _)| built)
     }
@@ -669,9 +678,9 @@ impl Deriver<'_> {
                 r.ret_path.fields == chain
                     && r.src.fields.is_empty()
                     && matches!(r.src.root, PathRoot::Param(_))
-                    && self.builder_result_ty(r.method).is_some_and(|t| {
-                        self.prog.tys_compatible(&t, root_ty)
-                    })
+                    && self
+                        .builder_result_ty(r.method)
+                        .is_some_and(|t| self.prog.tys_compatible(&t, root_ty))
             })
             .cloned()
             .collect();
@@ -791,7 +800,10 @@ mod tests {
     fn path(root: PathRoot, fields: &[u32]) -> IPath {
         IPath {
             root,
-            fields: fields.iter().map(|&f| PathField::Field(FieldId(f))).collect(),
+            fields: fields
+                .iter()
+                .map(|&f| PathField::Field(FieldId(f)))
+                .collect(),
         }
     }
 

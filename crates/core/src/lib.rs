@@ -59,6 +59,7 @@ pub mod analyze;
 pub mod context;
 pub mod options;
 pub mod pairs;
+pub mod parallel;
 pub mod path;
 pub mod pipeline;
 pub mod synth;
@@ -68,6 +69,7 @@ pub use analyze::analyze;
 pub use context::{derive_plan, CaptureSpec, ObjRef, PlanCall, Slot, TestPlan};
 pub use options::SynthesisOptions;
 pub use pairs::{generate_pairs, PairSet, RacePair};
+pub use parallel::{available_threads, effective_threads, parallel_map, StageTimings};
 pub use path::{IPath, PathField, PathRoot};
 pub use pipeline::{synthesize, synthesize_source, SynthesisOutput};
 pub use synth::{execute_plan, execute_plan_fresh, ExecError, ExecReport, SynthesizedTest};

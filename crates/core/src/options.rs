@@ -22,6 +22,10 @@ pub struct SynthesisOptions {
     pub max_pairs_per_key: usize,
     /// Maximum recursion depth for the `Q` setter derivation.
     pub max_setter_depth: usize,
+    /// Worker threads for the sharded pipeline stages (`0` = one per
+    /// core). Results are identical at any value — see
+    /// [`crate::parallel`] — so this is purely a throughput knob.
+    pub threads: usize,
 }
 
 impl Default for SynthesisOptions {
@@ -32,6 +36,7 @@ impl Default for SynthesisOptions {
             lockset_aware: true,
             max_pairs_per_key: 256,
             max_setter_depth: 4,
+            threads: 0,
         }
     }
 }

@@ -40,11 +40,7 @@ impl PairSet {
 }
 
 /// Generates racing pairs from an analysis result.
-pub fn generate_pairs(
-    _prog: &Program,
-    analysis: &Analysis,
-    opts: &SynthesisOptions,
-) -> PairSet {
+pub fn generate_pairs(_prog: &Program, analysis: &Analysis, opts: &SynthesisOptions) -> PairSet {
     // 1. Deduplicate dynamic accesses to static ones: the paper's racing
     //    pairs are per (client-invoked method, access path, kind) — all
     //    source sites inside one method that touch the same client-visible

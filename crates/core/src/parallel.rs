@@ -1,0 +1,268 @@
+//! Work-sharded deterministic parallel execution.
+//!
+//! The Narada pipeline is embarrassingly parallel at three levels — per
+//! class (corpus synthesis), per racing pair (context derivation), and per
+//! schedule trial (detection) — and all three funnel through the one
+//! primitive here: [`parallel_map`], an index-claiming fork/join over a
+//! frozen work slice.
+//!
+//! ## Why results are thread-count-invariant
+//!
+//! Three properties combine to make output at `--threads N` byte-identical
+//! to `--threads 1`:
+//!
+//! 1. **frozen input** — work items live in an immutable slice fixed
+//!    before any worker starts; workers claim *indices* from an
+//!    [`AtomicUsize`], so scheduling affects only *who* computes an item,
+//!    never *what* the item is;
+//! 2. **pure jobs** — each job is a function of its item and index alone.
+//!    Stochastic jobs derive their RNG seed from job identity
+//!    (`derive_seed(base, &[class, pair, trial])`,
+//!    see [`narada_vm::rng`]), never from a shared generator whose
+//!    consumption order would depend on scheduling;
+//! 3. **index-ordered merge** — workers buffer `(index, result)` locally
+//!    and the merge writes results back by index, so the output vector is
+//!    independent of completion order.
+//!
+//! A worker panic is re-raised on the caller's thread after the scope
+//! joins, preserving the usual test-failure behavior.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of workers the host can usefully run (`available_parallelism`,
+/// 1 when the query fails).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a requested thread count: `0` means "use every core"
+/// (the CLI's `--threads` default), anything else is taken literally.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every item of `items`, fanning out across at most
+/// `threads` workers (`0` = all cores), and returns the results **in item
+/// order** regardless of which worker computed what.
+///
+/// `f` receives `(index, &item)` so stochastic jobs can derive per-job
+/// seeds from the index. With `threads <= 1` (or fewer than two items) the
+/// map runs inline on the caller's thread — the sequential and parallel
+/// paths produce identical output by construction, which the
+/// `parallel_determinism` regression suite locks in.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Each worker's buffered `(index, result)` pairs, or its panic payload.
+    type Shard<R> = Result<Vec<(usize, R)>, Box<dyn std::any::Any + Send>>;
+
+    // Lock-free index-claiming queue over the frozen slice.
+    let next = AtomicUsize::new(0);
+    let shards: Vec<Shard<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(std::thread::ScopedJoinHandle::join)
+            .collect()
+    });
+
+    let mut merged: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for shard in shards {
+        match shard {
+            Ok(results) => {
+                for (i, r) in results {
+                    merged[i] = Some(r);
+                }
+            }
+            Err(p) => panic = Some(p),
+        }
+    }
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    merged
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Wall-clock breakdown of one pipeline run, per stage, plus the job
+/// throughput of the sharded stages — the measurement the `--threads`
+/// speedup claims are checked against (`results/`).
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    /// Effective worker count the sharded stages ran with.
+    pub threads: usize,
+    /// Stage 1 — sequential seed-suite execution and tracing.
+    pub trace: Duration,
+    /// Stage 1b — the Access Analyzer over the recorded trace.
+    pub analyze: Duration,
+    /// Stage 2a — the Pair Generator.
+    pub pairs: Duration,
+    /// Stage 2b/3 — context derivation + dedup (sharded over pairs).
+    pub derive: Duration,
+    /// Number of derivation jobs (racing pairs processed).
+    pub derive_jobs: usize,
+    /// Filled in by detection drivers: wall-clock and job count of the
+    /// sharded detector trials, when a detect pass ran.
+    pub detect: Option<(Duration, usize)>,
+}
+
+impl StageTimings {
+    /// Sum of the recorded stage wall-clocks.
+    pub fn total(&self) -> Duration {
+        self.trace
+            + self.analyze
+            + self.pairs
+            + self.derive
+            + self.detect.map(|(d, _)| d).unwrap_or_default()
+    }
+
+    /// Derivation throughput in jobs/second.
+    pub fn derive_jobs_per_sec(&self) -> f64 {
+        jobs_per_sec(self.derive_jobs, self.derive)
+    }
+
+    /// Records the detect stage (called by detection drivers after the
+    /// fact — synthesis itself never runs detectors).
+    pub fn record_detect(&mut self, wall: Duration, jobs: usize) {
+        self.detect = Some((wall, jobs));
+    }
+
+    /// Multi-line human-readable breakdown, as printed by the CLI.
+    pub fn render(&self) -> String {
+        let mut out = format!("stage timings (threads = {}):\n", self.threads);
+        let line = |name: &str, d: Duration| format!("  {name:<8} {:>9.3}s\n", d.as_secs_f64());
+        out.push_str(&line("trace", self.trace));
+        out.push_str(&line("analyze", self.analyze));
+        out.push_str(&line("pairs", self.pairs));
+        out.push_str(&format!(
+            "  {:<8} {:>9.3}s  ({} jobs, {:.0} jobs/s)\n",
+            "derive",
+            self.derive.as_secs_f64(),
+            self.derive_jobs,
+            self.derive_jobs_per_sec(),
+        ));
+        if let Some((wall, jobs)) = self.detect {
+            out.push_str(&format!(
+                "  {:<8} {:>9.3}s  ({} jobs, {:.0} jobs/s)\n",
+                "detect",
+                wall.as_secs_f64(),
+                jobs,
+                jobs_per_sec(jobs, wall),
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<8} {:>9.3}s\n",
+            "total",
+            self.total().as_secs_f64()
+        ));
+        out
+    }
+}
+
+fn jobs_per_sec(jobs: usize, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        jobs as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
+        parallel_map(8, &(0..57).collect::<Vec<usize>>(), |_, &x| {
+            counters[x].fetch_add(1, Ordering::Relaxed)
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        assert_eq!(effective_threads(0), available_threads());
+        assert_eq!(effective_threads(3), 3);
+        let out = parallel_map(0, &(0..32).collect::<Vec<usize>>(), |_, &x| x + 1);
+        assert_eq!(out, (1..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(4, &(0..16).collect::<Vec<usize>>(), |_, &x| {
+                assert!(x != 9, "boom");
+                x
+            })
+        });
+        assert!(r.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn timings_render_mentions_all_stages() {
+        let mut t = StageTimings {
+            threads: 4,
+            derive_jobs: 10,
+            ..Default::default()
+        };
+        t.record_detect(Duration::from_millis(5), 3);
+        let s = t.render();
+        for stage in ["trace", "analyze", "pairs", "derive", "detect", "total"] {
+            assert!(s.contains(stage), "missing {stage} in:\n{s}");
+        }
+    }
+}

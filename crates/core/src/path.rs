@@ -194,7 +194,10 @@ mod tests {
     fn p(root: PathRoot, fields: &[u32]) -> IPath {
         IPath {
             root,
-            fields: fields.iter().map(|&f| PathField::Field(FieldId(f))).collect(),
+            fields: fields
+                .iter()
+                .map(|&f| PathField::Field(FieldId(f)))
+                .collect(),
         }
     }
 

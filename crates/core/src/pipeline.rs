@@ -10,6 +10,7 @@ use crate::analyze::analyze;
 use crate::context::derive_plan;
 use crate::options::SynthesisOptions;
 use crate::pairs::{generate_pairs, PairSet};
+use crate::parallel::{effective_threads, parallel_map, StageTimings};
 use crate::synth::SynthesizedTest;
 use narada_lang::hir::Program;
 use narada_lang::mir::MirProgram;
@@ -29,6 +30,8 @@ pub struct SynthesisOutput {
     /// Wall-clock time of the whole synthesis (trace + analysis + pairing
     /// + derivation), the paper's Table 4 "Time" column.
     pub elapsed: Duration,
+    /// Per-stage wall-clock breakdown and sharded-stage throughput.
+    pub timings: StageTimings,
     /// Seed tests that failed during tracing (reported, not fatal).
     pub seed_failures: Vec<(String, VmError)>,
 }
@@ -49,8 +52,15 @@ impl SynthesisOutput {
 /// declarations as the sequential seed suite.
 pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> SynthesisOutput {
     let start = Instant::now();
+    let mut timings = StageTimings {
+        threads: effective_threads(opts.threads),
+        ..StageTimings::default()
+    };
 
-    // Stage 1: execute the seed suite, recording traces.
+    // Stage 1: execute the seed suite, recording traces. Sequential by
+    // design: the analysis consumes one totally-ordered trace (object
+    // identity and event labels run across the whole suite).
+    let stage = Instant::now();
     let mut sink = VecSink::new();
     let mut seed_failures = Vec::new();
     {
@@ -61,19 +71,29 @@ pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> 
             }
         }
     }
+    timings.trace = stage.elapsed();
 
     // Stage 1b: the Access Analyzer.
+    let stage = Instant::now();
     let analysis = analyze(prog, &sink.events);
+    timings.analyze = stage.elapsed();
 
     // Stage 2a: the Pair Generator.
+    let stage = Instant::now();
     let pairs = generate_pairs(prog, &analysis, opts);
+    timings.pairs = stage.elapsed();
 
-    // Stage 2b + 3: Context Deriver + plan construction, deduplicated into
-    // a test suite (multiple pairs per test, §5).
+    // Stage 2b + 3: Context Deriver + plan construction. Each pair's
+    // derivation is independent, so the pairs are sharded across the
+    // worker pool; the dedup merge below runs in pair order, making the
+    // suite identical at any thread count (see `parallel`).
+    let stage = Instant::now();
+    let plans = parallel_map(opts.threads, &pairs.pairs, |_, pair| {
+        derive_plan(prog, &analysis, &pairs, pair, opts)
+    });
     let mut by_key: HashMap<String, usize> = HashMap::new();
     let mut tests: Vec<SynthesizedTest> = Vec::new();
-    for (i, pair) in pairs.pairs.iter().enumerate() {
-        let plan = derive_plan(prog, &analysis, &pairs, pair, opts);
+    for (i, plan) in plans.into_iter().enumerate() {
         let key = plan.dedup_key();
         match by_key.get(&key) {
             Some(&t) => tests[t].covered_pairs.push(i),
@@ -88,12 +108,15 @@ pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> 
             }
         }
     }
+    timings.derive = stage.elapsed();
+    timings.derive_jobs = pairs.pairs.len();
 
     SynthesisOutput {
         analysis,
         pairs,
         tests,
         elapsed: start.elapsed(),
+        timings,
         seed_failures,
     }
 }

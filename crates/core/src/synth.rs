@@ -99,9 +99,8 @@ pub fn execute_plan(
                 break;
             }
         }
-        let site = found.ok_or_else(|| {
-            ExecError::CaptureMissed(machine.program.qualified_name(cap.method))
-        })?;
+        let site = found
+            .ok_or_else(|| ExecError::CaptureMissed(machine.program.qualified_name(cap.method)))?;
         captures.push(site);
     }
 

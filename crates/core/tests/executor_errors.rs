@@ -54,8 +54,15 @@ fn capture_miss_is_reported() {
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let mut machine = Machine::with_defaults(&prog, &mir);
     let mut sched = RoundRobin::new();
-    let err = execute_plan(&mut machine, &seeds, &plan, &mut sched, &mut NullSink, 100_000)
-        .expect_err("capture must miss");
+    let err = execute_plan(
+        &mut machine,
+        &seeds,
+        &plan,
+        &mut sched,
+        &mut NullSink,
+        100_000,
+    )
+    .expect_err("capture must miss");
     assert!(matches!(err, ExecError::CaptureMissed(_)), "{err}");
     assert!(err.to_string().contains("never"), "{err}");
 }
@@ -75,8 +82,15 @@ fn failing_seed_is_reported() {
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let mut machine = Machine::with_defaults(&prog, &mir);
     let mut sched = RoundRobin::new();
-    let err = execute_plan(&mut machine, &seeds, &plan, &mut sched, &mut NullSink, 100_000)
-        .expect_err("seed failure must propagate");
+    let err = execute_plan(
+        &mut machine,
+        &seeds,
+        &plan,
+        &mut sched,
+        &mut NullSink,
+        100_000,
+    )
+    .expect_err("seed failure must propagate");
     assert!(matches!(err, ExecError::SeedFailed(_)), "{err}");
 }
 

@@ -81,9 +81,7 @@ fn partial_execution_preserves_the_shared_context() {
     let test = out
         .tests
         .iter()
-        .find(|t| {
-            prog.method(t.plan.racy[0].method).name == "touch" && t.plan.expects_race
-        })
+        .find(|t| prog.method(t.plan.racy[0].method).name == "touch" && t.plan.expects_race)
         .expect("touch||touch test");
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let h_class = prog.class_by_name("H").unwrap();
@@ -148,8 +146,5 @@ fn normal_setters_still_run_to_completion() {
         .map(|t| &t.plan)
         .find(|p| prog.method(p.racy[0].method).name == "touch" && p.expects_race)
         .expect("touch plan");
-    assert!(plan
-        .setters
-        .iter()
-        .all(|s| s.stop_after.is_none()));
+    assert!(plan.setters.iter().all(|s| s.stop_after.is_none()));
 }

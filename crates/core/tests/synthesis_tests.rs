@@ -1,8 +1,6 @@
 //! End-to-end tests of the synthesis pipeline on the paper's own examples.
 
-use narada_core::{
-    execute_plan, synthesize_source, PathRoot, SynthesisOptions,
-};
+use narada_core::{execute_plan, synthesize_source, PathRoot, SynthesisOptions};
 use narada_vm::{Machine, NullSink, RandomScheduler, Value};
 
 /// Fig. 1: `update` is synchronized on the receiver, but two `Lib` objects
@@ -153,9 +151,7 @@ fn fig1_executed_plan_can_lose_update() {
     let test = out
         .tests
         .iter()
-        .find(|t| {
-            prog.method(t.plan.racy[0].method).name == "update" && t.plan.expects_race
-        })
+        .find(|t| prog.method(t.plan.racy[0].method).name == "update" && t.plan.expects_race)
         .expect("update||update test");
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
 
@@ -384,7 +380,8 @@ fn unsynchronized_class_direct_receiver_sharing() {
         .expect("race-expecting plan")
         .plan;
     assert_eq!(
-        plan.racy[0].recv, plan.racy[1].recv,
+        plan.racy[0].recv,
+        plan.racy[1].recv,
         "receivers should be shared when nothing locks them:\n{}",
         plan.render(&prog)
     );

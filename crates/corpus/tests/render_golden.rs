@@ -1,0 +1,69 @@
+//! Golden snapshot of the Fig. 8(b)-style trace rendering for the C1
+//! (hazelcast `WriteBehindQueue`) seed suite.
+//!
+//! The snapshot pins three things at once: the seed trace produced by the
+//! VM under the default deterministic schedule, the `TraceRenderer`
+//! output format (labels, thread ids, `t := b.x` / `lock(this)` lines),
+//! and the stability of both across refactors. Regenerate intentionally
+//! with `UPDATE_GOLDEN=1 cargo test -p narada-corpus --test render_golden`
+//! and review the diff like any other code change.
+
+use narada_lang::lower::lower_program;
+use narada_vm::{Machine, TraceRenderer, VecSink};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/c1_write_behind_queue.trace"
+);
+
+fn render_c1_seed_traces() -> String {
+    let entry = narada_corpus::c1();
+    let prog = entry.compile().expect("C1 compiles");
+    let mir = lower_program(&prog);
+    let mut out = String::new();
+    for test in &prog.tests {
+        let mut machine = Machine::with_defaults(&prog, &mir);
+        let mut sink = VecSink::new();
+        machine
+            .run_test(test.id, &mut sink)
+            .expect("seed test runs");
+        let mut renderer = TraceRenderer::new(&prog, &mir);
+        out.push_str(&format!("### trace of test {}\n", test.name));
+        out.push_str(&renderer.render_all(&sink.events));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn c1_trace_rendering_matches_golden_snapshot() {
+    let rendered = render_c1_seed_traces();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot exists — regenerate with UPDATE_GOLDEN=1");
+    assert!(
+        rendered == golden,
+        "C1 trace rendering drifted from the golden snapshot.\n\
+         If the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test -p narada-corpus --test render_golden\n\
+         and review the diff.\n\nFirst divergence:\n{}",
+        first_diff(&golden, &rendered)
+    );
+}
+
+/// Pinpoints the first differing line so failures read like a diff hunk.
+fn first_diff(golden: &str, got: &str) -> String {
+    for (i, (g, r)) in golden.lines().zip(got.lines()).enumerate() {
+        if g != r {
+            return format!("line {}:\n  golden: {g}\n  got:    {r}", i + 1);
+        }
+    }
+    format!(
+        "line counts differ: golden {} vs got {}",
+        golden.lines().count(),
+        got.lines().count()
+    )
+}

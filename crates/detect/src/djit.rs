@@ -224,11 +224,26 @@ mod tests {
     }
 
     fn lock(label: u64, tid: u32, obj: u32) -> Event {
-        ev(label, tid, EventKind::Lock { inv: InvId(0), var: None, obj: ObjId(obj) })
+        ev(
+            label,
+            tid,
+            EventKind::Lock {
+                inv: InvId(0),
+                var: None,
+                obj: ObjId(obj),
+            },
+        )
     }
 
     fn unlock(label: u64, tid: u32, obj: u32) -> Event {
-        ev(label, tid, EventKind::Unlock { inv: InvId(0), obj: ObjId(obj) })
+        ev(
+            label,
+            tid,
+            EventKind::Unlock {
+                inv: InvId(0),
+                obj: ObjId(obj),
+            },
+        )
     }
 
     #[test]

@@ -58,13 +58,7 @@ impl FastTrackDetector {
         })
     }
 
-    fn report(
-        &mut self,
-        obj: ObjId,
-        field: FieldKey,
-        first: RaceAccess,
-        second: RaceAccess,
-    ) {
+    fn report(&mut self, obj: ObjId, field: FieldKey, first: RaceAccess, second: RaceAccess) {
         let r = RaceReport {
             obj,
             field,
@@ -152,7 +146,9 @@ impl FastTrackDetector {
             }
         }
         state.write = Some((me, span));
-        state.reads.retain(|&u, &mut (c, _)| c > ct.get(u) && u != tid);
+        state
+            .reads
+            .retain(|&u, &mut (c, _)| c > ct.get(u) && u != tid);
         for (first, second) in found {
             self.report(obj, field, first, second);
         }
@@ -233,11 +229,26 @@ mod tests {
     }
 
     fn lock(label: u64, tid: u32, obj: u32) -> Event {
-        ev(label, tid, EventKind::Lock { inv: InvId(0), var: None, obj: ObjId(obj) })
+        ev(
+            label,
+            tid,
+            EventKind::Lock {
+                inv: InvId(0),
+                var: None,
+                obj: ObjId(obj),
+            },
+        )
     }
 
     fn unlock(label: u64, tid: u32, obj: u32) -> Event {
-        ev(label, tid, EventKind::Unlock { inv: InvId(0), obj: ObjId(obj) })
+        ev(
+            label,
+            tid,
+            EventKind::Unlock {
+                inv: InvId(0),
+                obj: ObjId(obj),
+            },
+        )
     }
 
     fn spawn(label: u64, parent: u32, child: u32) -> Event {

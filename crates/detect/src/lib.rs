@@ -29,5 +29,7 @@ pub use fasttrack::FastTrackDetector;
 pub use lockset::LocksetDetector;
 pub use race::{CoarseRaceKey, MethodIndex, RaceAccess, RaceReport, StaticRaceKey};
 pub use racefuzzer::{ConfirmedRace, RaceFuzzerScheduler};
-pub use report::{evaluate_suite, evaluate_test, ClassDetection, DetectConfig, TestReport};
+pub use report::{
+    evaluate_suite, evaluate_test, evaluate_test_indexed, ClassDetection, DetectConfig, TestReport,
+};
 pub use vclock::{Epoch, VectorClock};

@@ -121,9 +121,9 @@ impl LocksetDetector {
             label,
         };
         let history = self.history.entry((obj, field)).or_default();
-        let dup = history
-            .iter()
-            .any(|h| (h.tid, h.is_write, &h.locks, h.span) == (tid, is_write, &summary.locks, span));
+        let dup = history.iter().any(|h| {
+            (h.tid, h.is_write, &h.locks, h.span) == (tid, is_write, &summary.locks, span)
+        });
         if !dup && history.len() < MAX_HISTORY {
             history.push(summary);
         }

@@ -10,9 +10,8 @@
 
 use crate::race::StaticRaceKey;
 use narada_lang::Span;
+use narada_vm::rng::SplitMix64;
 use narada_vm::{FieldKey, Machine, ObjId, Scheduler, ThreadId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// How many scheduling decisions a thread may stay postponed before the
@@ -54,7 +53,7 @@ struct Postponed {
 pub struct RaceFuzzerScheduler {
     /// Target source sites (both sides of the potential race).
     targets: HashSet<Span>,
-    rng: StdRng,
+    rng: SplitMix64,
     postponed: Option<Postponed>,
     /// Races confirmed during the run.
     pub confirmed: Vec<ConfirmedRace>,
@@ -68,7 +67,7 @@ impl RaceFuzzerScheduler {
         targets.insert(target.span_b);
         RaceFuzzerScheduler {
             targets,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             postponed: None,
             confirmed: Vec::new(),
         }
@@ -83,7 +82,7 @@ impl RaceFuzzerScheduler {
         }
         RaceFuzzerScheduler {
             targets,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             postponed: None,
             confirmed: Vec::new(),
         }
@@ -108,8 +107,14 @@ impl RaceFuzzerScheduler {
                 (Some(x), Some(y)) => x.same(y),
                 _ => false,
             },
-            (true, false) => a_value.zip(current).map(|(w, c)| w.same(c)).unwrap_or(false),
-            (false, true) => b_value.zip(current).map(|(w, c)| w.same(c)).unwrap_or(false),
+            (true, false) => a_value
+                .zip(current)
+                .map(|(w, c)| w.same(c))
+                .unwrap_or(false),
+            (false, true) => b_value
+                .zip(current)
+                .map(|(w, c)| w.same(c))
+                .unwrap_or(false),
             (false, false) => true, // cannot happen (no read-read races)
         }
     }
@@ -162,11 +167,7 @@ impl Scheduler for RaceFuzzerScheduler {
                     }
                 }
                 Some(p) => {
-                    if p.tid != t
-                        && p.obj == obj
-                        && p.field == field
-                        && (p.is_write || is_write)
-                    {
+                    if p.tid != t && p.obj == obj && p.field == field && (p.is_write || is_write) {
                         // Both threads poised at the same location: the
                         // race is real. Classify, then let them collide.
                         let benign = Self::classify(

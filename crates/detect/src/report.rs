@@ -10,17 +10,37 @@
 //! 2. for each detected race, re-execute under the RaceFuzzer-style
 //!    directed scheduler targeting its concrete source sites → the
 //!    *reproduced* races, triaged into harmful/benign.
+//!
+//! ## Parallel trial runner
+//!
+//! Every schedule trial (and every confirmation target) is an independent
+//! job: it builds its own [`Machine`], detectors, and scheduler, and its
+//! randomness comes from a seed derived from *job identity* —
+//! `derive_seed(cfg.seed, &[stage, test, trial])` — never from a shared
+//! generator. Jobs are sharded over the worker pool with
+//! [`narada_core::parallel::parallel_map`] and merged in job order, so
+//! detection output is byte-identical at any `threads` value.
 
 use crate::fasttrack::FastTrackDetector;
 use crate::lockset::LocksetDetector;
 use crate::race::{CoarseRaceKey, MethodIndex, RaceReport, StaticRaceKey};
 use crate::racefuzzer::{ConfirmedRace, RaceFuzzerScheduler};
+use narada_core::parallel::parallel_map;
 use narada_core::synth::execute_plan;
 use narada_core::TestPlan;
 use narada_lang::hir::{Program, TestId};
 use narada_lang::mir::MirProgram;
+use narada_vm::rng::derive_seed;
 use narada_vm::{Machine, MachineOptions, RandomScheduler, TeeSink};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// Seed-derivation stage tags (arbitrary distinct constants; changing one
+/// re-rolls every schedule of that stage).
+const STAGE_DETECT_MACHINE: u64 = 1;
+const STAGE_DETECT_SCHED: u64 = 2;
+const STAGE_CONFIRM_MACHINE: u64 = 3;
+const STAGE_CONFIRM_SCHED: u64 = 4;
 
 /// Detection configuration.
 #[derive(Debug, Clone)]
@@ -30,10 +50,14 @@ pub struct DetectConfig {
     /// Number of directed attempts per potential race in the confirmation
     /// pass.
     pub confirm_trials: usize,
-    /// Base RNG seed (each trial derives its own).
+    /// Base RNG seed (each trial derives its own from `(seed, stage,
+    /// test, trial)` — see the module docs).
     pub seed: u64,
     /// Step budget for each concurrent run.
     pub budget: u64,
+    /// Worker threads for the trial runner (`0` = one per core). Purely a
+    /// throughput knob: results are identical at any value.
+    pub threads: usize,
 }
 
 impl Default for DetectConfig {
@@ -43,6 +67,7 @@ impl Default for DetectConfig {
             confirm_trials: 5,
             seed: 0xdecaf,
             budget: 2_000_000,
+            threads: 0,
         }
     }
 }
@@ -72,13 +97,90 @@ impl TestReport {
     }
 }
 
-/// Runs the full detection protocol on one synthesized test plan.
-pub fn evaluate_test(
+/// One detection-pass trial: a fresh machine + detectors under a random
+/// schedule derived from `(base_seed, test, trial)`. Pure function of its
+/// arguments — the unit of work the parallel runner shards.
+fn detection_trial(
     prog: &Program,
     mir: &MirProgram,
     seeds: &[TestId],
     plan: &TestPlan,
     cfg: &DetectConfig,
+    test_idx: u64,
+    trial: u64,
+) -> Result<Vec<RaceReport>, String> {
+    let mut machine = Machine::new(
+        prog,
+        mir,
+        MachineOptions {
+            seed: derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, trial]),
+            ..MachineOptions::default()
+        },
+    );
+    let mut lockset = LocksetDetector::new();
+    let mut hb = FastTrackDetector::new();
+    let mut sink = TeeSink {
+        a: &mut lockset,
+        b: &mut hb,
+    };
+    let mut sched = RandomScheduler::new(derive_seed(
+        cfg.seed,
+        &[STAGE_DETECT_SCHED, test_idx, trial],
+    ));
+    execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget)
+        .map_err(|e| e.to_string())?;
+    Ok(lockset.races().iter().chain(hb.races()).cloned().collect())
+}
+
+/// One confirmation job: directed re-execution attempts targeting each
+/// witnessing site pair of a single coarse race, first confirmation wins.
+fn confirm_race(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    cfg: &DetectConfig,
+    test_idx: u64,
+    fine_keys: &[StaticRaceKey],
+) -> Option<ConfirmedRace> {
+    for fine in fine_keys {
+        for trial in 0..cfg.confirm_trials as u64 {
+            let mut machine = Machine::new(
+                prog,
+                mir,
+                MachineOptions {
+                    seed: derive_seed(cfg.seed, &[STAGE_CONFIRM_MACHINE, test_idx, trial]),
+                    ..MachineOptions::default()
+                },
+            );
+            let mut sched = RaceFuzzerScheduler::new(
+                *fine,
+                derive_seed(cfg.seed, &[STAGE_CONFIRM_SCHED, test_idx, trial]),
+            );
+            let mut sink = narada_vm::NullSink;
+            if execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget).is_err() {
+                continue;
+            }
+            if let Some(c) = sched.confirmed.into_iter().find(|c| c.key == *fine) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Runs the full detection protocol on one synthesized test plan.
+///
+/// `test_idx` salts the trial seeds so distinct tests explore distinct
+/// schedules; [`evaluate_suite`] passes each plan's index, direct callers
+/// can pass `0`.
+pub fn evaluate_test_indexed(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    cfg: &DetectConfig,
+    test_idx: u64,
 ) -> TestReport {
     let index = MethodIndex::new(prog);
     let mut report = TestReport::default();
@@ -87,75 +189,55 @@ pub fn evaluate_test(
     let mut detected: BTreeMap<CoarseRaceKey, Vec<StaticRaceKey>> = BTreeMap::new();
     let mut seen_fine: BTreeSet<StaticRaceKey> = BTreeSet::new();
 
-    // Pass 1: random schedules with passive detectors.
-    for trial in 0..cfg.schedule_trials {
-        let mut machine = Machine::new(
-            prog,
-            mir,
-            MachineOptions {
-                seed: cfg.seed ^ (trial as u64),
-                ..MachineOptions::default()
-            },
-        );
-        let mut lockset = LocksetDetector::new();
-        let mut hb = FastTrackDetector::new();
-        let mut sink = TeeSink {
-            a: &mut lockset,
-            b: &mut hb,
-        };
-        let mut sched = RandomScheduler::new(cfg.seed.wrapping_add(trial as u64 * 977));
-        match execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget) {
-            Ok(_) => {}
+    // Pass 1: random schedules with passive detectors, sharded per trial;
+    // the merge below consumes results in trial order.
+    let trials: Vec<u64> = (0..cfg.schedule_trials as u64).collect();
+    let trial_results = parallel_map(cfg.threads, &trials, |_, &trial| {
+        detection_trial(prog, mir, seeds, plan, cfg, test_idx, trial)
+    });
+    for result in trial_results {
+        match result {
+            Ok(reports) => {
+                for r in reports {
+                    let fine = r.static_key();
+                    if seen_fine.insert(fine) {
+                        detected.entry(index.coarsen(&r)).or_default().push(fine);
+                    }
+                }
+            }
             Err(e) => {
-                report.setup_errors.push(e.to_string());
+                report.setup_errors.push(e);
                 return report;
             }
         }
-        let reports: Vec<RaceReport> = lockset
-            .races()
-            .iter()
-            .chain(hb.races())
-            .cloned()
-            .collect();
-        for r in reports {
-            let fine = r.static_key();
-            if seen_fine.insert(fine) {
-                detected.entry(index.coarsen(&r)).or_default().push(fine);
-            }
+    }
+
+    // Pass 2: directed confirmation, one job per coarse race, merged in
+    // key order.
+    let targets: Vec<(CoarseRaceKey, Vec<StaticRaceKey>)> = detected.into_iter().collect();
+    let confirmations = parallel_map(cfg.threads, &targets, |_, (_, fine_keys)| {
+        confirm_race(prog, mir, seeds, plan, cfg, test_idx, fine_keys)
+    });
+    for ((coarse, _), confirmed) in targets.iter().zip(confirmations) {
+        if let Some(c) = confirmed {
+            report.reproduced.push((*coarse, c));
         }
     }
 
-    // Pass 2: directed confirmation per coarse race, targeting each of its
-    // witnessing site pairs in turn.
-    for (coarse, fine_keys) in &detected {
-        'confirm: for fine in fine_keys {
-            for trial in 0..cfg.confirm_trials {
-                let mut machine = Machine::new(
-                    prog,
-                    mir,
-                    MachineOptions {
-                        seed: cfg.seed ^ 0x5eed ^ (trial as u64),
-                        ..MachineOptions::default()
-                    },
-                );
-                let mut sched =
-                    RaceFuzzerScheduler::new(*fine, cfg.seed.wrapping_add(31 * trial as u64));
-                let mut sink = narada_vm::NullSink;
-                if execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget)
-                    .is_err()
-                {
-                    continue;
-                }
-                if let Some(c) = sched.confirmed.into_iter().find(|c| c.key == *fine) {
-                    report.reproduced.push((*coarse, c));
-                    break 'confirm;
-                }
-            }
-        }
-    }
-
-    report.detected = detected.into_keys().collect();
+    report.detected = targets.into_iter().map(|(k, _)| k).collect();
     report
+}
+
+/// Runs the full detection protocol on one synthesized test plan (trial
+/// seeds salted with test index 0; see [`evaluate_test_indexed`]).
+pub fn evaluate_test(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    cfg: &DetectConfig,
+) -> TestReport {
+    evaluate_test_indexed(prog, mir, seeds, plan, cfg, 0)
 }
 
 /// Aggregated per-class detection numbers (one Table 5 row).
@@ -171,9 +253,19 @@ pub struct ClassDetection {
     pub unreproduced: usize,
     /// Per-test detected-race counts (Fig. 14's distribution input).
     pub per_test_races: Vec<usize>,
+    /// Wall-clock of the whole evaluation.
+    pub elapsed: Duration,
+    /// Trial jobs executed (schedule trials + confirmation targets),
+    /// the denominator of the detect-stage jobs/sec figure.
+    pub jobs: usize,
 }
 
 /// Evaluates a whole synthesized suite and aggregates per-class numbers.
+///
+/// Plans are fanned out across the worker pool (each plan's trials then
+/// run inline, so the pool is never oversubscribed); the aggregation
+/// walks the reports in plan order, keeping the totals identical at any
+/// thread count.
 pub fn evaluate_suite(
     prog: &Program,
     mir: &MirProgram,
@@ -181,14 +273,26 @@ pub fn evaluate_suite(
     plans: &[&TestPlan],
     cfg: &DetectConfig,
 ) -> ClassDetection {
+    let start = Instant::now();
+    // Outer fan-out over plans; inner trial runner forced sequential so
+    // worker count stays bounded by `threads`.
+    let inner_cfg = DetectConfig {
+        threads: 1,
+        ..cfg.clone()
+    };
+    let reports = parallel_map(cfg.threads, plans, |i, plan| {
+        evaluate_test_indexed(prog, mir, seeds, plan, &inner_cfg, i as u64)
+    });
+
     let mut all_detected: BTreeSet<CoarseRaceKey> = BTreeSet::new();
     let mut all_reproduced: BTreeSet<CoarseRaceKey> = BTreeSet::new();
     let mut harmful = 0usize;
     let mut benign = 0usize;
     let mut per_test = Vec::with_capacity(plans.len());
-    for plan in plans {
-        let rep = evaluate_test(prog, mir, seeds, plan, cfg);
+    let mut jobs = 0usize;
+    for rep in &reports {
         per_test.push(rep.detected.len());
+        jobs += cfg.schedule_trials + rep.detected.len();
         for k in &rep.detected {
             all_detected.insert(*k);
         }
@@ -208,5 +312,7 @@ pub fn evaluate_suite(
         benign,
         unreproduced: all_detected.len().saturating_sub(all_reproduced.len()),
         per_test_races: per_test,
+        elapsed: start.elapsed(),
+        jobs,
     }
 }

@@ -163,11 +163,20 @@ mod tests {
     fn epoch_leq() {
         let mut vc = VectorClock::new();
         vc.set(t(2), 4);
-        let e = Epoch { tid: t(2), clock: 3 };
+        let e = Epoch {
+            tid: t(2),
+            clock: 3,
+        };
         assert!(e.leq(&vc));
-        let e2 = Epoch { tid: t(2), clock: 5 };
+        let e2 = Epoch {
+            tid: t(2),
+            clock: 5,
+        };
         assert!(!e2.leq(&vc));
-        let e3 = Epoch { tid: t(1), clock: 1 };
+        let e3 = Epoch {
+            tid: t(1),
+            clock: 1,
+        };
         assert!(!e3.leq(&vc), "different thread with clock 0");
     }
 }

@@ -29,6 +29,7 @@ fn cfg() -> DetectConfig {
         confirm_trials: 6,
         seed: 42,
         budget: 2_000_000,
+        threads: 0,
     }
 }
 

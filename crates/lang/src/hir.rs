@@ -492,10 +492,7 @@ impl Program {
 
     /// Looks up a test by name.
     pub fn test_by_name(&self, name: &str) -> Option<TestId> {
-        self.tests
-            .iter()
-            .find(|t| t.name == name)
-            .map(|t| t.id)
+        self.tests.iter().find(|t| t.name == name).map(|t| t.id)
     }
 
     /// Resolves a method by name on `class` through the vtable (dynamic

@@ -183,7 +183,11 @@ mod tests {
     use crate::token::TokenKind as K;
 
     fn kinds(src: &str) -> Vec<K> {
-        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -238,12 +242,18 @@ mod tests {
 
     #[test]
     fn lex_line_comment() {
-        assert_eq!(kinds("1 // two three\n2"), vec![K::Int(1), K::Int(2), K::Eof]);
+        assert_eq!(
+            kinds("1 // two three\n2"),
+            vec![K::Int(1), K::Int(2), K::Eof]
+        );
     }
 
     #[test]
     fn lex_block_comment_nested() {
-        assert_eq!(kinds("1 /* a /* b */ c */ 2"), vec![K::Int(1), K::Int(2), K::Eof]);
+        assert_eq!(
+            kinds("1 /* a /* b */ c */ 2"),
+            vec![K::Int(1), K::Int(2), K::Eof]
+        );
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub fn lower_program(prog: &Program) -> MirProgram {
     }
     for f in &prog.fields {
         if let Some(init) = &f.init {
-            mir.field_inits.insert(f.id, lower_field_init(prog, f, init));
+            mir.field_inits
+                .insert(f.id, lower_field_init(prog, f, init));
         }
     }
     mir
@@ -172,7 +173,9 @@ impl LowerCx {
     fn patch_branch(&mut self, at: usize, then_t: Option<usize>, else_t: Option<usize>) {
         match &mut self.instrs[at].kind {
             InstrKind::Branch {
-                then_t: t, else_t: e, ..
+                then_t: t,
+                else_t: e,
+                ..
             } => {
                 if let Some(v) = then_t {
                     *t = v;
@@ -352,7 +355,13 @@ impl LowerCx {
                 // Short-circuit: result := lhs; branch; result := rhs.
                 let result = self.fresh_temp();
                 let l = self.expr(prog, lhs);
-                self.emit(InstrKind::Copy { dst: result, src: l }, *span);
+                self.emit(
+                    InstrKind::Copy {
+                        dst: result,
+                        src: l,
+                    },
+                    *span,
+                );
                 let br = self.emit(
                     InstrKind::Branch {
                         cond: result,
@@ -363,7 +372,13 @@ impl LowerCx {
                 );
                 let rhs_start = self.here();
                 let r = self.expr(prog, rhs);
-                self.emit(InstrKind::Copy { dst: result, src: r }, *span);
+                self.emit(
+                    InstrKind::Copy {
+                        dst: result,
+                        src: r,
+                    },
+                    *span,
+                );
                 let after = self.here();
                 match op {
                     BinOp::And => self.patch_branch(br, Some(rhs_start), Some(after)),
@@ -449,18 +464,9 @@ impl LowerCx {
                 ctor,
                 span,
             } => {
-                let args: Vec<VarId> = args
-                    .iter()
-                    .map(|a| self.expr_inner(prog, a))
-                    .collect();
+                let args: Vec<VarId> = args.iter().map(|a| self.expr_inner(prog, a)).collect();
                 let dst = self.fresh_temp();
-                self.emit(
-                    InstrKind::AllocObj {
-                        dst,
-                        class: *class,
-                    },
-                    *span,
-                );
+                self.emit(InstrKind::AllocObj { dst, class: *class }, *span);
                 // Field initializers, parent-first (all_fields order).
                 for &f in prog.fields_of(*class) {
                     if prog.field(f).init.is_some() {
@@ -500,10 +506,7 @@ impl LowerCx {
                 span,
             } => {
                 let recv = self.expr_inner(prog, recv);
-                let args = args
-                    .iter()
-                    .map(|a| self.expr_inner(prog, a))
-                    .collect();
+                let args = args.iter().map(|a| self.expr_inner(prog, a)).collect();
                 let dst = self.fresh_temp();
                 self.emit(
                     InstrKind::Call {
@@ -517,10 +520,7 @@ impl LowerCx {
                 dst
             }
             hir::Expr::StaticCall { method, args, span } => {
-                let args = args
-                    .iter()
-                    .map(|a| self.expr_inner(prog, a))
-                    .collect();
+                let args = args.iter().map(|a| self.expr_inner(prog, a)).collect();
                 let dst = self.fresh_temp();
                 self.emit(
                     InstrKind::CallStatic {
@@ -668,9 +668,13 @@ mod tests {
             body.dump()
         );
         // No Binary instruction with And remains.
-        assert!(!body.instrs.iter().any(
-            |i| matches!(i.kind, InstrKind::Binary { op: BinOp::And | BinOp::Or, .. })
-        ));
+        assert!(!body.instrs.iter().any(|i| matches!(
+            i.kind,
+            InstrKind::Binary {
+                op: BinOp::And | BinOp::Or,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -393,7 +393,10 @@ impl Body {
             InstrKind::AllocObj { dst, class } => format!("{} := alloc {class}", n(dst)),
             InstrKind::CallInit { obj, field } => format!("init-field {}.{field}", n(obj)),
             InstrKind::CallExact {
-                dst, recv, method, args,
+                dst,
+                recv,
+                method,
+                args,
             } => {
                 let args: Vec<_> = args.iter().map(n).collect();
                 let d = dst.map(|d| format!("{} := ", n(&d))).unwrap_or_default();
@@ -403,7 +406,11 @@ impl Body {
                 format!("{} := new[]({})", n(dst), n(len))
             }
             InstrKind::Call {
-                dst, recv, method, args, ..
+                dst,
+                recv,
+                method,
+                args,
+                ..
             } => {
                 let args: Vec<_> = args.iter().map(n).collect();
                 let d = dst.map(|d| format!("{} := ", n(&d))).unwrap_or_default();
@@ -415,7 +422,11 @@ impl Body {
                 format!("{d}callstatic {method}({})", args.join(", "))
             }
             InstrKind::Jump { target } => format!("jump {target}"),
-            InstrKind::Branch { cond, then_t, else_t } => {
+            InstrKind::Branch {
+                cond,
+                then_t,
+                else_t,
+            } => {
                 format!("branch {} ? {then_t} : {else_t}", n(cond))
             }
             InstrKind::MonitorEnter { var } => format!("lock({})", n(var)),

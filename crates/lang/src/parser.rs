@@ -203,7 +203,11 @@ impl Parser {
         })
     }
 
-    fn member(&mut self, fields: &mut Vec<FieldDecl>, methods: &mut Vec<MethodDecl>) -> PResult<()> {
+    fn member(
+        &mut self,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> PResult<()> {
         let start = self.span();
         let is_static = self.eat(&TokenKind::Static);
         let is_sync = self.eat(&TokenKind::Sync);
@@ -888,7 +892,12 @@ mod tests {
         let Stmt::Let { init, .. } = &p.tests[0].body.stmts[0] else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = init else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = init
+        else {
             panic!("expected +, got {init:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -934,10 +943,7 @@ mod tests {
     fn field_initializer() {
         let p = ok("class C { int x = 5; C next = null; }");
         assert!(p.classes[0].fields[0].init.is_some());
-        assert!(matches!(
-            p.classes[0].fields[1].init,
-            Some(Expr::Null(_))
-        ));
+        assert!(matches!(p.classes[0].fields[1].init, Some(Expr::Null(_))));
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub fn program(prog: &Program) -> String {
 pub fn class_decl(prog: &Program, class: &Class, out: &mut String) {
     match class.parent {
         Some(p) => {
-            let _ = writeln!(out, "class {} extends {} {{", class.name, prog.class(p).name);
+            let _ = writeln!(
+                out,
+                "class {} extends {} {{",
+                class.name,
+                prog.class(p).name
+            );
         }
         None => {
             let _ = writeln!(out, "class {} {{", class.name);
@@ -388,7 +393,8 @@ mod tests {
         let prog = compile(src).unwrap();
         let printed = program(&prog);
         // Printed output must itself compile, to an equivalent program.
-        let reprog = compile(&printed).unwrap_or_else(|e| panic!("reparse failed:\n{e}\n{printed}"));
+        let reprog =
+            compile(&printed).unwrap_or_else(|e| panic!("reparse failed:\n{e}\n{printed}"));
         assert_eq!(reprog.classes.len(), prog.classes.len());
         assert_eq!(reprog.tests.len(), prog.tests.len());
         let printed2 = program(&reprog);
@@ -421,7 +427,8 @@ mod tests {
         "#;
         let prog = compile(src).unwrap();
         let printed = program(&prog);
-        let reprog = compile(&printed).unwrap_or_else(|e| panic!("reparse failed:\n{e}\n{printed}"));
+        let reprog =
+            compile(&printed).unwrap_or_else(|e| panic!("reparse failed:\n{e}\n{printed}"));
         assert_eq!(program(&reprog), printed);
     }
 

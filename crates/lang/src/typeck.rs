@@ -96,10 +96,9 @@ impl Checker {
                         );
                     }
                     Some(pid) => self.prog.classes[id.index()].parent = Some(pid),
-                    None => self.error(
-                        format!("unknown superclass `{}`", parent.name),
-                        parent.span,
-                    ),
+                    None => {
+                        self.error(format!("unknown superclass `{}`", parent.name), parent.span)
+                    }
                 }
             }
         }
@@ -112,7 +111,10 @@ impl Checker {
             while let Some(p) = cur {
                 if p == slow {
                     self.error(
-                        format!("inheritance cycle involving `{}`", self.prog.class(start).name),
+                        format!(
+                            "inheritance cycle involving `{}`",
+                            self.prog.class(start).name
+                        ),
                         self.prog.class(start).span,
                     );
                     // Break the cycle so later passes terminate.
@@ -158,7 +160,10 @@ impl Checker {
                     .any(|&fid| self.prog.field(fid).name == f.name.name);
                 if dup {
                     self.error(
-                        format!("duplicate field `{}` in class `{}`", f.name.name, decl.name.name),
+                        format!(
+                            "duplicate field `{}` in class `{}`",
+                            f.name.name, decl.name.name
+                        ),
                         f.name.span,
                     );
                     continue;
@@ -459,10 +464,7 @@ impl<'a> BodyCx<'a> {
     }
 
     fn lookup(&self, name: &str) -> Option<LocalId> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|s| s.get(name).copied())
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
     }
 
     fn declare(&mut self, name: &str, ty: Ty, span: Span) -> LocalId {
@@ -518,7 +520,11 @@ impl<'a> BodyCx<'a> {
                     span: *span,
                 }
             }
-            ast::Stmt::Assign { target, value, span } => {
+            ast::Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let (place, want) = self.place(target);
                 let (value, found) = self.expr(value);
                 self.require_assignable(&found, &want, *span);
@@ -556,8 +562,10 @@ impl<'a> BodyCx<'a> {
                 let (lock, lty) = self.expr(lock);
                 if !lty.is_reference() {
                     let lty = lty.display(&self.cx.prog).to_string();
-                    self.cx
-                        .error(format!("`sync` requires a reference type, found `{lty}`"), *span);
+                    self.cx.error(
+                        format!("`sync` requires a reference type, found `{lty}`"),
+                        *span,
+                    );
                 }
                 Stmt::Sync {
                     lock,
@@ -570,18 +578,22 @@ impl<'a> BodyCx<'a> {
                 match (&ret, value) {
                     (None, _) if value.is_some() => {
                         self.cx.error("cannot `return` a value here", *span);
-                        Stmt::Return { value: None, span: *span }
+                        Stmt::Return {
+                            value: None,
+                            span: *span,
+                        }
                     }
                     (_, None) => {
                         if let Some(r) = &ret {
                             if *r != Ty::Void {
-                                self.cx.error(
-                                    "missing return value in non-void method",
-                                    *span,
-                                );
+                                self.cx
+                                    .error("missing return value in non-void method", *span);
                             }
                         }
-                        Stmt::Return { value: None, span: *span }
+                        Stmt::Return {
+                            value: None,
+                            span: *span,
+                        }
                     }
                     (Some(want), Some(v)) => {
                         let (v, found) = self.expr(v);
@@ -630,7 +642,10 @@ impl<'a> BodyCx<'a> {
                 None => {
                     self.cx
                         .error(format!("unknown variable `{}`", id.name), id.span);
-                    (Place::Local(self.declare(&id.name, Ty::Int, id.span)), Ty::Int)
+                    (
+                        Place::Local(self.declare(&id.name, Ty::Int, id.span)),
+                        Ty::Int,
+                    )
                 }
             },
             ast::Expr::This(span) => {
@@ -658,16 +673,13 @@ impl<'a> BodyCx<'a> {
                         }
                     },
                     Ty::Array(_) if field.name == "length" => {
-                        self.cx
-                            .error("array `length` is read-only", *span);
+                        self.cx.error("array `length` is read-only", *span);
                         (Place::Local(LocalId(0)), Ty::Int)
                     }
                     other => {
                         let other = other.display(&self.cx.prog).to_string();
-                        self.cx.error(
-                            format!("field access on non-object type `{other}`"),
-                            *span,
-                        );
+                        self.cx
+                            .error(format!("field access on non-object type `{other}`"), *span);
                         (Place::Local(LocalId(0)), Ty::Int)
                     }
                 }
@@ -687,8 +699,7 @@ impl<'a> BodyCx<'a> {
                 }
             }
             other => {
-                self.cx
-                    .error("invalid assignment target", other.span());
+                self.cx.error("invalid assignment target", other.span());
                 (Place::Local(LocalId(0)), Ty::Int)
             }
         }
@@ -758,10 +769,8 @@ impl<'a> BodyCx<'a> {
                     ),
                     other => {
                         let other = other.display(&self.cx.prog).to_string();
-                        self.cx.error(
-                            format!("field access on non-object type `{other}`"),
-                            *span,
-                        );
+                        self.cx
+                            .error(format!("field access on non-object type `{other}`"), *span);
                         (Expr::Int(0, *span), Ty::Int)
                     }
                 }
@@ -893,8 +902,8 @@ impl<'a> BodyCx<'a> {
                 Ty::Bool
             }
             Eq | Ne => {
-                let ok = self.cx.prog.tys_compatible(lt, rt)
-                    || (lt.is_reference() && rt.is_reference());
+                let ok =
+                    self.cx.prog.tys_compatible(lt, rt) || (lt.is_reference() && rt.is_reference());
                 if !ok {
                     let l = lt.display(&self.cx.prog).to_string();
                     let r = rt.display(&self.cx.prog).to_string();

@@ -25,7 +25,6 @@ macro_rules! fmt_display_tuple {
     };
 }
 
-
 /// Dynamic execution index: position of an event in the global trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Label(pub u64);
@@ -318,7 +317,11 @@ mod tests {
             span: Span::DUMMY,
             kind: EventKind::ThreadFinish,
         };
-        TeeSink { a: &mut a, b: &mut b }.event(&ev);
+        TeeSink {
+            a: &mut a,
+            b: &mut b,
+        }
+        .event(&ev);
         assert_eq!(a.events.len(), 1);
         assert_eq!(b.events.len(), 1);
     }

@@ -95,7 +95,8 @@ impl Heap {
     /// (`0`, `false`, `null`).
     pub fn alloc_instance(&mut self, prog: &Program, class: ClassId) -> ObjId {
         let nfields = prog.fields_of(class).len();
-        let fields = prog.fields_of(class)
+        let fields = prog
+            .fields_of(class)
             .iter()
             .map(|&f| default_value(&prog.field(f).ty))
             .collect::<Vec<_>>();
@@ -196,16 +197,15 @@ impl Heap {
     #[must_use]
     pub fn set_elem(&mut self, obj: ObjId, idx: i64, value: Value) -> bool {
         match &mut self.object_mut(obj).data {
-            ObjectData::Array { data, .. } => match usize::try_from(idx)
-                .ok()
-                .and_then(|i| data.get_mut(i))
-            {
-                Some(slot) => {
-                    *slot = value;
-                    true
+            ObjectData::Array { data, .. } => {
+                match usize::try_from(idx).ok().and_then(|i| data.get_mut(i)) {
+                    Some(slot) => {
+                        *slot = value;
+                        true
+                    }
+                    None => false,
                 }
-                None => false,
-            },
+            }
             ObjectData::Instance { .. } => panic!("index write on non-array {obj}"),
         }
     }

@@ -37,6 +37,7 @@ pub mod event;
 pub mod heap;
 pub mod machine;
 pub mod render;
+pub mod rng;
 pub mod scheduler;
 pub mod value;
 
@@ -46,8 +47,11 @@ pub use event::{
     VecSink,
 };
 pub use heap::{Heap, Object, ObjectData};
-pub use machine::{CallSite, Machine, MachineOptions, PendingInvoke, Preview, RunOutcome, ThreadStatus};
+pub use machine::{
+    CallSite, Machine, MachineOptions, PendingInvoke, Preview, RunOutcome, ThreadStatus,
+};
 pub use render::TraceRenderer;
+pub use rng::{derive_seed, splitmix64, SplitMix64};
 pub use scheduler::{
     RandomScheduler, RecordingScheduler, ReplayScheduler, RoundRobin, Scheduler, SerialScheduler,
 };

@@ -15,13 +15,12 @@
 use crate::error::{VmError, VmErrorKind};
 use crate::event::{CopySrc, Event, EventKind, EventSink, FieldKey, InvId, Label, ThreadId};
 use crate::heap::Heap;
+use crate::rng::SplitMix64;
 use crate::value::{ObjId, Value};
 use narada_lang::ast::{BinOp, UnOp};
 use narada_lang::hir::{MethodId, Program, TestId};
 use narada_lang::mir::{BodyId, InstrKind, MirProgram, VarId};
 use narada_lang::Span;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Tuning knobs for a [`Machine`].
 #[derive(Debug, Clone)]
@@ -181,14 +180,14 @@ pub struct Machine<'p> {
     thread_results: Vec<(ThreadId, Value)>,
     next_label: u64,
     next_inv: u64,
-    rng: StdRng,
+    rng: SplitMix64,
     opts: MachineOptions,
 }
 
 impl<'p> Machine<'p> {
     /// Creates a machine with one (empty) main thread.
     pub fn new(program: &'p Program, mir: &'p MirProgram, opts: MachineOptions) -> Self {
-        let rng = StdRng::seed_from_u64(opts.seed);
+        let rng = SplitMix64::seed_from_u64(opts.seed);
         Machine {
             program,
             mir,
@@ -271,8 +270,7 @@ impl<'p> Machine<'p> {
                 Some(o) => Preview::Write(o, FieldKey::Field(*field), reg(src)),
                 None => Preview::Other,
             },
-            InstrKind::ReadIndex { arr, idx, .. } => match (reg(arr).as_obj(), reg(idx).as_int())
-            {
+            InstrKind::ReadIndex { arr, idx, .. } => match (reg(arr).as_obj(), reg(idx).as_int()) {
                 (Some(o), Some(i)) => Preview::Read(o, FieldKey::Elem(i)),
                 _ => Preview::Other,
             },
@@ -369,10 +367,7 @@ impl<'p> Machine<'p> {
                 let target = rv
                     .as_obj()
                     .and_then(|o| self.heap.class_of(o))
-                    .and_then(|c| {
-                        self.program
-                            .dispatch(c, &self.program.method(*method).name)
-                    })
+                    .and_then(|c| self.program.dispatch(c, &self.program.method(*method).name))
                     .unwrap_or(*method);
                 Some(CallSite {
                     method: target,
@@ -654,11 +649,11 @@ impl<'p> Machine<'p> {
     ) -> Result<(), VmError> {
         let m = self.program.method(method);
         // Dynamic dispatch from the harness mirrors a client call site.
-        let target = match recv.and_then(Value::as_obj).and_then(|o| self.heap.class_of(o)) {
-            Some(c) if !m.is_static => self
-                .program
-                .dispatch(c, &m.name)
-                .unwrap_or(method),
+        let target = match recv
+            .and_then(Value::as_obj)
+            .and_then(|o| self.heap.class_of(o))
+        {
+            Some(c) if !m.is_static => self.program.dispatch(c, &m.name).unwrap_or(method),
             _ => method,
         };
         let tm = self.program.method(target);
@@ -1058,7 +1053,9 @@ impl<'p> Machine<'p> {
                 };
                 let name = &self.program.method(method).name;
                 let Some(target) = self.program.dispatch(class, name) else {
-                    fail!(VmErrorKind::Internal(format!("no method {name} on {class}")));
+                    fail!(VmErrorKind::Internal(format!(
+                        "no method {name} on {class}"
+                    )));
                 };
                 let arg_vals: Vec<Value> = args.iter().map(|a| reg!(a)).collect();
                 let arg_vars = args.clone();
@@ -1128,8 +1125,7 @@ impl<'p> Machine<'p> {
                 let Some(b) = reg!(cond).as_bool() else {
                     fail!(VmErrorKind::Internal("branch on non-bool".into()));
                 };
-                self.threads[t].frames.last_mut().unwrap().pc =
-                    if b { then_t } else { else_t };
+                self.threads[t].frames.last_mut().unwrap().pc = if b { then_t } else { else_t };
             }
             InstrKind::MonitorEnter { var } => {
                 let o = obj_of!(var);

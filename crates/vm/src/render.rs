@@ -75,7 +75,10 @@ impl<'p> TraceRenderer<'p> {
                 None => format!("return from {inv}"),
             },
             EventKind::Copy {
-                inv, dst, src, value,
+                inv,
+                dst,
+                src,
+                value,
             } => match src {
                 CopySrc::Var(v) => format!(
                     "{} := {}   [{value}]",
@@ -88,7 +91,10 @@ impl<'p> TraceRenderer<'p> {
                 }
             },
             EventKind::Alloc {
-                inv, dst, obj, class,
+                inv,
+                dst,
+                obj,
+                class,
             } => match class {
                 Some(c) => format!(
                     "{} := alloc {}   [{obj}]",

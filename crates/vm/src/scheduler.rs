@@ -7,8 +7,7 @@
 
 use crate::event::ThreadId;
 use crate::machine::Machine;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Chooses which runnable thread steps next.
 pub trait Scheduler {
@@ -51,7 +50,7 @@ impl Scheduler for RoundRobin {
 /// preemption granularity.
 #[derive(Debug)]
 pub struct RandomScheduler {
-    rng: StdRng,
+    rng: SplitMix64,
     /// Probability (0–100) of staying on the previously chosen thread when
     /// it is still runnable.
     stay_percent: u8,
@@ -62,7 +61,7 @@ impl RandomScheduler {
     /// Creates a seeded uniform scheduler.
     pub fn new(seed: u64) -> Self {
         RandomScheduler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             stay_percent: 0,
             last: None,
         }
@@ -72,7 +71,7 @@ impl RandomScheduler {
     /// with the given probability (percent).
     pub fn with_stickiness(seed: u64, stay_percent: u8) -> Self {
         RandomScheduler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             stay_percent: stay_percent.min(100),
             last: None,
         }

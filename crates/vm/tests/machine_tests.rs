@@ -328,7 +328,10 @@ fn trace_contains_expected_events() {
     // The write to x is recorded with a value.
     assert!(evs.iter().any(|e| matches!(
         &e.kind,
-        EventKind::Write { value: Value::Int(5), .. }
+        EventKind::Write {
+            value: Value::Int(5),
+            ..
+        }
     )));
 
     // Allocation recorded.
@@ -400,7 +403,11 @@ fn call_result_copy_links_invocations() {
     // InvokeEnd for self() carries the returned register.
     assert!(sink.events.iter().any(|e| matches!(
         &e.kind,
-        EventKind::InvokeEnd { ret_var: Some(_), ret: Some(Value::Ref(_)), .. }
+        EventKind::InvokeEnd {
+            ret_var: Some(_),
+            ret: Some(Value::Ref(_)),
+            ..
+        }
     )));
 }
 
@@ -683,8 +690,13 @@ fn invoke_runs_setters_on_main_thread() {
     let a = prog.class_by_name("A").unwrap();
     let mut m = Machine::with_defaults(&prog, &mir);
     let obj = m.heap.alloc_instance(&prog, a);
-    m.invoke(set, Some(Value::Ref(obj)), vec![Value::Int(9)], &mut NullSink)
-        .unwrap();
+    m.invoke(
+        set,
+        Some(Value::Ref(obj)),
+        vec![Value::Int(9)],
+        &mut NullSink,
+    )
+    .unwrap();
     let got = m
         .invoke(get, Some(Value::Ref(obj)), vec![], &mut NullSink)
         .unwrap();
@@ -845,8 +857,16 @@ fn queued_calls_do_not_run_after_a_crash() {
     let tid = m
         .spawn_invoke_seq(
             vec![
-                narada_vm::PendingInvoke { method: boom, recv: Some(Value::Ref(obj)), args: vec![] },
-                narada_vm::PendingInvoke { method: mark, recv: Some(Value::Ref(obj)), args: vec![] },
+                narada_vm::PendingInvoke {
+                    method: boom,
+                    recv: Some(Value::Ref(obj)),
+                    args: vec![],
+                },
+                narada_vm::PendingInvoke {
+                    method: mark,
+                    recv: Some(Value::Ref(obj)),
+                    args: vec![],
+                },
             ],
             &mut NullSink,
         )
@@ -927,7 +947,9 @@ fn invoke_partial_stops_after_target_write() {
 
     let mut m = Machine::with_defaults(&prog, &mir);
     let hobj = m.heap.alloc_instance(&prog, h);
-    let xobj = m.heap.alloc_instance(&prog, prog.class_by_name("X").unwrap());
+    let xobj = m
+        .heap
+        .alloc_instance(&prog, prog.class_by_name("X").unwrap());
     let tid = m
         .invoke_partial(
             set,

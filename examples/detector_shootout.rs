@@ -69,8 +69,15 @@ fn main() {
                 b: &mut hb,
             };
             let mut sched = RandomScheduler::new(seed);
-            if execute_plan(&mut machine, &seeds, &test.plan, &mut sched, &mut sink, 1_000_000)
-                .is_err()
+            if execute_plan(
+                &mut machine,
+                &seeds,
+                &test.plan,
+                &mut sched,
+                &mut sink,
+                1_000_000,
+            )
+            .is_err()
             {
                 continue;
             }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, tests, lints, formatting.
+#
+# Usage: scripts/ci.sh
+# Runs from anywhere; always operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> CI green"

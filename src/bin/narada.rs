@@ -51,8 +51,14 @@ USAGE:
     narada mir <file.mj> [--method Class.m]
     narada synth <file.mj> [--render] [--strict-unprotected]
                            [--no-prefix-fallback] [--no-lockset-aware]
+                           [--threads N] [--timings]
     narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
-    narada corpus [C1..C9]";
+                            [--threads N] [--timings]
+    narada corpus [C1..C9] [--threads N] [--timings]
+
+`--threads N` shards the pipeline and detector trials over N workers
+(0 or omitted = one per core); results are identical at any value.
+`--timings` prints the per-stage wall-clock breakdown.";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -67,6 +73,7 @@ fn opt<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
 
 fn opt_usize(rest: &[String], name: &str, default: usize) -> Result<usize, String> {
     match opt(rest, name) {
+        None if flag(rest, name) => Err(format!("{name} expects a number")),
         None => Ok(default),
         Some(v) => v
             .parse()
@@ -79,8 +86,7 @@ fn load(rest: &[String]) -> Result<(String, narada::lang::hir::Program), String>
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or_else(|| format!("expected an .mj file\n{USAGE}"))?;
-    let src =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let prog = narada::compile(&src).map_err(|d| {
         let map = SourceMap::new(&src);
         format!("{path}: compilation failed\n{}", d.render(&map))
@@ -145,19 +151,20 @@ fn cmd_mir(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn synth_opts(rest: &[String]) -> SynthesisOptions {
-    SynthesisOptions {
+fn synth_opts(rest: &[String]) -> Result<SynthesisOptions, String> {
+    Ok(SynthesisOptions {
         strict_unprotected: flag(rest, "--strict-unprotected"),
         prefix_fallback: !flag(rest, "--no-prefix-fallback"),
         lockset_aware: !flag(rest, "--no-lockset-aware"),
+        threads: opt_usize(rest, "--threads", 0)?,
         ..Default::default()
-    }
+    })
 }
 
 fn cmd_synth(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
-    let out = synthesize(&prog, &mir, &synth_opts(rest));
+    let out = synthesize(&prog, &mir, &synth_opts(rest)?);
     println!(
         "{} racing pairs, {} synthesized tests ({} race-expecting) in {:?}",
         out.pair_count(),
@@ -165,6 +172,9 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
         out.tests.iter().filter(|t| t.plan.expects_race).count(),
         out.elapsed
     );
+    if flag(rest, "--timings") {
+        print!("{}", out.timings.render());
+    }
     for (name, err) in &out.seed_failures {
         println!("warning: seed `{name}` failed: {err}");
     }
@@ -180,12 +190,13 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
 fn cmd_detect(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
-    let out = synthesize(&prog, &mir, &synth_opts(rest));
+    let mut out = synthesize(&prog, &mir, &synth_opts(rest)?);
     let cfg = DetectConfig {
         schedule_trials: opt_usize(rest, "--schedules", 6)?,
         confirm_trials: opt_usize(rest, "--confirms", 4)?,
         seed: opt_usize(rest, "--seed", 42)? as u64,
         budget: 2_000_000,
+        threads: opt_usize(rest, "--threads", 0)?,
     };
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
@@ -199,18 +210,27 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
         agg.benign,
         agg.unreproduced
     );
+    if flag(rest, "--timings") {
+        out.timings.record_detect(agg.elapsed, agg.jobs);
+        print!("{}", out.timings.render());
+    }
     Ok(())
 }
 
 fn cmd_corpus(rest: &[String]) -> Result<(), String> {
     let entries = match rest.first().filter(|a| !a.starts_with("--")) {
-        Some(id) => vec![narada::corpus::by_id(id).ok_or_else(|| format!("unknown corpus id `{id}` (C1..C9)"))?],
+        Some(id) => vec![narada::corpus::by_id(id)
+            .ok_or_else(|| format!("unknown corpus id `{id}` (C1..C9)"))?],
         None => narada::corpus::all(),
+    };
+    let opts = SynthesisOptions {
+        threads: opt_usize(rest, "--threads", 0)?,
+        ..SynthesisOptions::default()
     };
     for e in entries {
         let prog = e.compile().map_err(|d| format!("{}: {d}", e.id))?;
         let mir = lower_program(&prog);
-        let out = synthesize(&prog, &mir, &SynthesisOptions::default());
+        let out = synthesize(&prog, &mir, &opts);
         println!(
             "{} {} ({}): {} pairs, {} tests [paper: {} pairs, {} tests]",
             e.id,
@@ -221,6 +241,9 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
             e.paper.race_pairs,
             e.paper.tests
         );
+        if flag(rest, "--timings") {
+            print!("{}", out.timings.render());
+        }
     }
     Ok(())
 }

@@ -65,7 +65,8 @@ pub use narada_lang as lang;
 pub use narada_vm as vm;
 
 pub use narada_core::{
-    execute_plan, synthesize, synthesize_source, SynthesisOptions, SynthesisOutput, TestPlan,
+    execute_plan, parallel_map, synthesize, synthesize_source, StageTimings, SynthesisOptions,
+    SynthesisOutput, TestPlan,
 };
 pub use narada_detect::{evaluate_suite, evaluate_test, DetectConfig};
 pub use narada_lang::compile;

@@ -50,7 +50,11 @@ fn help_succeeds() {
 fn run_executes_seed_tests() {
     let path = write_fixture("run.mj", FIXTURE);
     let out = narada(&["run", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("test seed: ok"), "{stdout}");
 }
@@ -89,8 +93,19 @@ fn synth_renders_plans() {
 #[test]
 fn detect_reports_races() {
     let path = write_fixture("detect.mj", FIXTURE);
-    let out = narada(&["detect", path.to_str().unwrap(), "--schedules", "6", "--confirms", "4"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = narada(&[
+        "detect",
+        path.to_str().unwrap(),
+        "--schedules",
+        "6",
+        "--confirms",
+        "4",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("races detected"), "{stdout}");
     // Fig. 1's count race must be found and be harmful.
@@ -119,7 +134,11 @@ fn unknown_command_fails() {
 #[test]
 fn corpus_single_entry() {
     let out = narada(&["corpus", "C9"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("CharArrayReader"), "{stdout}");
     assert!(stdout.contains("paper:"), "{stdout}");

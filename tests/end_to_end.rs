@@ -12,6 +12,7 @@ fn cfg() -> DetectConfig {
         confirm_trials: 4,
         seed: 7,
         budget: 2_000_000,
+        threads: 0,
     }
 }
 
@@ -85,9 +86,10 @@ fn c9_close_vs_read_race_found() {
         .find(|m| m.name == "close")
         .expect("close exists")
         .id;
-    let involves_close = out.tests.iter().any(|t| {
-        t.plan.racy[0].method == close || t.plan.racy[1].method == close
-    });
+    let involves_close = out
+        .tests
+        .iter()
+        .any(|t| t.plan.racy[0].method == close || t.plan.racy[1].method == close);
     assert!(involves_close, "close() must participate in a racy test");
 
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();

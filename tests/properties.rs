@@ -1,4 +1,5 @@
-//! Property-based tests over core invariants:
+//! Property-based tests over core invariants, driven by the workspace's
+//! own deterministic [`SplitMix64`] generator (no external fuzzing deps):
 //!
 //! * arithmetic: the MJ VM agrees with a direct Rust evaluation oracle on
 //!   arbitrary expression trees;
@@ -7,15 +8,32 @@
 //!   least-upper-bound;
 //! * detector soundness relation: on arbitrary valid interleavings, every
 //!   happens-before race is also a lockset race (common-lock accesses are
-//!   always HB-ordered, so FastTrack ⊆ Eraser).
+//!   always HB-ordered, so FastTrack ⊆ Eraser);
+//! * detector equivalence: FastTrack and Djit⁺ report the same racy
+//!   locations on random traces — under BOTH the sequential and the
+//!   work-sharded (`parallel_map`) trial runners, with identical results.
+//!
+//! Every case derives its seed as `derive_seed(PROPERTY_SEED, &[case])`,
+//! so a failure message's case index reproduces the input exactly.
 
 use narada::detect::{DjitDetector, FastTrackDetector, LocksetDetector, VectorClock};
 use narada::lang::lower::lower_program;
+use narada::vm::rng::{derive_seed, SplitMix64};
 use narada::vm::{
-    Event, EventKind, EventSink, FieldKey, InvId, Label, Machine, NullSink, ObjId, ThreadId,
-    Value, VecSink,
+    Event, EventKind, EventSink, FieldKey, InvId, Label, Machine, NullSink, ObjId, ThreadId, Value,
+    VecSink,
 };
-use proptest::prelude::*;
+
+const PROPERTY_SEED: u64 = 0x9a5a_da00;
+
+/// Runs `body` for `n` independently-seeded cases. The case index is the
+/// reproduction handle: re-running the test replays the same inputs.
+fn cases(n: u64, mut body: impl FnMut(u64, &mut SplitMix64)) {
+    for case in 0..n {
+        let mut rng = SplitMix64::seed_from_u64(derive_seed(PROPERTY_SEED, &[case]));
+        body(case, &mut rng);
+    }
+}
 
 // ----------------------------------------------------------------------
 // Arithmetic oracle
@@ -50,24 +68,24 @@ impl Expr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (-100i32..100).prop_map(Expr::Lit);
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Random expression tree, depth-bounded; leaves get likelier with depth.
+fn gen_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth >= 4 || rng.gen_range(0u32..4) == 0 {
+        return Expr::Lit(rng.gen_range(-100i32..100));
+    }
+    let a = Box::new(gen_expr(rng, depth + 1));
+    let b = Box::new(gen_expr(rng, depth + 1));
+    match rng.gen_range(0u32..3) {
+        0 => Expr::Add(a, b),
+        1 => Expr::Sub(a, b),
+        _ => Expr::Mul(a, b),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn vm_arithmetic_matches_oracle(e in arb_expr()) {
+#[test]
+fn vm_arithmetic_matches_oracle() {
+    cases(64, |case, rng| {
+        let e = gen_expr(rng, 0);
         let src = format!(
             "class Out {{ int v; void go() {{ this.v = {}; }} }}\n\
              test t {{ var o = new Out(); o.go(); }}",
@@ -80,11 +98,19 @@ proptest! {
         let out = prog.class_by_name("Out").unwrap();
         let v = prog.field_by_name(out, "v").unwrap();
         let obj = ObjId(0);
-        prop_assert_eq!(m.heap.get_field(obj, v), Value::Int(e.eval()));
-    }
+        assert_eq!(
+            m.heap.get_field(obj, v),
+            Value::Int(e.eval()),
+            "case {case}: vm disagrees with oracle on {}",
+            e.to_mj()
+        );
+    });
+}
 
-    #[test]
-    fn pretty_print_is_fixpoint(e in arb_expr()) {
+#[test]
+fn pretty_print_is_fixpoint() {
+    cases(64, |case, rng| {
+        let e = gen_expr(rng, 0);
         let src = format!(
             "class Out {{ int v; void go() {{ this.v = {}; }} }}\n\
              test t {{ var o = new Out(); o.go(); }}",
@@ -93,11 +119,18 @@ proptest! {
         let prog = narada::compile(&src).expect("compiles");
         let printed = narada::lang::pretty::program(&prog);
         let reprog = narada::compile(&printed).expect("pretty output recompiles");
-        prop_assert_eq!(narada::lang::pretty::program(&reprog), printed);
-    }
+        assert_eq!(
+            narada::lang::pretty::program(&reprog),
+            printed,
+            "case {case}: pretty-print not a fixpoint"
+        );
+    });
+}
 
-    #[test]
-    fn vm_trace_is_deterministic(seed in any::<u64>()) {
+#[test]
+fn vm_trace_is_deterministic() {
+    cases(32, |case, rng| {
+        let seed = rng.next_u64();
         let src = r#"
             class R { int a; int b; void roll() { this.a = rand(); this.b = rand() % 17; } }
             test t { var r = new R(); r.roll(); r.roll(); }
@@ -108,49 +141,55 @@ proptest! {
             let mut m = Machine::new(
                 &prog,
                 &mir,
-                narada::vm::MachineOptions { seed: s, ..Default::default() },
+                narada::vm::MachineOptions {
+                    seed: s,
+                    ..Default::default()
+                },
             );
             let mut sink = VecSink::new();
             m.run_test(prog.tests[0].id, &mut sink).unwrap();
-            sink.events.iter().filter_map(|e| match e.kind {
-                EventKind::Write { value, .. } => Some(value),
-                _ => None,
-            }).collect::<Vec<_>>()
+            sink.events
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Write { value, .. } => Some(value),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+        assert_eq!(run(seed), run(seed), "case {case}: seed {seed} diverged");
+    });
 }
 
 // ----------------------------------------------------------------------
 // Vector clock lattice laws
 // ----------------------------------------------------------------------
 
-fn arb_vc() -> impl Strategy<Value = VectorClock> {
-    proptest::collection::vec(0u32..40, 0..6).prop_map(|cs| {
-        let mut vc = VectorClock::new();
-        for (i, c) in cs.into_iter().enumerate() {
-            vc.set(ThreadId(i as u32), c);
-        }
-        vc
-    })
+fn gen_vc(rng: &mut SplitMix64) -> VectorClock {
+    let mut vc = VectorClock::new();
+    for i in 0..rng.gen_range(0usize..6) {
+        vc.set(ThreadId(i as u32), rng.gen_range(0u32..40));
+    }
+    vc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn vc_join_commutative(a in arb_vc(), b in arb_vc()) {
+#[test]
+fn vc_join_commutative() {
+    cases(128, |case, rng| {
+        let (a, b) = (gen_vc(rng), gen_vc(rng));
         let mut ab = a.clone();
         ab.join(&b);
         let mut ba = b.clone();
         ba.join(&a);
         for i in 0..8 {
-            prop_assert_eq!(ab.get(ThreadId(i)), ba.get(ThreadId(i)));
+            assert_eq!(ab.get(ThreadId(i)), ba.get(ThreadId(i)), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn vc_join_associative(a in arb_vc(), b in arb_vc(), c in arb_vc()) {
+#[test]
+fn vc_join_associative() {
+    cases(128, |case, rng| {
+        let (a, b, c) = (gen_vc(rng), gen_vc(rng), gen_vc(rng));
         let mut left = a.clone();
         left.join(&b);
         left.join(&c);
@@ -159,36 +198,42 @@ proptest! {
         let mut right = a.clone();
         right.join(&bc);
         for i in 0..8 {
-            prop_assert_eq!(left.get(ThreadId(i)), right.get(ThreadId(i)));
+            assert_eq!(left.get(ThreadId(i)), right.get(ThreadId(i)), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn vc_join_is_upper_bound(a in arb_vc(), b in arb_vc()) {
+#[test]
+fn vc_join_is_upper_bound() {
+    cases(128, |case, rng| {
+        let (a, b) = (gen_vc(rng), gen_vc(rng));
         let mut j = a.clone();
         j.join(&b);
-        prop_assert!(a.leq(&j));
-        prop_assert!(b.leq(&j));
+        assert!(a.leq(&j), "case {case}: a ≤ a⊔b");
+        assert!(b.leq(&j), "case {case}: b ≤ a⊔b");
         // And idempotent.
         let mut jj = j.clone();
         jj.join(&j.clone());
         for i in 0..8 {
-            prop_assert_eq!(jj.get(ThreadId(i)), j.get(ThreadId(i)));
+            assert_eq!(jj.get(ThreadId(i)), j.get(ThreadId(i)), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn vc_leq_antisymmetric(a in arb_vc(), b in arb_vc()) {
+#[test]
+fn vc_leq_antisymmetric() {
+    cases(128, |case, rng| {
+        let (a, b) = (gen_vc(rng), gen_vc(rng));
         if a.leq(&b) && b.leq(&a) {
             for i in 0..8 {
-                prop_assert_eq!(a.get(ThreadId(i)), b.get(ThreadId(i)));
+                assert_eq!(a.get(ThreadId(i)), b.get(ThreadId(i)), "case {case}");
             }
         }
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
-// FastTrack ⊆ Eraser on valid interleavings
+// Detector relations on random valid interleavings
 // ----------------------------------------------------------------------
 
 /// Per-thread operations; the interleaver below enforces lock exclusion.
@@ -200,16 +245,21 @@ enum Op {
     Write(u8),
 }
 
-fn arb_thread_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u8..2).prop_map(Op::Lock),
-            Just(Op::Unlock),
-            (0u8..3).prop_map(Op::Read),
-            (0u8..3).prop_map(Op::Write),
-        ],
-        0..12,
-    )
+fn gen_thread_ops(rng: &mut SplitMix64) -> Vec<Op> {
+    (0..rng.gen_range(0usize..12))
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => Op::Lock(rng.gen_range(0u8..2)),
+            1 => Op::Unlock,
+            2 => Op::Read(rng.gen_range(0u8..3)),
+            _ => Op::Write(rng.gen_range(0u8..3)),
+        })
+        .collect()
+}
+
+fn gen_choices(rng: &mut SplitMix64) -> Vec<bool> {
+    (0..rng.gen_range(0usize..40))
+        .map(|_| rng.gen_bool(0.5))
+        .collect()
 }
 
 /// Simulates two threads' op lists under an interleaving choice sequence,
@@ -318,21 +368,38 @@ fn interleave(threads: [&[Op]; 2], choices: &[bool]) -> Vec<Event> {
     events
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// One random two-thread interleaving: the generator inputs for a
+/// detector-comparison trial.
+#[derive(Clone)]
+struct TraceCase {
+    t1: Vec<Op>,
+    t2: Vec<Op>,
+    choices: Vec<bool>,
+}
 
-    #[test]
-    fn fasttrack_within_djit(
-        t1 in arb_thread_ops(),
-        t2 in arb_thread_ops(),
-        choices in proptest::collection::vec(any::<bool>(), 0..40),
-    ) {
+impl TraceCase {
+    fn gen(rng: &mut SplitMix64) -> TraceCase {
+        TraceCase {
+            t1: gen_thread_ops(rng),
+            t2: gen_thread_ops(rng),
+            choices: gen_choices(rng),
+        }
+    }
+
+    fn events(&self) -> Vec<Event> {
+        interleave([&self.t1, &self.t2], &self.choices)
+    }
+}
+
+#[test]
+fn fasttrack_within_djit() {
+    cases(128, |case, rng| {
         // FastTrack is an optimization of Djit+'s full vector clocks that
         // deliberately reports *fewer race instances* (it resets the read
         // set after a write). The precise relationship, asserted here:
         // every FastTrack race is a Djit+ race, and both agree on WHICH
         // LOCATIONS are racy.
-        let events = interleave([&t1, &t2], &choices);
+        let events = TraceCase::gen(rng).events();
         let mut ft = FastTrackDetector::new();
         let mut dj = DjitDetector::new();
         for ev in &events {
@@ -343,25 +410,77 @@ proptest! {
             ft.races().iter().map(|r| r.static_key()).collect();
         let dj_keys: std::collections::BTreeSet<_> =
             dj.races().iter().map(|r| r.static_key()).collect();
-        prop_assert!(
+        assert!(
             ft_keys.is_subset(&dj_keys),
-            "fasttrack races must be djit races: {:?} vs {:?}",
-            ft_keys, dj_keys
+            "case {case}: fasttrack races must be djit races: {:?} vs {:?}",
+            ft_keys,
+            dj_keys
         );
         let ft_locs: std::collections::BTreeSet<_> =
             ft.races().iter().map(|r| (r.obj, r.field)).collect();
         let dj_locs: std::collections::BTreeSet<_> =
             dj.races().iter().map(|r| (r.obj, r.field)).collect();
-        prop_assert_eq!(ft_locs, dj_locs, "racy locations must agree");
+        assert_eq!(ft_locs, dj_locs, "case {case}: racy locations must agree");
+    });
+}
+
+/// ISSUE satellite: FastTrack and Djit⁺ agree on the race set of random
+/// MJ traces, and the *sharded* trial runner ([`narada::parallel_map`])
+/// reproduces the sequential runner's verdicts byte-for-byte. A
+/// divergence in the first comparison is a detector bug (FastTrack is an
+/// optimization of Djit⁺); a divergence in the second is a determinism
+/// bug in the work-sharding layer.
+#[test]
+fn fasttrack_djit_agree_under_sequential_and_sharded_runners() {
+    let mut rng = SplitMix64::seed_from_u64(derive_seed(PROPERTY_SEED, &[0xFA57]));
+    let trace_cases: Vec<TraceCase> = (0..96).map(|_| TraceCase::gen(&mut rng)).collect();
+
+    // The per-trace detector job: racy-location sets from both detectors.
+    let verdict = |tc: &TraceCase| {
+        let events = tc.events();
+        let mut ft = FastTrackDetector::new();
+        let mut dj = DjitDetector::new();
+        for ev in &events {
+            ft.event(ev);
+            dj.event(ev);
+        }
+        let ft_locs: Vec<_> = {
+            let set: std::collections::BTreeSet<_> =
+                ft.races().iter().map(|r| (r.obj, r.field)).collect();
+            set.into_iter().collect()
+        };
+        let dj_locs: Vec<_> = {
+            let set: std::collections::BTreeSet<_> =
+                dj.races().iter().map(|r| (r.obj, r.field)).collect();
+            set.into_iter().collect()
+        };
+        (ft_locs, dj_locs)
+    };
+
+    // Sequential runner.
+    let sequential: Vec<_> = trace_cases.iter().map(verdict).collect();
+    for (i, (ft_locs, dj_locs)) in sequential.iter().enumerate() {
+        assert_eq!(
+            ft_locs, dj_locs,
+            "trace {i}: FastTrack and Djit+ disagree on the race set"
+        );
     }
 
-    #[test]
-    fn fasttrack_races_are_lockset_races(
-        t1 in arb_thread_ops(),
-        t2 in arb_thread_ops(),
-        choices in proptest::collection::vec(any::<bool>(), 0..40),
-    ) {
-        let events = interleave([&t1, &t2], &choices);
+    // Sharded runner: same jobs fanned out over the claiming queue, at
+    // two worker counts; the merged result vector must be identical.
+    for threads in [2usize, 4] {
+        let sharded = narada::parallel_map(threads, &trace_cases, |_, tc| verdict(tc));
+        assert_eq!(
+            sharded, sequential,
+            "sharded trial runner (threads={threads}) diverged from sequential verdicts"
+        );
+    }
+}
+
+#[test]
+fn fasttrack_races_are_lockset_races() {
+    cases(128, |case, rng| {
+        let events = TraceCase::gen(rng).events();
         let mut lockset = LocksetDetector::new();
         let mut hb = FastTrackDetector::new();
         for ev in &events {
@@ -373,46 +492,56 @@ proptest! {
         let eraser_keys: std::collections::HashSet<_> =
             lockset.races().iter().map(|r| r.static_key()).collect();
         for race in hb.races() {
-            prop_assert!(
+            assert!(
                 eraser_keys.contains(&race.static_key()),
-                "HB race {:?} missed by lockset (events: {:?})",
+                "case {case}: HB race {:?} missed by lockset ({} events)",
                 race,
                 events.len()
             );
         }
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
 // Front-end robustness
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The front end must never panic: arbitrary byte soup either parses
-    /// or produces diagnostics.
-    #[test]
-    fn compile_never_panics(src in "\\PC*") {
+/// The front end must never panic: arbitrary char soup either parses or
+/// produces diagnostics.
+#[test]
+fn compile_never_panics() {
+    cases(256, |_case, rng| {
+        let len = rng.gen_range(0usize..80);
+        let src: String = (0..len)
+            .map(|_| {
+                // Bias toward ASCII (parser-relevant) with some multi-byte
+                // chars mixed in to stress span arithmetic.
+                match rng.gen_range(0u32..8) {
+                    0 => char::from_u32(rng.gen_range(0x80u32..0x2000)).unwrap_or('\u{fffd}'),
+                    _ => rng.gen_range(0x20u8..0x7f) as char,
+                }
+            })
+            .collect();
         let _ = narada::compile(&src);
-    }
+    });
+}
 
-    /// Same for inputs built from MJ-ish tokens (much deeper parser
-    /// penetration than raw soup).
-    #[test]
-    fn compile_never_panics_on_tokenish_input(
-        words in proptest::collection::vec(
-            proptest::sample::select(vec![
-                "class", "test", "sync", "init", "extends", "static",
-                "if", "else", "while", "return", "var", "new", "this",
-                "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "==",
-                "+", "-", "*", "/", "%", "&&", "||", "!", "<", ">",
-                "int", "bool", "void", "x", "y", "Foo", "m", "0", "42",
-            ]),
-            0..60,
-        )
-    ) {
-        let src = words.join(" ");
+/// Same, on inputs built from MJ-ish tokens (much deeper parser
+/// penetration than raw soup).
+#[test]
+fn compile_never_panics_on_tokenish_input() {
+    const WORDS: &[&str] = &[
+        "class", "test", "sync", "init", "extends", "static", "if", "else", "while", "return",
+        "var", "new", "this", "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "==", "+", "-",
+        "*", "/", "%", "&&", "||", "!", "<", ">", "int", "bool", "void", "x", "y", "Foo", "m", "0",
+        "42",
+    ];
+    cases(256, |_case, rng| {
+        let n = rng.gen_range(0usize..60);
+        let src = (0..n)
+            .map(|_| WORDS[rng.gen_range(0usize..WORDS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = narada::compile(&src);
-    }
+    });
 }
