@@ -28,6 +28,7 @@ fn main() {
         seed: 0x7ab1e5,
         budget: 2_000_000,
         threads,
+        ..DetectConfig::default()
     };
     let max_tests = env_usize("NARADA_MAX_TESTS", usize::MAX);
     let runs = run_all(&SynthesisOptions {

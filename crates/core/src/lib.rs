@@ -67,9 +67,11 @@ pub mod synth;
 pub use access::{AccessRecord, Analysis, RaceKey, ReturnSummary, SetterSummary};
 pub use analyze::analyze;
 pub use context::{derive_plan, CaptureSpec, ObjRef, PlanCall, Slot, TestPlan};
-pub use options::SynthesisOptions;
+pub use options::{ExploreOptions, SynthesisOptions};
 pub use pairs::{generate_pairs, PairSet, RacePair};
 pub use parallel::{available_threads, effective_threads, parallel_map, StageTimings};
 pub use path::{IPath, PathField, PathRoot};
-pub use pipeline::{synthesize, synthesize_source, SynthesisOutput};
-pub use synth::{execute_plan, execute_plan_fresh, ExecError, ExecReport, SynthesizedTest};
+pub use pipeline::{demonstrate, synthesize, synthesize_source, Demonstration, SynthesisOutput};
+pub use synth::{
+    execute_plan, execute_plan_fresh, execute_plan_recorded, ExecError, ExecReport, SynthesizedTest,
+};

@@ -1,6 +1,8 @@
 //! Tuning knobs for the synthesis pipeline, including the ablation flags
 //! called out in DESIGN.md.
 
+use narada_vm::ScheduleStrategy;
+
 /// Options controlling pair generation, context derivation, and synthesis.
 #[derive(Debug, Clone)]
 pub struct SynthesisOptions {
@@ -41,9 +43,46 @@ impl Default for SynthesisOptions {
     }
 }
 
+/// Options for the schedule-exploration engine: how synthesized tests are
+/// *executed* concurrently (as opposed to how they are derived).
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Scheduler family for exploration runs (the CLI's `--strategy`).
+    pub strategy: ScheduleStrategy,
+    /// PCT change-point sampling horizon (expected scheduling decisions
+    /// per run; ignored by the other strategies).
+    pub pct_horizon: u64,
+    /// Base seed; each run derives its own from `(seed, test index)`.
+    pub seed: u64,
+    /// Step budget per concurrent run.
+    pub budget: u64,
+    /// Worker threads for sharded demonstration runs (`0` = one per
+    /// core); results are identical at any value.
+    pub threads: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            strategy: ScheduleStrategy::Random,
+            pct_horizon: 1_000,
+            seed: 0xdecaf,
+            budget: 2_000_000,
+            threads: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn explore_defaults() {
+        let e = ExploreOptions::default();
+        assert_eq!(e.strategy, ScheduleStrategy::Random);
+        assert!(e.pct_horizon > 0);
+    }
 
     #[test]
     fn defaults_match_paper() {

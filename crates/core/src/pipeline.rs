@@ -8,15 +8,21 @@
 use crate::access::Analysis;
 use crate::analyze::analyze;
 use crate::context::derive_plan;
-use crate::options::SynthesisOptions;
+use crate::options::{ExploreOptions, SynthesisOptions};
 use crate::pairs::{generate_pairs, PairSet};
 use crate::parallel::{effective_threads, parallel_map, StageTimings};
 use crate::synth::SynthesizedTest;
 use narada_lang::hir::Program;
 use narada_lang::mir::MirProgram;
-use narada_vm::{Machine, MachineOptions, VecSink, VmError};
+use narada_vm::rng::derive_seed;
+use narada_vm::{Machine, MachineOptions, Schedule, VecSink, VmError};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Seed-derivation stage tags for demonstration runs (distinct from the
+/// detect crate's 1–4 so the two layers never share a schedule).
+const STAGE_DEMO_MACHINE: u64 = 11;
+const STAGE_DEMO_SCHED: u64 = 12;
 
 /// Everything the pipeline produced for one program.
 #[derive(Debug)]
@@ -119,6 +125,79 @@ pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> 
         timings,
         seed_failures,
     }
+}
+
+/// One recorded concurrent execution of a synthesized test: the replayable
+/// schedule plus what happened under it. Produced by [`demonstrate`];
+/// serialized as a `.sched` file by the CLI's `--record`.
+#[derive(Debug)]
+pub struct Demonstration {
+    /// Index of the test in [`SynthesisOutput::tests`].
+    pub test_index: usize,
+    /// The recorded schedule, with `plan-index`, `plan`, and `strategy`
+    /// metadata stamped for later replay against a re-synthesized suite.
+    pub schedule: Schedule,
+    /// Racy-thread crashes observed during the run (themselves evidence of
+    /// a thread-safety violation).
+    pub failures: Vec<String>,
+}
+
+/// Runs every race-expecting synthesized test once under the configured
+/// exploration strategy, recording each interleaving. Runs are sharded
+/// over the worker pool; each derives its seeds from the test index, so
+/// output is identical at any thread count. Tests whose setup fails
+/// (capture misses) are skipped.
+pub fn demonstrate(
+    prog: &Program,
+    mir: &MirProgram,
+    output: &SynthesisOutput,
+    explore: &ExploreOptions,
+) -> Vec<Demonstration> {
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let targets: Vec<&SynthesizedTest> = output
+        .tests
+        .iter()
+        .filter(|t| t.plan.expects_race)
+        .collect();
+    let runs = parallel_map(explore.threads, &targets, |_, test| {
+        let idx = test.index as u64;
+        let mut machine = Machine::new(
+            prog,
+            mir,
+            MachineOptions {
+                seed: derive_seed(explore.seed, &[STAGE_DEMO_MACHINE, idx]),
+                ..MachineOptions::default()
+            },
+        );
+        let mut sched = explore.strategy.build(
+            derive_seed(explore.seed, &[STAGE_DEMO_SCHED, idx]),
+            explore.pct_horizon,
+        );
+        let mut sink = narada_vm::NullSink;
+        crate::synth::execute_plan_recorded(
+            &mut machine,
+            &seeds,
+            &test.plan,
+            &mut *sched,
+            &mut sink,
+            explore.budget,
+        )
+        .ok()
+        .map(|(report, schedule)| (test.index, schedule, report.failures))
+    });
+    runs.into_iter()
+        .flatten()
+        .map(|(test_index, mut schedule, failures)| {
+            schedule.set_meta("plan-index", test_index.to_string());
+            schedule.set_meta("plan", output.tests[test_index].plan.dedup_key());
+            schedule.set_meta("strategy", explore.strategy.label());
+            Demonstration {
+                test_index,
+                schedule,
+                failures,
+            }
+        })
+        .collect()
 }
 
 /// Compiles MJ source and runs the pipeline — the one-call entry point used

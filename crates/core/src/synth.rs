@@ -16,7 +16,8 @@ use crate::context::{ObjRef, Slot, TestPlan};
 use narada_lang::hir::{Program, TestId};
 use narada_lang::mir::MirProgram;
 use narada_vm::{
-    CallSite, EventSink, Machine, MachineOptions, RunOutcome, Scheduler, ThreadId, Value, VmError,
+    CallSite, EventSink, Machine, MachineOptions, RecordingScheduler, RunOutcome, Schedule,
+    Scheduler, ThreadId, Value, VmError,
 };
 use std::fmt;
 
@@ -171,6 +172,27 @@ pub fn execute_plan(
         threads: [threads[0], threads[1]],
         failures,
     })
+}
+
+/// Executes `plan` while recording every scheduling decision of the
+/// concurrent phase, returning the report together with a replayable
+/// [`Schedule`] (named after `scheduler`, stamped with the machine seed).
+///
+/// # Errors
+///
+/// Same as [`execute_plan`].
+pub fn execute_plan_recorded(
+    machine: &mut Machine<'_>,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    scheduler: &mut dyn Scheduler,
+    sink: &mut dyn EventSink,
+    budget: u64,
+) -> Result<(ExecReport, Schedule), ExecError> {
+    let machine_seed = machine.seed();
+    let mut rec = RecordingScheduler::new(scheduler);
+    let report = execute_plan(machine, seeds, plan, &mut rec, sink, budget)?;
+    Ok((report, rec.to_schedule(machine_seed)))
 }
 
 /// Convenience: builds a fresh machine and executes the plan once.

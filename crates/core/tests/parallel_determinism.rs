@@ -49,6 +49,7 @@ fn serialize_detection(
         seed: 0xd15c,
         budget: 2_000_000,
         threads,
+        ..DetectConfig::default()
     };
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let mut s = String::new();

@@ -59,6 +59,7 @@ impl DjitDetector {
             field,
             first,
             second,
+            provenance: None,
         };
         if self.seen.insert(r.static_key()) {
             self.races.push(r);

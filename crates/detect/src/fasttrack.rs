@@ -64,6 +64,7 @@ impl FastTrackDetector {
             field,
             first,
             second,
+            provenance: None,
         };
         if self.seen.insert(r.static_key()) {
             self.races.push(r);

@@ -19,6 +19,7 @@
 pub mod djit;
 pub mod fasttrack;
 pub mod lockset;
+pub mod minimize;
 pub mod race;
 pub mod racefuzzer;
 pub mod report;
@@ -27,8 +28,11 @@ pub mod vclock;
 pub use djit::DjitDetector;
 pub use fasttrack::FastTrackDetector;
 pub use lockset::LocksetDetector;
-pub use race::{CoarseRaceKey, MethodIndex, RaceAccess, RaceReport, StaticRaceKey};
-pub use racefuzzer::{ConfirmedRace, RaceFuzzerScheduler};
+pub use minimize::{minimize_schedule, replay_schedule, MinimizeOutcome, ReplayOutcome};
+pub use race::{
+    CoarseRaceKey, MethodIndex, RaceAccess, RaceReport, SchedProvenance, StaticRaceKey,
+};
+pub use racefuzzer::{ConfirmedRace, RaceFuzzerScheduler, DEFAULT_POSTPONE_BUDGET};
 pub use report::{
     evaluate_suite, evaluate_test, evaluate_test_indexed, ClassDetection, DetectConfig, TestReport,
 };

@@ -108,6 +108,7 @@ impl LocksetDetector {
                     is_write,
                     span,
                 },
+                provenance: None,
             };
             if self.seen.insert(report.static_key()) {
                 self.races.push(report);

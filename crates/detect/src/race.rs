@@ -16,6 +16,36 @@ pub struct RaceAccess {
     pub span: Span,
 }
 
+/// Where a race report came from: the exploration run that manifested it.
+///
+/// Carries everything needed to name the replayable schedule — the
+/// scheduler family, both seeds, and the [`Schedule::id`] of the recorded
+/// interleaving — so a report line is traceable to the exact run (and,
+/// through a `.sched` fixture, re-executable byte-identically).
+///
+/// [`Schedule::id`]: narada_vm::Schedule::id
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedProvenance {
+    /// Scheduler family that produced the run (e.g. `random`, `pct`).
+    pub scheduler: String,
+    /// Machine seed of the manifesting run.
+    pub machine_seed: u64,
+    /// Scheduler seed of the manifesting run.
+    pub sched_seed: u64,
+    /// Identity hash of the recorded schedule.
+    pub schedule_id: u64,
+}
+
+impl fmt::Display for SchedProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sched-seed {:#x} machine-seed {:#x} schedule {:#018x}",
+            self.scheduler, self.sched_seed, self.machine_seed, self.schedule_id
+        )
+    }
+}
+
 /// A detected data race: two conflicting accesses to one location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RaceReport {
@@ -27,6 +57,10 @@ pub struct RaceReport {
     pub first: RaceAccess,
     /// Second access.
     pub second: RaceAccess,
+    /// The run that manifested the race, when known. Detectors report
+    /// `None`; the trial runner stamps it (it knows the seeds and the
+    /// recorded schedule, the detectors do not).
+    pub provenance: Option<SchedProvenance>,
 }
 
 impl RaceReport {
@@ -47,9 +81,10 @@ impl RaceReport {
     }
 
     /// Renders the report (field names need the heap, so only spans and
-    /// ids are shown).
+    /// ids are shown). When provenance is known the manifesting run is
+    /// named — scheduler, seeds, schedule id — on a second line.
     pub fn render(&self, _prog: &Program) -> String {
-        format!(
+        let mut out = format!(
             "race on {}.{}: {} {} at {} vs {} {} at {}",
             self.obj,
             self.field,
@@ -59,7 +94,12 @@ impl RaceReport {
             self.second.tid,
             rw(self.second.is_write),
             self.second.span,
-        )
+        );
+        if let Some(p) = &self.provenance {
+            out.push_str("\n  via ");
+            out.push_str(&p.to_string());
+        }
+        out
     }
 }
 
@@ -91,6 +131,53 @@ impl fmt::Display for StaticRaceKey {
             self.span_b,
             if self.elem { " (elem)" } else { "" }
         )
+    }
+}
+
+impl StaticRaceKey {
+    /// Serializes for a `.sched` fixture's `target` metadata line:
+    /// `A_START:A_END B_START:B_END field|elem`.
+    pub fn to_meta(&self) -> String {
+        format!(
+            "{}:{} {}:{} {}",
+            self.span_a.start,
+            self.span_a.end,
+            self.span_b.start,
+            self.span_b.end,
+            if self.elem { "elem" } else { "field" }
+        )
+    }
+
+    /// Parses the [`StaticRaceKey::to_meta`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on a malformed value.
+    pub fn parse_meta(s: &str) -> Result<Self, String> {
+        let mut parts = s.split_whitespace();
+        let mut span = || -> Result<Span, String> {
+            let tok = parts.next().ok_or_else(|| format!("short target `{s}`"))?;
+            let (a, b) = tok
+                .split_once(':')
+                .ok_or_else(|| format!("bad span `{tok}` (want START:END)"))?;
+            let parse = |v: &str| {
+                v.parse::<u32>()
+                    .map_err(|_| format!("bad number in `{tok}`"))
+            };
+            Ok(Span::new(parse(a)?, parse(b)?))
+        };
+        let span_a = span()?;
+        let span_b = span()?;
+        let elem = match parts.next() {
+            Some("elem") => true,
+            Some("field") | None => false,
+            Some(other) => return Err(format!("bad location kind `{other}`")),
+        };
+        Ok(StaticRaceKey {
+            span_a,
+            span_b,
+            elem,
+        })
     }
 }
 
@@ -170,13 +257,66 @@ mod tests {
             field: FieldKey::Elem(0),
             first: a,
             second: b,
+            provenance: None,
         };
         let r2 = RaceReport {
             obj: ObjId(9),
             field: FieldKey::Elem(5),
             first: b,
             second: a,
+            provenance: None,
         };
         assert_eq!(r1.static_key(), r2.static_key());
+    }
+
+    #[test]
+    fn static_key_meta_round_trip() {
+        let key = StaticRaceKey {
+            span_a: Span::new(3, 5),
+            span_b: Span::new(10, 12),
+            elem: true,
+        };
+        assert_eq!(StaticRaceKey::parse_meta(&key.to_meta()), Ok(key));
+        let field = StaticRaceKey { elem: false, ..key };
+        assert_eq!(StaticRaceKey::parse_meta(&field.to_meta()), Ok(field));
+        assert!(StaticRaceKey::parse_meta("1:2").is_err());
+        assert!(StaticRaceKey::parse_meta("1:2 3:x field").is_err());
+    }
+
+    #[test]
+    fn render_includes_provenance_when_stamped() {
+        let prog = narada_lang::compile("class C { int x; } test seed { var c = new C(); }")
+            .expect("trivial program");
+        let mut r = RaceReport {
+            obj: ObjId(3),
+            field: FieldKey::Elem(1),
+            first: RaceAccess {
+                tid: ThreadId(1),
+                is_write: true,
+                span: Span::new(4, 9),
+            },
+            second: RaceAccess {
+                tid: ThreadId(2),
+                is_write: false,
+                span: Span::new(20, 25),
+            },
+            provenance: None,
+        };
+        // Without provenance: single line, exact form pinned.
+        assert_eq!(
+            r.render(&prog),
+            "race on o3.[1]: T1 write at 4..9 vs T2 read at 20..25"
+        );
+        r.provenance = Some(SchedProvenance {
+            scheduler: "pct".into(),
+            machine_seed: 0xbeef,
+            sched_seed: 0xcafe,
+            schedule_id: 0x1234_5678_9abc_def0,
+        });
+        assert_eq!(
+            r.render(&prog),
+            "race on o3.[1]: T1 write at 4..9 vs T2 read at 20..25\n  \
+             via pct sched-seed 0xcafe machine-seed 0xbeef schedule 0x123456789abcdef0"
+        );
     }
 }

@@ -11,13 +11,14 @@
 use crate::race::StaticRaceKey;
 use narada_lang::Span;
 use narada_vm::rng::SplitMix64;
-use narada_vm::{FieldKey, Machine, ObjId, Scheduler, ThreadId, Value};
+use narada_vm::{FieldKey, Machine, ObjId, Schedule, Scheduler, ThreadId, Value};
 use std::collections::HashSet;
 
-/// How many scheduling decisions a thread may stay postponed before the
-/// scheduler gives up on pairing it (prevents livelock when the partner
-/// access never comes).
-const POSTPONE_BUDGET: u32 = 50_000;
+/// Default number of scheduling decisions a thread may stay postponed
+/// before the scheduler gives up on pairing it (prevents livelock when the
+/// partner access never comes). Override per scheduler with
+/// [`RaceFuzzerScheduler::with_postpone_budget`].
+pub const DEFAULT_POSTPONE_BUDGET: u32 = 50_000;
 
 /// A race confirmed by adjacent scheduling of its two accesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +35,17 @@ pub struct ConfirmedRace {
     pub benign: bool,
     /// Kinds of the two accesses (`is_write` for postponed/partner).
     pub kinds: (bool, bool),
+    /// Machine seed of the confirming run (stamped at confirmation time
+    /// from the live machine).
+    pub machine_seed: u64,
+    /// Seed the directed scheduler was built with.
+    pub sched_seed: u64,
+    /// The replayable schedule of the confirming run. The scheduler itself
+    /// cannot see its own recording wrapper, so this is `None` until the
+    /// trial runner stamps it from the [`RecordingScheduler`].
+    ///
+    /// [`RecordingScheduler`]: narada_vm::RecordingScheduler
+    pub schedule: Option<Schedule>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -54,7 +66,12 @@ pub struct RaceFuzzerScheduler {
     /// Target source sites (both sides of the potential race).
     targets: HashSet<Span>,
     rng: SplitMix64,
+    seed: u64,
     postponed: Option<Postponed>,
+    postpone_budget: u32,
+    /// Decisions where a postponement was abandoned because its budget ran
+    /// out — the give-up path taken when the partner access never arrives.
+    pub gave_up: usize,
     /// Races confirmed during the run.
     pub confirmed: Vec<ConfirmedRace>,
 }
@@ -62,15 +79,7 @@ pub struct RaceFuzzerScheduler {
 impl RaceFuzzerScheduler {
     /// Creates a scheduler targeting the given potential race.
     pub fn new(target: StaticRaceKey, seed: u64) -> Self {
-        let mut targets = HashSet::new();
-        targets.insert(target.span_a);
-        targets.insert(target.span_b);
-        RaceFuzzerScheduler {
-            targets,
-            rng: SplitMix64::seed_from_u64(seed),
-            postponed: None,
-            confirmed: Vec::new(),
-        }
+        Self::with_targets(std::slice::from_ref(&target), seed)
     }
 
     /// Creates a scheduler targeting several potential races at once.
@@ -83,9 +92,25 @@ impl RaceFuzzerScheduler {
         RaceFuzzerScheduler {
             targets,
             rng: SplitMix64::seed_from_u64(seed),
+            seed,
             postponed: None,
+            postpone_budget: DEFAULT_POSTPONE_BUDGET,
+            gave_up: 0,
             confirmed: Vec::new(),
         }
+    }
+
+    /// Overrides the postponement wait budget (scheduling decisions a
+    /// thread may stay suspended waiting for its partner access).
+    #[must_use]
+    pub fn with_postpone_budget(mut self, budget: u32) -> Self {
+        self.postpone_budget = budget;
+        self
+    }
+
+    /// The configured postponement wait budget.
+    pub fn postpone_budget(&self) -> u32 {
+        self.postpone_budget
     }
 
     fn classify(
@@ -131,9 +156,10 @@ impl Scheduler for RaceFuzzerScheduler {
         // Age out stale postponements.
         if let Some(p) = &mut self.postponed {
             p.age += 1;
-            if p.age > POSTPONE_BUDGET {
+            if p.age > self.postpone_budget {
                 let tid = p.tid;
                 self.postponed = None;
+                self.gave_up += 1;
                 return tid;
             }
         }
@@ -192,6 +218,7 @@ impl Scheduler for RaceFuzzerScheduler {
                                 is_write,
                                 span,
                             },
+                            provenance: None,
                         }
                         .static_key();
                         if !self.confirmed.iter().any(|c| c.key == key) {
@@ -201,6 +228,9 @@ impl Scheduler for RaceFuzzerScheduler {
                                 field,
                                 benign,
                                 kinds: (p.is_write, is_write),
+                                machine_seed: machine.seed(),
+                                sched_seed: self.seed,
+                                schedule: None,
                             });
                         }
                         self.postponed = None;

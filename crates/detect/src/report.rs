@@ -23,7 +23,8 @@
 
 use crate::fasttrack::FastTrackDetector;
 use crate::lockset::LocksetDetector;
-use crate::race::{CoarseRaceKey, MethodIndex, RaceReport, StaticRaceKey};
+use crate::minimize::minimize_schedule;
+use crate::race::{CoarseRaceKey, MethodIndex, RaceReport, SchedProvenance, StaticRaceKey};
 use crate::racefuzzer::{ConfirmedRace, RaceFuzzerScheduler};
 use narada_core::parallel::parallel_map;
 use narada_core::synth::execute_plan;
@@ -31,7 +32,7 @@ use narada_core::TestPlan;
 use narada_lang::hir::{Program, TestId};
 use narada_lang::mir::MirProgram;
 use narada_vm::rng::derive_seed;
-use narada_vm::{Machine, MachineOptions, RandomScheduler, TeeSink};
+use narada_vm::{Machine, MachineOptions, RecordingScheduler, ScheduleStrategy, TeeSink};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -58,6 +59,17 @@ pub struct DetectConfig {
     /// Worker threads for the trial runner (`0` = one per core). Purely a
     /// throughput knob: results are identical at any value.
     pub threads: usize,
+    /// Scheduler family for the detection pass (the CLI's `--strategy`).
+    /// The default, [`ScheduleStrategy::Random`], reproduces the seed
+    /// behavior decision-for-decision.
+    pub strategy: ScheduleStrategy,
+    /// Change-point sampling horizon for PCT (expected scheduling
+    /// decisions per run; irrelevant for other strategies).
+    pub pct_horizon: u64,
+    /// Run ddmin on each confirming schedule before attaching it to the
+    /// [`ConfirmedRace`] — used when committing `.sched` fixtures; costs
+    /// one full re-execution per probe.
+    pub minimize: bool,
 }
 
 impl Default for DetectConfig {
@@ -68,6 +80,9 @@ impl Default for DetectConfig {
             seed: 0xdecaf,
             budget: 2_000_000,
             threads: 0,
+            strategy: ScheduleStrategy::Random,
+            pct_horizon: 1_000,
+            minimize: false,
         }
     }
 }
@@ -109,11 +124,13 @@ fn detection_trial(
     test_idx: u64,
     trial: u64,
 ) -> Result<Vec<RaceReport>, String> {
+    let machine_seed = derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, trial]);
+    let sched_seed = derive_seed(cfg.seed, &[STAGE_DETECT_SCHED, test_idx, trial]);
     let mut machine = Machine::new(
         prog,
         mir,
         MachineOptions {
-            seed: derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, trial]),
+            seed: machine_seed,
             ..MachineOptions::default()
         },
     );
@@ -123,13 +140,29 @@ fn detection_trial(
         a: &mut lockset,
         b: &mut hb,
     };
-    let mut sched = RandomScheduler::new(derive_seed(
-        cfg.seed,
-        &[STAGE_DETECT_SCHED, test_idx, trial],
-    ));
+    let mut inner = cfg.strategy.build(sched_seed, cfg.pct_horizon);
+    let mut sched = RecordingScheduler::new(&mut *inner);
     execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget)
         .map_err(|e| e.to_string())?;
-    Ok(lockset.races().iter().chain(hb.races()).cloned().collect())
+    // Stamp every report with the manifesting run's identity so rendered
+    // races name their replayable schedule.
+    let schedule = sched.to_schedule(machine_seed);
+    let provenance = SchedProvenance {
+        scheduler: schedule.scheduler.clone(),
+        machine_seed,
+        sched_seed,
+        schedule_id: schedule.id(),
+    };
+    Ok(lockset
+        .races()
+        .iter()
+        .chain(hb.races())
+        .cloned()
+        .map(|mut r| {
+            r.provenance = Some(provenance.clone());
+            r
+        })
+        .collect())
 }
 
 /// One confirmation job: directed re-execution attempts targeting each
@@ -145,11 +178,12 @@ fn confirm_race(
 ) -> Option<ConfirmedRace> {
     for fine in fine_keys {
         for trial in 0..cfg.confirm_trials as u64 {
+            let machine_seed = derive_seed(cfg.seed, &[STAGE_CONFIRM_MACHINE, test_idx, trial]);
             let mut machine = Machine::new(
                 prog,
                 mir,
                 MachineOptions {
-                    seed: derive_seed(cfg.seed, &[STAGE_CONFIRM_MACHINE, test_idx, trial]),
+                    seed: machine_seed,
                     ..MachineOptions::default()
                 },
             );
@@ -157,11 +191,21 @@ fn confirm_race(
                 *fine,
                 derive_seed(cfg.seed, &[STAGE_CONFIRM_SCHED, test_idx, trial]),
             );
+            let mut rec = RecordingScheduler::new(&mut sched);
             let mut sink = narada_vm::NullSink;
-            if execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget).is_err() {
+            if execute_plan(&mut machine, seeds, plan, &mut rec, &mut sink, cfg.budget).is_err() {
                 continue;
             }
-            if let Some(c) = sched.confirmed.into_iter().find(|c| c.key == *fine) {
+            let schedule = rec.to_schedule(machine_seed);
+            if let Some(mut c) = sched.confirmed.into_iter().find(|c| c.key == *fine) {
+                // Attach the replayable interleaving; shrink it first when
+                // fixtures are being committed.
+                c.schedule = Some(match cfg.minimize {
+                    true => minimize_schedule(prog, mir, seeds, plan, cfg.budget, fine, &schedule)
+                        .map(|m| m.schedule)
+                        .unwrap_or(schedule),
+                    false => schedule,
+                });
                 return Some(c);
             }
         }

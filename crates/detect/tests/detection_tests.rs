@@ -30,6 +30,7 @@ fn cfg() -> DetectConfig {
         seed: 42,
         budget: 2_000_000,
         threads: 0,
+        ..DetectConfig::default()
     }
 }
 

@@ -1,0 +1,151 @@
+//! Liveness of the RaceFuzzer confirmation scheduler: a postponed thread
+//! whose partner access never arrives must not hang the run. Two release
+//! paths exist and both are exercised here:
+//!
+//! * **budget give-up** — the partner side simply never executes while
+//!   other threads keep running; after `postpone_budget` scheduling
+//!   decisions the suspension is abandoned (`gave_up` counts it);
+//! * **last-thread release** — every other thread finishes first, leaving
+//!   only the postponed thread runnable; it is released immediately
+//!   without burning the budget (not a give-up).
+
+use narada_detect::{LocksetDetector, RaceFuzzerScheduler, StaticRaceKey};
+use narada_lang::hir::Program;
+use narada_lang::lower::lower_program;
+use narada_lang::mir::MirProgram;
+use narada_vm::{Machine, MachineOptions, NullSink, RoundRobin, RunOutcome, Value};
+
+/// `poke`/`other` race on `x`; `spin(n)` only touches `y`, so a thread
+/// inside `spin` can never be the partner of a postponed `x` access.
+const SRC: &str = r#"
+    class C {
+        int x;
+        int y;
+        void poke() { this.x = 1; }
+        void other() { this.x = 2; }
+        void spin(int n) {
+            var i = 0;
+            while (i < n) { this.y = this.y + 1; i = i + 1; }
+        }
+    }
+    test seed { var c = new C(); c.poke(); c.other(); var d = new C(); d.spin(1); }
+"#;
+
+fn compile() -> (Program, MirProgram) {
+    let prog = narada_lang::compile(SRC).expect("test program compiles");
+    let mir = lower_program(&prog);
+    (prog, mir)
+}
+
+fn method(prog: &Program, name: &str) -> narada_lang::hir::MethodId {
+    prog.methods.iter().find(|m| m.name == name).unwrap().id
+}
+
+/// The real static key of the `poke`/`other` race on `x`, recovered from a
+/// lockset run (the fuzzer targets source spans, which only the front end
+/// knows).
+fn poke_other_key(prog: &Program, mir: &MirProgram) -> StaticRaceKey {
+    let mut m = Machine::new(prog, mir, MachineOptions::default());
+    let c = m
+        .heap
+        .alloc_instance(prog, prog.class_by_name("C").unwrap());
+    let mut lockset = LocksetDetector::new();
+    m.spawn_invoke(
+        method(prog, "poke"),
+        Some(Value::Ref(c)),
+        vec![],
+        &mut lockset,
+    )
+    .unwrap();
+    m.spawn_invoke(
+        method(prog, "other"),
+        Some(Value::Ref(c)),
+        vec![],
+        &mut lockset,
+    )
+    .unwrap();
+    assert_eq!(
+        m.run_threads(&mut RoundRobin::new(), &mut lockset, 100_000),
+        RunOutcome::Completed
+    );
+    lockset
+        .races()
+        .first()
+        .expect("unsynchronized x writes race")
+        .static_key()
+}
+
+/// Runs `poke` (one side of the target race) against `spin(n)` (never the
+/// partner) under the given fuzzer; returns the scheduler for inspection.
+fn run_partnerless(n: i64, mut fuzzer: RaceFuzzerScheduler) -> RaceFuzzerScheduler {
+    let (prog, mir) = compile();
+    let mut m = Machine::new(&prog, &mir, MachineOptions::default());
+    let c = m
+        .heap
+        .alloc_instance(&prog, prog.class_by_name("C").unwrap());
+    let mut sink = NullSink;
+    m.spawn_invoke(
+        method(&prog, "poke"),
+        Some(Value::Ref(c)),
+        vec![],
+        &mut sink,
+    )
+    .unwrap();
+    m.spawn_invoke(
+        method(&prog, "spin"),
+        Some(Value::Ref(c)),
+        vec![Value::Int(n)],
+        &mut sink,
+    )
+    .unwrap();
+    assert_eq!(
+        m.run_threads(&mut fuzzer, &mut sink, 1_000_000),
+        RunOutcome::Completed,
+        "a partnerless postponement must not livelock the run"
+    );
+    fuzzer
+}
+
+#[test]
+fn gives_up_within_budget_when_partner_never_arrives() {
+    let (prog, mir) = compile();
+    let key = poke_other_key(&prog, &mir);
+    // Long spin, tiny budget: the suspension must be abandoned while the
+    // spinner is still running.
+    let fuzzer = run_partnerless(
+        500,
+        RaceFuzzerScheduler::new(key, 7).with_postpone_budget(10),
+    );
+    assert!(
+        fuzzer.gave_up >= 1,
+        "budget expiry must be counted as a give-up"
+    );
+    assert!(
+        fuzzer.confirmed.is_empty(),
+        "nothing may confirm without the partner access"
+    );
+}
+
+#[test]
+fn releases_postponed_thread_once_it_is_alone() {
+    let (prog, mir) = compile();
+    let key = poke_other_key(&prog, &mir);
+    // Short spin, default (huge) budget: the spinner finishes long before
+    // the budget, leaving only the postponed thread — released at once,
+    // not counted as a give-up.
+    let fuzzer = run_partnerless(2, RaceFuzzerScheduler::new(key, 7));
+    assert_eq!(
+        fuzzer.gave_up, 0,
+        "last-thread release is not a budget give-up"
+    );
+    assert!(fuzzer.confirmed.is_empty());
+}
+
+#[test]
+fn postpone_budget_is_configurable() {
+    let (prog, mir) = compile();
+    let key = poke_other_key(&prog, &mir);
+    let f = RaceFuzzerScheduler::new(key, 1);
+    assert_eq!(f.postpone_budget(), narada_detect::DEFAULT_POSTPONE_BUDGET);
+    assert_eq!(f.with_postpone_budget(3).postpone_budget(), 3);
+}

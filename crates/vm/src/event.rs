@@ -229,6 +229,27 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// Order-sensitive 64-bit digest of an event trace.
+///
+/// Two runs with equal digests produced byte-identical traces (up to hash
+/// collision); the record/replay tests and the committed `.sched` fixtures
+/// use this as the "replay reproduced the run exactly" oracle without
+/// storing whole traces.
+pub fn trace_digest(events: &[Event]) -> u64 {
+    use std::fmt::Write as _;
+    let mut buf = String::new();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for ev in events {
+        buf.clear();
+        // Debug formatting is deterministic and covers every payload field.
+        let _ = write!(buf, "{ev:?}");
+        for b in buf.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    crate::rng::splitmix64(&mut h)
+}
+
 /// Consumer of the event stream. Detectors and the trace recorder implement
 /// this; sinks must not assume events arrive from a single thread id.
 pub trait EventSink {

@@ -38,21 +38,24 @@ pub mod heap;
 pub mod machine;
 pub mod render;
 pub mod rng;
+pub mod schedule;
 pub mod scheduler;
 pub mod value;
 
 pub use error::{VmError, VmErrorKind};
 pub use event::{
-    CopySrc, Event, EventKind, EventSink, FieldKey, InvId, Label, NullSink, TeeSink, ThreadId,
-    VecSink,
+    trace_digest, CopySrc, Event, EventKind, EventSink, FieldKey, InvId, Label, NullSink, TeeSink,
+    ThreadId, VecSink,
 };
 pub use heap::{Heap, Object, ObjectData};
 pub use machine::{
     CallSite, Machine, MachineOptions, PendingInvoke, Preview, RunOutcome, ThreadStatus,
 };
-pub use render::TraceRenderer;
+pub use render::{render_schedule_summary, TraceRenderer};
 pub use rng::{derive_seed, splitmix64, SplitMix64};
+pub use schedule::{Schedule, ScheduleError, VM_VERSION};
 pub use scheduler::{
-    RandomScheduler, RecordingScheduler, ReplayScheduler, RoundRobin, Scheduler, SerialScheduler,
+    PctScheduler, RandomScheduler, RecordingScheduler, ReplayScheduler, RoundRobin,
+    ScheduleStrategy, Scheduler, SegmentScheduler, SerialScheduler,
 };
 pub use value::{ObjId, Value};

@@ -215,6 +215,13 @@ impl<'p> Machine<'p> {
         self.threads.len()
     }
 
+    /// The machine seed. Together with a recorded schedule this is the
+    /// complete reproduction recipe for a run (see
+    /// [`Schedule`](crate::schedule::Schedule)).
+    pub fn seed(&self) -> u64 {
+        self.opts.seed
+    }
+
     /// Status of a thread.
     pub fn thread_status(&self, tid: ThreadId) -> &ThreadStatus {
         &self.threads[tid.index()].status

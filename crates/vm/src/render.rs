@@ -157,6 +157,43 @@ impl<'p> TraceRenderer<'p> {
     }
 }
 
+/// Renders a one-paragraph human summary of a recorded schedule: identity,
+/// length, per-thread step counts, and preemption structure. Used by the
+/// CLI's `--record`/`--replay` output.
+pub fn render_schedule_summary(s: &crate::schedule::Schedule) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut per_thread: BTreeMap<u32, u64> = BTreeMap::new();
+    for t in &s.choices {
+        *per_thread.entry(t.0).or_default() += 1;
+    }
+    let counts: Vec<String> = per_thread
+        .iter()
+        .map(|(t, n)| format!("T{t}:{n}"))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "schedule {:#018x} ({} by seed {:#x}, vm {})",
+        s.id(),
+        s.scheduler,
+        s.seed,
+        s.vm_version
+    );
+    let _ = write!(
+        out,
+        "  {} decisions, {} preemptions, steps per thread: {}",
+        s.len(),
+        s.preemptions(),
+        if counts.is_empty() {
+            "none".to_string()
+        } else {
+            counts.join(" ")
+        }
+    );
+    out
+}
+
 fn field_name(prog: &Program, key: &crate::event::FieldKey) -> String {
     match key {
         crate::event::FieldKey::Field(f) => format!(".{}", prog.field(*f).name),

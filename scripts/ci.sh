@@ -12,6 +12,12 @@ cargo build --release
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> replay regression suite (release)"
+cargo test -q --release --test replay_fixtures
+
+echo "==> detector_shootout example smoke test"
+cargo run -q --release --example detector_shootout > /dev/null
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -9,11 +9,19 @@
 //! narada corpus [C1..C9]                             run the pipeline on a corpus class
 //! ```
 
-use narada::detect::{evaluate_suite, DetectConfig};
+use narada::core::{demonstrate, ExploreOptions, SynthesisOutput};
+use narada::detect::{
+    evaluate_suite, evaluate_test_indexed, replay_schedule, DetectConfig, StaticRaceKey,
+};
+use narada::lang::hir::Program;
 use narada::lang::lower::lower_program;
+use narada::lang::mir::MirProgram;
 use narada::lang::SourceMap;
-use narada::vm::{Machine, TraceRenderer, VecSink};
+use narada::vm::{
+    render_schedule_summary, Machine, Schedule, ScheduleStrategy, TraceRenderer, VecSink,
+};
 use narada::{synthesize, SynthesisOptions};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -52,10 +60,23 @@ USAGE:
     narada synth <file.mj> [--render] [--strict-unprotected]
                            [--no-prefix-fallback] [--no-lockset-aware]
                            [--threads N] [--timings]
+                           [--strategy S] [--depth N]
+                           [--record DIR] [--replay FILE.sched]
     narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
                             [--threads N] [--timings]
-    narada corpus [C1..C9] [--threads N] [--timings]
+                            [--strategy S] [--depth N]
+                            [--record DIR] [--replay FILE.sched]
+    narada corpus [C1..C9] [--threads N] [--timings] [--detect]
+                           [--schedules N] [--confirms N] [--seed N]
+                           [--strategy S] [--depth N] [--record DIR]
 
+`--strategy S` picks the exploration scheduler: pct[:DEPTH], random,
+sticky[:PERCENT], or rr; `--depth N` overrides the PCT depth.
+`--record DIR` writes replayable .sched logs: synth records one
+demonstration run per race-expecting test, detect/corpus record the
+ddmin-minimized schedule of every confirmed race as a fixture.
+`--replay FILE.sched` re-executes a recorded schedule against the
+re-synthesized suite and verifies it (target race, trace digest).
 `--threads N` shards the pipeline and detector trials over N workers
 (0 or omitted = one per core); results are identical at any value.
 `--timings` prints the per-stage wall-clock breakdown.";
@@ -161,6 +182,150 @@ fn synth_opts(rest: &[String]) -> Result<SynthesisOptions, String> {
     })
 }
 
+/// Parses the shared exploration flags: `--strategy` and `--depth`.
+fn strategy_opts(rest: &[String]) -> Result<ScheduleStrategy, String> {
+    let mut strategy = match opt(rest, "--strategy") {
+        Some(s) => ScheduleStrategy::parse(s)?,
+        None => ScheduleStrategy::default(),
+    };
+    if let Some(d) = opt(rest, "--depth") {
+        let depth: usize = d
+            .parse()
+            .map_err(|_| format!("--depth expects a number, got `{d}`"))?;
+        strategy = strategy.with_depth(depth);
+    }
+    Ok(strategy)
+}
+
+/// Replays a recorded `.sched` log against a (re-)synthesized suite and
+/// verifies everything its metadata claims: the plan identity, the target
+/// race, and the trace digest.
+fn replay_file(
+    prog: &Program,
+    mir: &MirProgram,
+    out: &SynthesisOutput,
+    path: &str,
+    budget: u64,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let schedule = Schedule::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{}", render_schedule_summary(&schedule));
+    let index: usize = schedule
+        .meta_get("plan-index")
+        .ok_or_else(|| format!("{path}: no `plan-index` metadata"))?
+        .parse()
+        .map_err(|_| format!("{path}: bad `plan-index`"))?;
+    let test = out.tests.get(index).ok_or_else(|| {
+        format!(
+            "{path}: plan-index {index} out of range (suite has {})",
+            out.tests.len()
+        )
+    })?;
+    if let Some(key) = schedule.meta_get("plan") {
+        if key != test.plan.dedup_key() {
+            return Err(format!(
+                "{path}: plan {index} drifted — recorded `{key}`, synthesized `{}`",
+                test.plan.dedup_key()
+            ));
+        }
+    }
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let outcome = replay_schedule(prog, mir, &seeds, &test.plan, budget, &schedule)?;
+    println!(
+        "replayed plan {index}: {} race key(s), {} divergence(s), trace digest {:#018x}",
+        outcome.keys.len(),
+        outcome.divergences,
+        outcome.trace_digest
+    );
+    if outcome.divergences > 0 {
+        return Err(format!("{path}: replay diverged from the recording"));
+    }
+    if let Some(target) = schedule.meta_get("target") {
+        let key = StaticRaceKey::parse_meta(target).map_err(|e| format!("{path}: {e}"))?;
+        if !outcome.manifests(&key) {
+            return Err(format!("{path}: target race {key} did not manifest"));
+        }
+        println!("target race {key} manifested");
+    }
+    if let Some(digest) = schedule.meta_get("trace-digest") {
+        let want = u64::from_str_radix(digest.trim_start_matches("0x"), 16)
+            .map_err(|e| format!("{path}: bad trace-digest: {e}"))?;
+        if outcome.trace_digest != want {
+            return Err(format!(
+                "{path}: trace digest mismatch — recorded {digest}, replayed {:#018x}",
+                outcome.trace_digest
+            ));
+        }
+        println!("trace digest matches the recording");
+    }
+    Ok(())
+}
+
+/// Runs the detection + confirmation protocol per plan and writes one
+/// ddmin-minimized `.sched` fixture per confirmed race into `dir`.
+fn record_fixtures(
+    prog: &Program,
+    mir: &MirProgram,
+    out: &SynthesisOutput,
+    cfg: &DetectConfig,
+    dir: &Path,
+    label: &str,
+) -> Result<usize, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let cfg = DetectConfig {
+        minimize: true,
+        ..cfg.clone()
+    };
+    let mut written = 0usize;
+    for test in &out.tests {
+        let report = evaluate_test_indexed(prog, mir, &seeds, &test.plan, &cfg, test.index as u64);
+        for (_, confirmed) in &report.reproduced {
+            let Some(schedule) = &confirmed.schedule else {
+                continue;
+            };
+            let mut schedule = schedule.clone();
+            schedule.set_meta("class", label);
+            schedule.set_meta("plan-index", test.index.to_string());
+            schedule.set_meta("plan", test.plan.dedup_key());
+            schedule.set_meta("target", confirmed.key.to_meta());
+            schedule.set_meta(
+                "verdict",
+                if confirmed.benign {
+                    "benign"
+                } else {
+                    "harmful"
+                },
+            );
+            schedule.set_meta("sched-seed", format!("{:#x}", confirmed.sched_seed));
+            schedule.set_meta("strategy", cfg.strategy.label());
+            // Stamp the byte-identity oracle: replay once and record the
+            // digest the regression suite must reproduce.
+            let replay = replay_schedule(prog, mir, &seeds, &test.plan, cfg.budget, &schedule)?;
+            if replay.divergences > 0 || !replay.manifests(&confirmed.key) {
+                println!(
+                    "warning: plan {} race {} does not replay cleanly, skipping fixture",
+                    test.index, confirmed.key
+                );
+                continue;
+            }
+            schedule.set_meta("trace-digest", format!("{:#018x}", replay.trace_digest));
+            let file = dir.join(format!("{label}-p{}-{written}.sched", test.index));
+            std::fs::write(&file, schedule.to_text())
+                .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+            println!(
+                "wrote {} ({} decisions, {} preemptions, {})",
+                file.display(),
+                schedule.len(),
+                schedule.preemptions(),
+                schedule.meta_get("verdict").unwrap_or("?"),
+            );
+            written += 1;
+        }
+    }
+    Ok(written)
+}
+
 fn cmd_synth(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
@@ -184,6 +349,36 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
             print!("{}", t.plan.render(&prog));
         }
     }
+    if let Some(file) = opt(rest, "--replay") {
+        replay_file(&prog, &mir, &out, file, 2_000_000)?;
+    }
+    if let Some(dir) = opt(rest, "--record") {
+        let explore = ExploreOptions {
+            strategy: strategy_opts(rest)?,
+            seed: opt_usize(rest, "--seed", 0xdecaf)? as u64,
+            threads: opt_usize(rest, "--threads", 0)?,
+            ..ExploreOptions::default()
+        };
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let demos = demonstrate(&prog, &mir, &out, &explore);
+        for d in &demos {
+            let file = dir.join(format!("demo-p{}.sched", d.test_index));
+            std::fs::write(&file, d.schedule.to_text())
+                .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+            println!("{}", render_schedule_summary(&d.schedule));
+            println!("  -> {}", file.display());
+            for f in &d.failures {
+                println!("  thread failure: {f}");
+            }
+        }
+        println!(
+            "recorded {} demonstration run(s) under strategy {}",
+            demos.len(),
+            explore.strategy.label()
+        );
+    }
     Ok(())
 }
 
@@ -197,7 +392,17 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
         seed: opt_usize(rest, "--seed", 42)? as u64,
         budget: 2_000_000,
         threads: opt_usize(rest, "--threads", 0)?,
+        strategy: strategy_opts(rest)?,
+        ..DetectConfig::default()
     };
+    if let Some(file) = opt(rest, "--replay") {
+        return replay_file(&prog, &mir, &out, file, cfg.budget);
+    }
+    if let Some(dir) = opt(rest, "--record") {
+        let n = record_fixtures(&prog, &mir, &out, &cfg, Path::new(dir), "detect")?;
+        println!("recorded {n} fixture(s)");
+        return Ok(());
+    }
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
     let agg = evaluate_suite(&prog, &mir, &seeds, &plans, &cfg);
@@ -243,6 +448,33 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
         );
         if flag(rest, "--timings") {
             print!("{}", out.timings.render());
+        }
+        if flag(rest, "--detect") || opt(rest, "--record").is_some() {
+            let cfg = DetectConfig {
+                schedule_trials: opt_usize(rest, "--schedules", 6)?,
+                confirm_trials: opt_usize(rest, "--confirms", 4)?,
+                seed: opt_usize(rest, "--seed", 42)? as u64,
+                threads: opt_usize(rest, "--threads", 0)?,
+                strategy: strategy_opts(rest)?,
+                ..DetectConfig::default()
+            };
+            if let Some(dir) = opt(rest, "--record") {
+                let label = e.id.to_lowercase();
+                let n = record_fixtures(&prog, &mir, &out, &cfg, Path::new(dir), &label)?;
+                println!("{}: recorded {n} fixture(s)", e.id);
+            } else {
+                let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+                let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
+                let agg = evaluate_suite(&prog, &mir, &seeds, &plans, &cfg);
+                println!(
+                    "{}: {} races detected, {} reproduced ({} harmful, {} benign)",
+                    e.id,
+                    agg.races_detected,
+                    agg.harmful + agg.benign,
+                    agg.harmful,
+                    agg.benign
+                );
+            }
         }
     }
     Ok(())

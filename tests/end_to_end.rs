@@ -13,6 +13,7 @@ fn cfg() -> DetectConfig {
         seed: 7,
         budget: 2_000_000,
         threads: 0,
+        ..DetectConfig::default()
     }
 }
 

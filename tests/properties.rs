@@ -503,6 +503,195 @@ fn fasttrack_races_are_lockset_races() {
 }
 
 // ----------------------------------------------------------------------
+// Schedule record/replay round-trip
+// ----------------------------------------------------------------------
+
+/// Random racy MJ library: two methods doing 1–4 unsynchronized accesses
+/// to shared state, so the pipeline synthesizes race-expecting tests.
+fn gen_racy_program(rng: &mut SplitMix64) -> String {
+    let body = |rng: &mut SplitMix64| -> String {
+        (0..rng.gen_range(1usize..5))
+            .map(|i| match rng.gen_range(0u32..4) {
+                0 => "this.x = this.x + 1;".to_string(),
+                1 => "this.y = rand();".to_string(),
+                2 => format!("var t{i} = this.x; this.y = t{i};"),
+                _ => format!("this.a[{}] = this.x;", rng.gen_range(0u32..3)),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let (m1, m2) = (body(rng), body(rng));
+    format!(
+        "class C {{ int x; int y; int[] a; init() {{ this.a = new int[4]; }}\n\
+           void m1() {{ {m1} }}\n\
+           void m2() {{ {m2} }} }}\n\
+         test seed {{ var c = new C(); c.m1(); c.m2(); }}"
+    )
+}
+
+/// ISSUE satellite: recording a concurrent run and replaying its schedule
+/// on a fresh machine with the same seed reproduces the event trace
+/// *byte-identically* — the invariant the `.sched` fixture suite rests on.
+/// Exercised across random programs, random machine seeds, and all
+/// scheduler families.
+#[test]
+fn record_replay_round_trips_event_traces() {
+    use narada::core::execute_plan;
+    use narada::vm::{trace_digest, MachineOptions, ReplayScheduler, ScheduleStrategy};
+    cases(24, |case, rng| {
+        let src = gen_racy_program(rng);
+        let (prog, mir, out) =
+            narada::synthesize_source(&src, &narada::SynthesisOptions::default())
+                .expect("generated program compiles");
+        let Some(test) = out.tests.iter().find(|t| t.plan.expects_race) else {
+            return; // nothing synthesized for this shape — rare, fine
+        };
+        let strategy = match rng.gen_range(0u32..4) {
+            0 => ScheduleStrategy::Random,
+            1 => ScheduleStrategy::Sticky { stay_percent: 85 },
+            2 => ScheduleStrategy::Pct { depth: 3 },
+            _ => ScheduleStrategy::RoundRobin,
+        };
+        let machine_seed = rng.next_u64();
+        let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+
+        // Record.
+        let mut machine = Machine::new(
+            &prog,
+            &mir,
+            MachineOptions {
+                seed: machine_seed,
+                ..Default::default()
+            },
+        );
+        let mut sched = strategy.build(rng.next_u64(), 400);
+        let mut recorded = VecSink::new();
+        let (_, schedule) = narada::core::execute_plan_recorded(
+            &mut machine,
+            &seeds,
+            &test.plan,
+            &mut *sched,
+            &mut recorded,
+            2_000_000,
+        )
+        .expect("recorded run executes");
+        assert_eq!(schedule.seed, machine_seed, "case {case}");
+
+        // Replay on a fresh machine.
+        let mut machine = Machine::new(
+            &prog,
+            &mir,
+            MachineOptions {
+                seed: machine_seed,
+                ..Default::default()
+            },
+        );
+        let mut replay = ReplayScheduler::from_schedule(&schedule);
+        let mut replayed = VecSink::new();
+        execute_plan(
+            &mut machine,
+            &seeds,
+            &test.plan,
+            &mut replay,
+            &mut replayed,
+            2_000_000,
+        )
+        .expect("replayed run executes");
+
+        assert_eq!(
+            replay.divergences(),
+            0,
+            "case {case} ({}): replay diverged from the recording",
+            strategy.label()
+        );
+        assert_eq!(
+            replayed.events,
+            recorded.events,
+            "case {case} ({}): replayed trace differs",
+            strategy.label()
+        );
+        assert_eq!(
+            trace_digest(&replayed.events),
+            trace_digest(&recorded.events),
+            "case {case}: digest oracle disagrees with event equality"
+        );
+    });
+}
+
+/// The demonstration recorder (the CLI's `synth --record`) is sharded over
+/// the worker pool; its output — including every recorded schedule — must
+/// be identical at any thread count, and every schedule it emits must
+/// replay cleanly.
+#[test]
+fn demonstrations_are_thread_count_invariant_and_replayable() {
+    use narada::core::{demonstrate, ExploreOptions};
+    use narada::vm::ScheduleStrategy;
+    let src = r#"
+        class Counter { int count; void inc() { this.count = this.count + 1; } }
+        class Lib {
+            Counter c;
+            sync void update() { this.c.inc(); }
+            sync void set(Counter x) { this.c = x; }
+        }
+        test seed {
+            var r = new Counter();
+            var p = new Lib();
+            p.set(r);
+            p.update();
+        }
+    "#;
+    let (prog, mir, out) =
+        narada::synthesize_source(src, &narada::SynthesisOptions::default()).unwrap();
+    for strategy in [ScheduleStrategy::Random, ScheduleStrategy::Pct { depth: 3 }] {
+        let explore = |threads: usize| ExploreOptions {
+            strategy: strategy.clone(),
+            threads,
+            ..ExploreOptions::default()
+        };
+        let sequential = demonstrate(&prog, &mir, &out, &explore(1));
+        assert!(
+            !sequential.is_empty(),
+            "{}: no demonstrations",
+            strategy.label()
+        );
+        for threads in [2usize, 4] {
+            let sharded = demonstrate(&prog, &mir, &out, &explore(threads));
+            let key = |ds: &[narada::core::Demonstration]| -> Vec<_> {
+                ds.iter()
+                    .map(|d| (d.test_index, d.schedule.clone()))
+                    .collect()
+            };
+            assert_eq!(
+                key(&sharded),
+                key(&sequential),
+                "{}: demonstrations differ at threads={threads}",
+                strategy.label()
+            );
+        }
+        // Every recorded schedule replays without divergence.
+        let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+        for d in &sequential {
+            let outcome = narada::detect::replay_schedule(
+                &prog,
+                &mir,
+                &seeds,
+                &out.tests[d.test_index].plan,
+                2_000_000,
+                &d.schedule,
+            )
+            .expect("replay executes");
+            assert_eq!(
+                outcome.divergences,
+                0,
+                "{}: demonstration for plan {} does not replay",
+                strategy.label(),
+                d.test_index
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // Front-end robustness
 // ----------------------------------------------------------------------
 
