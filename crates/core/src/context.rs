@@ -771,7 +771,11 @@ fn set_root_ref(call: &mut PlanCall, root: PathRoot, val: ObjRef) -> Option<()> 
 /// same suffix (everything at or below the anchor is shared). Lock objects
 /// without client paths are library-internal and assumed distinct per
 /// receiver.
-fn lock_collision(
+///
+/// Public because the static pre-screener (`narada-screen`) must apply the
+/// *identical* predicate when mirroring the anchor search — any drift
+/// between the two copies would unsoundly discharge pairs.
+pub fn lock_collision(
     ls1: &[crate::access::HeldLock],
     ls2: &[crate::access::HeldLock],
     q1: &IPath,

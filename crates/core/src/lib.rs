@@ -62,16 +62,20 @@ pub mod pairs;
 pub mod parallel;
 pub mod path;
 pub mod pipeline;
+pub mod screen;
 pub mod synth;
 
 pub use access::{AccessRecord, Analysis, RaceKey, ReturnSummary, SetterSummary};
 pub use analyze::analyze;
-pub use context::{derive_plan, CaptureSpec, ObjRef, PlanCall, Slot, TestPlan};
+pub use context::{derive_plan, lock_collision, CaptureSpec, ObjRef, PlanCall, Slot, TestPlan};
 pub use options::{ExploreOptions, SynthesisOptions};
 pub use pairs::{generate_pairs, PairSet, RacePair};
 pub use parallel::{available_threads, effective_threads, parallel_map, StageTimings};
 pub use path::{IPath, PathField, PathRoot};
-pub use pipeline::{demonstrate, synthesize, synthesize_source, Demonstration, SynthesisOutput};
+pub use pipeline::{
+    demonstrate, synthesize, synthesize_source, synthesize_with, Demonstration, SynthesisOutput,
+};
+pub use screen::{ScreenReason, ScreenerFn, StaticVerdict};
 pub use synth::{
     execute_plan, execute_plan_fresh, execute_plan_recorded, ExecError, ExecReport, SynthesizedTest,
 };

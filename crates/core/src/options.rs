@@ -28,6 +28,14 @@ pub struct SynthesisOptions {
     /// core). Results are identical at any value — see
     /// [`crate::parallel`] — so this is purely a throughput knob.
     pub threads: usize,
+    /// Drop pairs the static pre-screener proves can never race
+    /// (`MustNotRace`) before context derivation. Off by default: the
+    /// paper's pipeline derives every generated pair.
+    pub static_filter: bool,
+    /// Order pairs by descending static suspicion score before context
+    /// derivation, so the most race-prone tests come first in the suite.
+    /// Off by default (pairs stay in generation order).
+    pub static_rank: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -39,6 +47,8 @@ impl Default for SynthesisOptions {
             max_pairs_per_key: 256,
             max_setter_depth: 4,
             threads: 0,
+            static_filter: false,
+            static_rank: false,
         }
     }
 }
@@ -90,5 +100,9 @@ mod tests {
         assert!(!o.strict_unprotected, "paper is conservative by default");
         assert!(o.prefix_fallback);
         assert!(o.lockset_aware);
+        assert!(
+            !o.static_filter && !o.static_rank,
+            "static screening is opt-in; the paper derives every pair"
+        );
     }
 }

@@ -54,6 +54,15 @@ pub fn generate_pairs(_prog: &Program, analysis: &Analysis, opts: &SynthesisOpti
             let existing: &mut AccessRecord = &mut accesses[idx];
             existing.unprotected |= rec.unprotected;
             existing.writeable |= rec.writeable;
+            // Locks merge pessimistically too: only locks held on *every*
+            // dynamic occurrence are really guaranteed at this static
+            // access, so keep the intersection (by client-relative path).
+            // Anything weaker would let downstream consumers (the lockset
+            // collision check, the static screener) trust protection that
+            // one occurrence lacked.
+            existing
+                .locks
+                .retain(|l| rec.locks.iter().any(|r| r.path == l.path));
             continue;
         }
         seen.insert(key, accesses.len());
@@ -243,6 +252,56 @@ mod tests {
             },
         );
         assert!(strict.pairs.is_empty(), "A1 ablation drops it");
+    }
+
+    fn lock_on(path: IPath) -> HeldLock {
+        HeldLock { path: Some(path) }
+    }
+
+    #[test]
+    fn dedup_merges_locks_pessimistically() {
+        // The same static access runs twice: once under this.c's monitor
+        // and this's, once under this.c's alone. Only the common lock
+        // survives — the weakest observed protection.
+        let guard = IPath::this().child(PathField::Field(FieldId(7)));
+        let mut first = rec(0, 0, 1, true, false, 0);
+        first.locks = vec![lock_on(IPath::this()), lock_on(guard.clone())];
+        let mut second = rec(0, 0, 1, true, true, 0);
+        second.locks = vec![lock_on(guard.clone())];
+        let analysis = Analysis {
+            accesses: vec![first, second],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert_eq!(ps.accesses.len(), 1);
+        let merged = &ps.accesses[0];
+        assert!(merged.unprotected, "weakest protection flag wins");
+        assert_eq!(
+            merged
+                .locks
+                .iter()
+                .map(|l| l.path.clone())
+                .collect::<Vec<_>>(),
+            vec![Some(guard)],
+            "only the lock held on every occurrence survives"
+        );
+    }
+
+    #[test]
+    fn dedup_lock_merge_drops_everything_when_an_occurrence_ran_bare() {
+        let mut first = rec(0, 0, 1, true, false, 0);
+        first.locks = vec![lock_on(IPath::this())];
+        let second = rec(0, 0, 1, true, true, 0);
+        let analysis = Analysis {
+            accesses: vec![first, second],
+            ..Default::default()
+        };
+        let ps = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert_eq!(ps.accesses.len(), 1);
+        assert!(
+            ps.accesses[0].locks.is_empty(),
+            "a bare occurrence means no lock is guaranteed"
+        );
     }
 
     #[test]

@@ -129,6 +129,12 @@ pub struct StageTimings {
     pub analyze: Duration,
     /// Stage 2a — the Pair Generator.
     pub pairs: Duration,
+    /// Static pre-screening of generated pairs (zero when the screener
+    /// did not run).
+    pub screen: Duration,
+    /// Pairs the screener discharged before derivation (zero unless
+    /// `--static-filter` pruned something).
+    pub pairs_pruned: usize,
     /// Stage 2b/3 — context derivation + dedup (sharded over pairs).
     pub derive: Duration,
     /// Number of derivation jobs (racing pairs processed).
@@ -144,6 +150,7 @@ impl StageTimings {
         self.trace
             + self.analyze
             + self.pairs
+            + self.screen
             + self.derive
             + self.detect.map(|(d, _)| d).unwrap_or_default()
     }
@@ -166,6 +173,14 @@ impl StageTimings {
         out.push_str(&line("trace", self.trace));
         out.push_str(&line("analyze", self.analyze));
         out.push_str(&line("pairs", self.pairs));
+        if self.screen != Duration::ZERO || self.pairs_pruned > 0 {
+            out.push_str(&format!(
+                "  {:<8} {:>9.3}s  ({} pairs pruned)\n",
+                "screen",
+                self.screen.as_secs_f64(),
+                self.pairs_pruned,
+            ));
+        }
         out.push_str(&format!(
             "  {:<8} {:>9.3}s  ({} jobs, {:.0} jobs/s)\n",
             "derive",
@@ -257,12 +272,29 @@ mod tests {
         let mut t = StageTimings {
             threads: 4,
             derive_jobs: 10,
+            screen: Duration::from_millis(2),
+            pairs_pruned: 4,
             ..Default::default()
         };
         t.record_detect(Duration::from_millis(5), 3);
         let s = t.render();
-        for stage in ["trace", "analyze", "pairs", "derive", "detect", "total"] {
+        for stage in [
+            "trace", "analyze", "pairs", "screen", "derive", "detect", "total",
+        ] {
             assert!(s.contains(stage), "missing {stage} in:\n{s}");
         }
+        assert!(s.contains("4 pairs pruned"), "prune counter in:\n{s}");
+    }
+
+    #[test]
+    fn timings_render_hides_screen_stage_when_it_never_ran() {
+        let t = StageTimings {
+            threads: 1,
+            ..Default::default()
+        };
+        assert!(
+            !t.render().contains("screen"),
+            "default pipeline output must be unchanged when screening is off"
+        );
     }
 }

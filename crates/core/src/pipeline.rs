@@ -11,6 +11,7 @@ use crate::context::derive_plan;
 use crate::options::{ExploreOptions, SynthesisOptions};
 use crate::pairs::{generate_pairs, PairSet};
 use crate::parallel::{effective_threads, parallel_map, StageTimings};
+use crate::screen::{ScreenerFn, StaticVerdict};
 use crate::synth::SynthesizedTest;
 use narada_lang::hir::Program;
 use narada_lang::mir::MirProgram;
@@ -40,6 +41,9 @@ pub struct SynthesisOutput {
     pub timings: StageTimings,
     /// Seed tests that failed during tracing (reported, not fatal).
     pub seed_failures: Vec<(String, VmError)>,
+    /// Static screener verdicts, indexed like `pairs.pairs` (including
+    /// pruned pairs). `None` when no screener ran.
+    pub verdicts: Option<Vec<StaticVerdict>>,
 }
 
 impl SynthesisOutput {
@@ -52,11 +56,54 @@ impl SynthesisOutput {
     pub fn test_count(&self) -> usize {
         self.tests.len()
     }
+
+    /// The screener verdict covering the pair of `test_index` whose
+    /// span-sorted access spans are `(span_a, span_b)` — the lookup used
+    /// to stamp static provenance onto confirmed races. `None` when no
+    /// screener ran or no covered pair matches.
+    pub fn static_verdict_for(
+        &self,
+        test_index: usize,
+        span_a: narada_lang::Span,
+        span_b: narada_lang::Span,
+    ) -> Option<StaticVerdict> {
+        let verdicts = self.verdicts.as_deref()?;
+        let test = self.tests.get(test_index)?;
+        for &pi in &test.covered_pairs {
+            let (x, y) = self.pairs.accesses_of(&self.pairs.pairs[pi]);
+            let (sa, sb) = if x.span.start <= y.span.start {
+                (x.span, y.span)
+            } else {
+                (y.span, x.span)
+            };
+            if sa == span_a && sb == span_b {
+                return verdicts.get(pi).copied();
+            }
+        }
+        None
+    }
 }
 
 /// Runs the full synthesis pipeline on `prog` using all its `test`
 /// declarations as the sequential seed suite.
 pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> SynthesisOutput {
+    synthesize_with(prog, mir, opts, None)
+}
+
+/// [`synthesize`] with an optional static pre-screener. The screener runs
+/// only when `opts.static_filter` or `opts.static_rank` asks for it —
+/// with both off the output is identical to the plain pipeline.
+/// `MustNotRace` pairs are dropped before derivation under
+/// `static_filter`; under `static_rank` the surviving pairs are derived
+/// in descending suspicion order (ties keep generation order), so the
+/// dedup'd suite lists the most race-prone tests first. `covered_pairs`
+/// always holds *original* `pairs.pairs` indices.
+pub fn synthesize_with(
+    prog: &Program,
+    mir: &MirProgram,
+    opts: &SynthesisOptions,
+    screener: Option<ScreenerFn>,
+) -> SynthesisOutput {
     let start = Instant::now();
     let mut timings = StageTimings {
         threads: effective_threads(opts.threads),
@@ -89,17 +136,38 @@ pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> 
     let pairs = generate_pairs(prog, &analysis, opts);
     timings.pairs = stage.elapsed();
 
+    // Stage 2a': static pre-screening. `order` holds the original pair
+    // indices to derive, in derivation order — the identity permutation
+    // unless filtering drops or ranking reorders entries.
+    let mut order: Vec<usize> = (0..pairs.pairs.len()).collect();
+    let mut verdicts: Option<Vec<StaticVerdict>> = None;
+    if opts.static_filter || opts.static_rank {
+        let stage = Instant::now();
+        let screener = screener.expect("static screening requested but no screener supplied");
+        let vs = screener(mir, &pairs);
+        debug_assert_eq!(vs.len(), pairs.pairs.len(), "one verdict per pair");
+        if opts.static_filter {
+            order.retain(|&i| vs[i].may_race());
+            timings.pairs_pruned = pairs.pairs.len() - order.len();
+        }
+        if opts.static_rank {
+            order.sort_by_key(|&i| (std::cmp::Reverse(vs[i].score()), i));
+        }
+        verdicts = Some(vs);
+        timings.screen = stage.elapsed();
+    }
+
     // Stage 2b + 3: Context Deriver + plan construction. Each pair's
     // derivation is independent, so the pairs are sharded across the
-    // worker pool; the dedup merge below runs in pair order, making the
-    // suite identical at any thread count (see `parallel`).
+    // worker pool; the dedup merge below runs in derivation order, making
+    // the suite identical at any thread count (see `parallel`).
     let stage = Instant::now();
-    let plans = parallel_map(opts.threads, &pairs.pairs, |_, pair| {
-        derive_plan(prog, &analysis, &pairs, pair, opts)
+    let plans = parallel_map(opts.threads, &order, |_, &i| {
+        derive_plan(prog, &analysis, &pairs, &pairs.pairs[i], opts)
     });
     let mut by_key: HashMap<String, usize> = HashMap::new();
     let mut tests: Vec<SynthesizedTest> = Vec::new();
-    for (i, plan) in plans.into_iter().enumerate() {
+    for (&i, plan) in order.iter().zip(plans) {
         let key = plan.dedup_key();
         match by_key.get(&key) {
             Some(&t) => tests[t].covered_pairs.push(i),
@@ -115,7 +183,7 @@ pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> 
         }
     }
     timings.derive = stage.elapsed();
-    timings.derive_jobs = pairs.pairs.len();
+    timings.derive_jobs = order.len();
 
     SynthesisOutput {
         analysis,
@@ -124,6 +192,7 @@ pub fn synthesize(prog: &Program, mir: &MirProgram, opts: &SynthesisOptions) -> 
         elapsed: start.elapsed(),
         timings,
         seed_failures,
+        verdicts,
     }
 }
 

@@ -60,6 +60,7 @@ impl DjitDetector {
             first,
             second,
             provenance: None,
+            static_verdict: None,
         };
         if self.seen.insert(r.static_key()) {
             self.races.push(r);

@@ -65,6 +65,7 @@ impl FastTrackDetector {
             first,
             second,
             provenance: None,
+            static_verdict: None,
         };
         if self.seen.insert(r.static_key()) {
             self.races.push(r);

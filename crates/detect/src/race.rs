@@ -61,6 +61,10 @@ pub struct RaceReport {
     /// `None`; the trial runner stamps it (it knows the seeds and the
     /// recorded schedule, the detectors do not).
     pub provenance: Option<SchedProvenance>,
+    /// The static pre-screener's verdict on the pair this race was
+    /// synthesized from, when a screener ran. Detectors report `None`;
+    /// the CLI stamps it from `SynthesisOutput::verdicts`.
+    pub static_verdict: Option<narada_core::StaticVerdict>,
 }
 
 impl RaceReport {
@@ -98,6 +102,10 @@ impl RaceReport {
         if let Some(p) = &self.provenance {
             out.push_str("\n  via ");
             out.push_str(&p.to_string());
+        }
+        if let Some(v) = &self.static_verdict {
+            out.push_str("\n  static ");
+            out.push_str(&v.to_string());
         }
         out
     }
@@ -258,6 +266,7 @@ mod tests {
             first: a,
             second: b,
             provenance: None,
+            static_verdict: None,
         };
         let r2 = RaceReport {
             obj: ObjId(9),
@@ -265,6 +274,7 @@ mod tests {
             first: b,
             second: a,
             provenance: None,
+            static_verdict: None,
         };
         assert_eq!(r1.static_key(), r2.static_key());
     }
@@ -301,6 +311,7 @@ mod tests {
                 span: Span::new(20, 25),
             },
             provenance: None,
+            static_verdict: None,
         };
         // Without provenance: single line, exact form pinned.
         assert_eq!(
@@ -318,5 +329,33 @@ mod tests {
             "race on o3.[1]: T1 write at 4..9 vs T2 read at 20..25\n  \
              via pct sched-seed 0xcafe machine-seed 0xbeef schedule 0x123456789abcdef0"
         );
+    }
+
+    #[test]
+    fn render_includes_static_verdict_when_stamped() {
+        let prog = narada_lang::compile("class C { int x; } test seed { var c = new C(); }")
+            .expect("trivial program");
+        let mut r = RaceReport {
+            obj: ObjId(1),
+            field: FieldKey::Elem(0),
+            first: RaceAccess {
+                tid: ThreadId(1),
+                is_write: true,
+                span: Span::new(4, 9),
+            },
+            second: RaceAccess {
+                tid: ThreadId(2),
+                is_write: true,
+                span: Span::new(20, 25),
+            },
+            provenance: None,
+            static_verdict: Some(narada_core::StaticVerdict::MayRace { score: 91 }),
+        };
+        assert_eq!(
+            r.render(&prog),
+            "race on o1.[0]: T1 write at 4..9 vs T2 write at 20..25\n  static may-race(91)"
+        );
+        r.static_verdict = None;
+        assert!(!r.render(&prog).contains("static"));
     }
 }

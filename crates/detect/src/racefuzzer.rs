@@ -46,6 +46,10 @@ pub struct ConfirmedRace {
     ///
     /// [`RecordingScheduler`]: narada_vm::RecordingScheduler
     pub schedule: Option<Schedule>,
+    /// The static pre-screener's verdict on the synthesized pair, when a
+    /// screener ran. The scheduler reports `None`; the CLI stamps it from
+    /// `SynthesisOutput::verdicts`.
+    pub static_verdict: Option<narada_core::StaticVerdict>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -219,6 +223,7 @@ impl Scheduler for RaceFuzzerScheduler {
                                 span,
                             },
                             provenance: None,
+                            static_verdict: None,
                         }
                         .static_key();
                         if !self.confirmed.iter().any(|c| c.key == key) {
@@ -231,6 +236,7 @@ impl Scheduler for RaceFuzzerScheduler {
                                 machine_seed: machine.seed(),
                                 sched_seed: self.seed,
                                 schedule: None,
+                                static_verdict: None,
                             });
                         }
                         self.postponed = None;

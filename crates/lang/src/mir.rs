@@ -356,6 +356,21 @@ impl Body {
         &self.vars[v.index()].name
     }
 
+    /// Monitor acquire/release sites of the body, in instruction order:
+    /// `(instruction index, lock-object register, is_acquire)`. Static
+    /// lockset analyses iterate these instead of re-matching
+    /// [`InstrKind::MonitorEnter`]/[`InstrKind::MonitorExit`] themselves.
+    pub fn lock_sites(&self) -> impl Iterator<Item = (usize, VarId, bool)> + '_ {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, instr)| match instr.kind {
+                InstrKind::MonitorEnter { var } => Some((i, var, true)),
+                InstrKind::MonitorExit { var } => Some((i, var, false)),
+                _ => None,
+            })
+    }
+
     /// Renders the body as readable MIR assembly (for debugging/goldens).
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
@@ -482,4 +497,50 @@ use crate::hir::LocalId as _LocalIdDocOnly; // referenced in docs
 /// Converts an HIR local slot to its MIR register (identity mapping).
 pub fn local_var(l: LocalId) -> VarId {
     VarId(l.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::hir::MethodId;
+    use crate::lower::lower_program;
+
+    #[test]
+    fn lock_sites_lists_monitor_pairs_in_order() {
+        let prog = compile(
+            r#"
+            class A {
+                int x;
+                sync void locked() { this.x = 1; }
+                void bare() { this.x = 2; }
+            }
+        "#,
+        )
+        .expect("compiles");
+        let mir = lower_program(&prog);
+
+        let locked = mir.method(MethodId(0));
+        let sites: Vec<_> = locked.lock_sites().collect();
+        // A sync method wraps its body in exactly one enter/exit pair on
+        // the receiver; sites come back in instruction order.
+        assert!(sites.len() >= 2, "{}", locked.dump());
+        assert_eq!((sites[0].1, sites[0].2), (THIS_VAR, true));
+        assert!(sites.iter().skip(1).all(|&(_, v, _)| v == THIS_VAR));
+        assert!(
+            sites.iter().filter(|&&(_, _, acq)| !acq).count() >= 1,
+            "at least one release"
+        );
+        let mut idxs: Vec<_> = sites.iter().map(|&(i, _, _)| i).collect();
+        let sorted = idxs.clone();
+        idxs.sort_unstable();
+        assert_eq!(idxs, sorted, "sites are in instruction order");
+
+        let bare = mir.method(MethodId(1));
+        assert_eq!(
+            bare.lock_sites().count(),
+            0,
+            "no monitors in a plain method"
+        );
+    }
 }

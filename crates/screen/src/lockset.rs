@@ -1,0 +1,454 @@
+//! Must-hold lockset analysis.
+//!
+//! A forward dataflow over each body's instruction CFG computes, for
+//! every instruction, the multiset of monitors that are held on **every**
+//! path reaching it (`MonitorEnter` pushes, `MonitorExit` releases, joins
+//! intersect — so reentrancy is counted, and a lock held on only one
+//! branch arm does not survive the merge). An interprocedural query then
+//! chases an access site through calls, accumulating caller-held locks
+//! and translating everything into the client-invoked method's parameter
+//! frame.
+//!
+//! Direction: this is a *must* analysis used to discharge pairs, so every
+//! imprecision drops locks (a smaller must-set is always sound). Lock
+//! registers with ambiguous symbolic values become opaque tokens that
+//! never translate to a client path; a release that cannot be matched
+//! clears the whole set; a callee parameter bound to more than one
+//! possible caller value translates to nothing.
+
+use crate::summaries::{call_operands, call_targets, Statics, Sym, SymRoot};
+use narada_core::path::{IPath, PathRoot};
+use narada_lang::mir::{Body, InstrKind, MirProgram};
+use narada_lang::Span;
+
+/// Call-chain depth bound for the interprocedural query.
+const MAX_CALL_DEPTH: usize = 4;
+
+/// One held monitor inside a body: a definite symbolic value, or an
+/// opaque token (keyed by the acquiring instruction) when the lock
+/// register's value is ambiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// The monitor of this symbolic object.
+    Sym(Sym),
+    /// An unidentifiable monitor acquired at this instruction index.
+    Opaque(usize),
+}
+
+/// Per-instruction must-hold state of one body: `None` = unreachable,
+/// otherwise the multiset of held monitors *before* the instruction runs.
+#[derive(Debug, Clone)]
+pub struct BodyLocks {
+    /// Indexed by instruction.
+    pub at: Vec<Option<Vec<Tok>>>,
+}
+
+/// Multiset intersection (count-wise minimum), preserving `a`'s order.
+fn intersect(a: &[Tok], b: &[Tok]) -> Vec<Tok> {
+    let mut out: Vec<Tok> = Vec::new();
+    for t in a {
+        let kept = out.iter().filter(|o| *o == t).count();
+        let in_b = b.iter().filter(|o| *o == t).count();
+        if kept < in_b {
+            out.push(t.clone());
+        }
+    }
+    out
+}
+
+fn successors(kind: &InstrKind, i: usize, len: usize) -> Vec<usize> {
+    match kind {
+        InstrKind::Jump { target } => vec![*target],
+        InstrKind::Branch { then_t, else_t, .. } => vec![*then_t, *else_t],
+        InstrKind::Return { .. } | InstrKind::MissingReturn => Vec::new(),
+        _ => {
+            if i + 1 < len {
+                vec![i + 1]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Computes the per-instruction must-hold locksets of one body, given its
+/// register facts from the summary pass.
+pub fn body_locks(body: &Body, syms: &[Vec<Sym>]) -> BodyLocks {
+    let n = body.instrs.len();
+    let mut at: Vec<Option<Vec<Tok>>> = vec![None; n];
+    if n == 0 {
+        return BodyLocks { at };
+    }
+    // A definite lock token only when the register's value is unambiguous.
+    let definite = |v: narada_lang::mir::VarId| -> Option<Tok> {
+        let set = &syms[v.index()];
+        (set.len() == 1).then(|| Tok::Sym(set[0].clone()))
+    };
+    at[0] = Some(Vec::new());
+    let mut work: Vec<usize> = vec![0];
+    while let Some(i) = work.pop() {
+        let state = at[i].clone().expect("worklist entries are reachable");
+        let out = match &body.instrs[i].kind {
+            InstrKind::MonitorEnter { var } => {
+                let mut s = state;
+                s.push(definite(*var).unwrap_or(Tok::Opaque(i)));
+                s
+            }
+            InstrKind::MonitorExit { var } => {
+                let mut s = state;
+                // Match by symbolic identity; an opaque or unmatched
+                // release means our model lost track, so drop everything
+                // (sound: must-sets only shrink).
+                match definite(*var).and_then(|t| s.iter().rposition(|h| *h == t)) {
+                    Some(p) => {
+                        s.remove(p);
+                    }
+                    None => s.clear(),
+                }
+                s
+            }
+            _ => state,
+        };
+        for succ in successors(&body.instrs[i].kind, i, n) {
+            let joined = match &at[succ] {
+                None => out.clone(),
+                Some(prev) => intersect(prev, &out),
+            };
+            if at[succ].as_ref() != Some(&joined) {
+                at[succ] = Some(joined);
+                work.push(succ);
+            }
+        }
+    }
+    BodyLocks { at }
+}
+
+/// A callee-frame → client-frame binding: the definite client path of
+/// each parameter slot, if any.
+#[derive(Debug, Clone)]
+struct Env {
+    this: Option<IPath>,
+    params: Vec<Option<IPath>>,
+}
+
+impl Env {
+    fn of_slot(&self, root: PathRoot) -> Option<&IPath> {
+        match root {
+            PathRoot::This => self.this.as_ref(),
+            PathRoot::Param(i) => self.params.get(i).and_then(|p| p.as_ref()),
+            PathRoot::Ret => None,
+        }
+    }
+}
+
+fn translate_sym(s: &Sym, env: &Env) -> Option<IPath> {
+    let SymRoot::Slot(root) = s.root else {
+        return None;
+    };
+    let base = env.of_slot(root)?;
+    let mut fields = base.fields.clone();
+    fields.extend_from_slice(&s.chain);
+    Some(IPath {
+        root: base.root,
+        fields,
+    })
+}
+
+fn translate_tok(tok: &Tok, env: &Env) -> Option<IPath> {
+    match tok {
+        Tok::Sym(s) => translate_sym(s, env),
+        Tok::Opaque(_) => None,
+    }
+}
+
+/// The definite client path of a callee slot bound to a caller register,
+/// `None` when ambiguous or unknown.
+fn definite_path(syms: &[Sym], env: &Env) -> Option<IPath> {
+    let mut path: Option<IPath> = None;
+    for s in syms {
+        let p = translate_sym(s, env)?;
+        match &path {
+            None => path = Some(p),
+            Some(prev) if *prev == p => {}
+            Some(_) => return None,
+        }
+    }
+    path
+}
+
+/// A walk state: `(method, env.this, env.params, held)`. Visiting the
+/// same state again with no more remaining depth cannot find anything
+/// new.
+type WalkKey = (usize, Option<IPath>, Vec<Option<IPath>>, Vec<IPath>);
+
+/// One query-relevant instruction of a body: an access site being looked
+/// up and/or a call whose (filtered) widened targets can reach one.
+struct PlanSite {
+    instr: usize,
+    matched: bool,
+    targets: Vec<usize>,
+}
+
+/// Shared state for interprocedural lockset queries over one program:
+/// per-body dataflow results plus a call-graph reachability closure (over
+/// the widened dispatch relation) used to prune the route walk.
+pub struct LockCtx<'a> {
+    mir: &'a MirProgram,
+    statics: &'a Statics,
+    locks: Vec<BodyLocks>,
+    reach: Vec<Vec<bool>>,
+}
+
+impl<'a> LockCtx<'a> {
+    /// Builds the per-body locksets and reachability closure.
+    pub fn new(mir: &'a MirProgram, statics: &'a Statics) -> Self {
+        let locks: Vec<BodyLocks> = mir
+            .methods
+            .iter()
+            .enumerate()
+            .map(|(m, b)| body_locks(b, &statics.methods[m].syms))
+            .collect();
+        // Direct call edges under widened dispatch, then transitive
+        // closure (an over-approximation only steers where the walk
+        // descends, so wider is merely slower, never wrong).
+        let n = mir.methods.len();
+        let mut reach: Vec<Vec<bool>> = (0..n).map(|_| vec![false; n]).collect();
+        for (m, body) in mir.methods.iter().enumerate() {
+            for instr in &body.instrs {
+                for t in call_targets(statics, &instr.kind).unwrap_or_default() {
+                    if t < n {
+                        reach[m][t] = true;
+                    }
+                }
+            }
+        }
+        loop {
+            let mut grew = false;
+            for m in 0..n {
+                for t in 0..n {
+                    if !reach[m][t] {
+                        continue;
+                    }
+                    #[allow(clippy::needless_range_loop)] // two rows share `u`
+                    for u in 0..n {
+                        if reach[t][u] && !reach[m][u] {
+                            reach[m][u] = true;
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        LockCtx {
+            mir,
+            statics,
+            locks,
+            reach,
+        }
+    }
+
+    /// The client-relative must-hold lockset at every instruction matching
+    /// `(span, matcher)` reachable from `method`'s body through at most
+    /// [`MAX_CALL_DEPTH`] calls — intersected over all matching sites and
+    /// routes. `None` when no site was found at all ("no information").
+    pub fn must_locks_at(
+        &self,
+        method: usize,
+        span: Span,
+        matcher: &dyn Fn(&InstrKind) -> bool,
+    ) -> Option<Vec<IPath>> {
+        // Methods whose own body contains a matching site, for pruning.
+        let containers: Vec<bool> = self
+            .mir
+            .methods
+            .iter()
+            .map(|b| {
+                b.instrs
+                    .iter()
+                    .any(|ins| ins.span == span && matcher(&ins.kind))
+            })
+            .collect();
+        // Per-query plan: the walk revisits each body once per distinct
+        // (env, held) state, so the per-instruction site matching and
+        // widened-target filtering are hoisted out of the recursion.
+        let viable: Vec<bool> = (0..self.mir.methods.len())
+            .map(|t| {
+                containers[t]
+                    || self.reach[t]
+                        .iter()
+                        .enumerate()
+                        .any(|(u, &r)| r && containers[u])
+            })
+            .collect();
+        let plan: Vec<Vec<PlanSite>> = self
+            .mir
+            .methods
+            .iter()
+            .enumerate()
+            .map(|(m, body)| {
+                let mut sites = Vec::new();
+                for (i, instr) in body.instrs.iter().enumerate() {
+                    if self.locks[m].at[i].is_none() {
+                        continue;
+                    }
+                    let matched = instr.span == span && matcher(&instr.kind);
+                    let targets: Vec<usize> = call_targets(self.statics, &instr.kind)
+                        .unwrap_or_default()
+                        .into_iter()
+                        .filter(|&t| viable[t])
+                        .collect();
+                    if matched || !targets.is_empty() {
+                        sites.push(PlanSite {
+                            instr: i,
+                            matched,
+                            targets,
+                        });
+                    }
+                }
+                sites
+            })
+            .collect();
+        let facts = &self.statics.methods[method];
+        let env = Env {
+            this: facts.is_instance.then(IPath::this),
+            params: (0..facts.arity).map(|i| Some(IPath::param(i))).collect(),
+        };
+        let mut found: Vec<Vec<IPath>> = Vec::new();
+        // The widened call graph is dense, so distinct routes constantly
+        // reconverge on identical (method, env, held) states; revisiting
+        // one can only re-derive locksets already recorded. Deduplicating
+        // keeps the walk polynomial without changing its result. The walk
+        // also aborts (returning `true`) as soon as any route reaches the
+        // site with nothing held — the intersection is already empty.
+        let mut seen: std::collections::HashMap<WalkKey, usize> = std::collections::HashMap::new();
+        let lock_free = self.walk(method, &env, &[], &plan, 0, &mut seen, &mut found);
+        if lock_free {
+            return Some(Vec::new());
+        }
+        let mut it = found.into_iter();
+        let mut acc = it.next()?;
+        for ls in it {
+            acc.retain(|p| ls.contains(p));
+        }
+        Some(acc)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        method: usize,
+        env: &Env,
+        held: &[IPath],
+        plan: &[Vec<PlanSite>],
+        depth: usize,
+        seen: &mut std::collections::HashMap<WalkKey, usize>,
+        found: &mut Vec<Vec<IPath>>,
+    ) -> bool {
+        // A shallower prior visit subsumes this one (same state, at least
+        // as much remaining depth), so only unseen-or-deeper states walk.
+        let key = (method, env.this.clone(), env.params.clone(), held.to_vec());
+        match seen.get(&key) {
+            Some(&d) if d <= depth => return false,
+            _ => {
+                seen.insert(key, depth);
+            }
+        }
+        let body = &self.mir.methods[method];
+        let facts = &self.statics.methods[method];
+        let locks = &self.locks[method];
+        for site in &plan[method] {
+            let i = site.instr;
+            let state = locks.at[i].as_ref().expect("plan sites are reachable");
+            let descend = depth < MAX_CALL_DEPTH && !site.targets.is_empty();
+            if !site.matched && !descend {
+                continue;
+            }
+            let here: Vec<IPath> = {
+                let mut ls: Vec<IPath> = held.to_vec();
+                for tok in state {
+                    if let Some(p) = translate_tok(tok, env) {
+                        ls.push(p);
+                    }
+                }
+                ls
+            };
+            if site.matched {
+                found.push(here.clone());
+                if here.is_empty() {
+                    return true;
+                }
+            }
+            if !descend {
+                continue;
+            }
+            let (recv, args) = call_operands(&body.instrs[i].kind).expect("call has operands");
+            // Operand bindings depend only on the call's registers, not on
+            // which widened target is taken — resolve them once.
+            let recv_path = recv.and_then(|r| definite_path(&facts.syms[r.index()], env));
+            let arg_paths: Vec<Option<IPath>> = args
+                .iter()
+                .map(|a| definite_path(&facts.syms[a.index()], env))
+                .collect();
+            for &t in &site.targets {
+                let callee = &self.statics.methods[t];
+                let callee_env = Env {
+                    this: recv_path.clone().filter(|_| callee.is_instance),
+                    params: (0..callee.arity)
+                        .map(|j| arg_paths.get(j).cloned().flatten())
+                        .collect(),
+                };
+                if self.walk(t, &callee_env, &here, plan, depth + 1, seen, found) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use narada_core::path::PathField;
+
+    fn sym_this() -> Sym {
+        Sym {
+            root: SymRoot::Slot(PathRoot::This),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn intersect_is_countwise_min() {
+        let a = vec![Tok::Sym(sym_this()), Tok::Sym(sym_this()), Tok::Opaque(3)];
+        let b = vec![Tok::Sym(sym_this()), Tok::Opaque(3), Tok::Opaque(3)];
+        let i = intersect(&a, &b);
+        assert_eq!(i, vec![Tok::Sym(sym_this()), Tok::Opaque(3)]);
+    }
+
+    #[test]
+    fn intersect_with_empty_is_empty() {
+        let a = vec![Tok::Sym(sym_this())];
+        assert!(intersect(&a, &[]).is_empty());
+        assert!(intersect(&[], &a).is_empty());
+    }
+
+    #[test]
+    fn translate_appends_chain_to_env_binding() {
+        let env = Env {
+            this: Some(IPath::param(1)),
+            params: vec![],
+        };
+        let tok = Tok::Sym(Sym {
+            root: SymRoot::Slot(PathRoot::This),
+            chain: vec![PathField::Elem],
+        });
+        let p = translate_tok(&tok, &env).unwrap();
+        assert_eq!(p.root, PathRoot::Param(1));
+        assert_eq!(p.fields, vec![PathField::Elem]);
+        assert!(translate_tok(&Tok::Opaque(0), &env).is_none());
+    }
+}

@@ -1,0 +1,699 @@
+//! Interprocedural symbolic summaries over MIR.
+//!
+//! A flow-insensitive abstract interpretation assigns every register of
+//! every method body a set of *symbolic values* ([`Sym`]): access paths
+//! rooted at the invocation's parameter slots (`this`, `param i`) or at an
+//! allocation site within the body. From those the pass derives, per
+//! method, the static analogues of the dynamic access summaries `D` of
+//! paper §3.2:
+//!
+//! * **writes** — `lhs ⤳ rhs` heap-edge installations (`obj.f := src`
+//!   with both sides expressed symbolically), including effects of
+//!   callees translated through call sites;
+//! * **ret_alias** — parameter-rooted paths the return value may alias
+//!   (used to propagate call results during the fixpoint);
+//! * **returns** — builder exposures `ret.chain ⤳ src`: paths below the
+//!   returned object that hold a parameter (the Fig. 9 return-summary
+//!   analogue, covering `this.f = x; return this` and fresh-builder
+//!   chains alike).
+//!
+//! ## Soundness direction
+//!
+//! The screener discharges a pair only when something is statically
+//! *impossible*, so these summaries must **over-approximate** every
+//! summary the dynamic analyzer can observe: chains are capped above the
+//! dynamic analyzer's depth limit, type compatibility is ignored, and
+//! virtual calls (`InstrKind::Call` re-dispatches by name at runtime)
+//! are resolved to *every* method body of matching shape (instance-ness
+//! and arity) — names are not part of MIR, so this is the widest sound
+//! resolution available. Two deliberate non-approximations are safe
+//! because the dynamic analyzer cannot produce the corresponding
+//! summaries either: callee-internal allocations returned to the caller
+//! carry no client path (they are not controllable, so the dynamic
+//! analyzer never summarizes through them), and heap edges installed by
+//! *earlier* invocations are invisible to both analyses' per-invocation
+//! parameter frames. The corpus-wide superset test
+//! (`tests/corpus_superset.rs`) checks both empirically.
+
+use narada_core::path::{IPath, PathField, PathRoot};
+use narada_lang::mir::{Body, InstrKind, MirProgram, PSlot, VarId};
+
+/// Chain-length cap, above the dynamic analyzer's depth limit (4) so the
+/// static set stays a superset of anything it can record.
+pub const MAX_CHAIN: usize = 6;
+/// Per-register symbolic-set cap (a growth backstop; corpus bodies stay
+/// far below it).
+pub const MAX_SYMS: usize = 64;
+/// Per-method cap on summary entries of each kind.
+pub const MAX_ENTRIES: usize = 512;
+
+/// Where a symbolic value is rooted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymRoot {
+    /// A parameter slot of the current invocation (`This` / `Param(i)`;
+    /// never `Ret`).
+    Slot(PathRoot),
+    /// The allocation at this instruction index of the current body.
+    Fresh(usize),
+}
+
+/// A symbolic value: root plus dereference chain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym {
+    /// The root.
+    pub root: SymRoot,
+    /// Field chain below the root.
+    pub chain: Vec<PathField>,
+}
+
+impl Sym {
+    /// The bare symbolic value of a parameter slot.
+    pub fn slot(s: PSlot) -> Sym {
+        Sym {
+            root: SymRoot::Slot(slot_root(s)),
+            chain: Vec::new(),
+        }
+    }
+
+    /// Extends the chain by one field, `None` past the cap.
+    pub fn child(&self, f: PathField) -> Option<Sym> {
+        if self.chain.len() >= MAX_CHAIN {
+            return None;
+        }
+        let mut chain = self.chain.clone();
+        chain.push(f);
+        Some(Sym {
+            root: self.root,
+            chain,
+        })
+    }
+
+    /// Extends the chain by a suffix, `None` past the cap.
+    pub fn extend(&self, suffix: &[PathField]) -> Option<Sym> {
+        if self.chain.len() + suffix.len() > MAX_CHAIN {
+            return None;
+        }
+        let mut chain = self.chain.clone();
+        chain.extend_from_slice(suffix);
+        Some(Sym {
+            root: self.root,
+            chain,
+        })
+    }
+
+    /// The client-relative path this value denotes, `None` for fresh
+    /// allocations.
+    pub fn as_path(&self) -> Option<IPath> {
+        match self.root {
+            SymRoot::Slot(root) => Some(IPath {
+                root,
+                fields: self.chain.clone(),
+            }),
+            SymRoot::Fresh(_) => None,
+        }
+    }
+}
+
+/// Maps a parameter slot to its path root.
+pub fn slot_root(s: PSlot) -> PathRoot {
+    match s {
+        PSlot::This => PathRoot::This,
+        PSlot::Param(i) => PathRoot::Param(i),
+    }
+}
+
+/// Per-method static facts.
+#[derive(Debug, Clone, Default)]
+pub struct MethodFacts {
+    /// Symbolic values per register.
+    pub syms: Vec<Vec<Sym>>,
+    /// Heap-edge installations `lhs ⤳ rhs` in this method's frame
+    /// (callee effects included). `lhs` ends in the written field.
+    pub writes: Vec<(Sym, Sym)>,
+    /// The subset of [`MethodFacts::writes`] installed by a write
+    /// instruction in this body itself, with a bare single-field lhs.
+    /// Alias-rule derivation uses only these: composed entries replicate
+    /// setter shapes through the widened call graph into unrelated
+    /// methods, which would manufacture junk field-alias rules.
+    pub direct_setters: Vec<(Sym, Sym)>,
+    /// Slot-rooted values the return value may alias.
+    pub ret_alias: Vec<Sym>,
+    /// Builder exposures: `(chain below the returned value, src)` with
+    /// `src` slot-rooted.
+    pub returns: Vec<(Vec<PathField>, Sym)>,
+    /// Allocation sites (instruction indices) whose object escapes the
+    /// body: stored into the heap, passed to a call, or returned.
+    pub escaped: Vec<usize>,
+    /// Declared parameter count (from the entry parameter copies).
+    pub arity: usize,
+    /// `true` for instance methods (a `this` parameter copy exists).
+    pub is_instance: bool,
+}
+
+/// The whole-program static summary: one [`MethodFacts`] per `MethodId`.
+#[derive(Debug, Clone)]
+pub struct Statics {
+    /// Indexed like `MirProgram::methods`.
+    pub methods: Vec<MethodFacts>,
+    /// Sibling-field alias rewrite rules `a ↔ b` (see [`alias_rules`]):
+    /// when two fields of one object may hold the same value, a path
+    /// through either field names the same heap location. Summary entries
+    /// are *not* materialized under these rules — callers compare chains
+    /// modulo [`Statics::chain_variants`] instead, which keeps the
+    /// fixpoint small and fast.
+    pub alias_rules: Vec<(Vec<PathField>, Vec<PathField>)>,
+}
+
+impl Statics {
+    /// All spellings of `chain` under the program's sibling-field alias
+    /// rules, including `chain` itself.
+    pub fn chain_variants(&self, chain: &[PathField]) -> Vec<Vec<PathField>> {
+        chain_variants(chain, &self.alias_rules)
+    }
+
+    /// Methods a virtual call with `argc` arguments may dispatch to: every
+    /// instance body of that arity (MIR carries no method names, so shape
+    /// is the widest sound resolution; see module docs).
+    pub fn virtual_targets(&self, argc: usize) -> impl Iterator<Item = usize> + '_ {
+        self.methods
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.is_instance && f.arity == argc)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Resolved dispatch targets of one call instruction, or `None` for
+/// non-call instructions.
+pub fn call_targets(statics: &Statics, kind: &InstrKind) -> Option<Vec<usize>> {
+    match kind {
+        InstrKind::Call { method, args, .. } => {
+            let mut ts: Vec<usize> = statics.virtual_targets(args.len()).collect();
+            if !ts.contains(&method.index()) {
+                ts.push(method.index());
+            }
+            Some(ts)
+        }
+        InstrKind::CallExact { method, .. } | InstrKind::CallStatic { method, .. } => {
+            Some(vec![method.index()])
+        }
+        _ => None,
+    }
+}
+
+/// The registers feeding a call's parameter slots: `(recv, args)`.
+pub fn call_operands(kind: &InstrKind) -> Option<(Option<VarId>, &[VarId])> {
+    match kind {
+        InstrKind::Call { recv, args, .. } | InstrKind::CallExact { recv, args, .. } => {
+            Some((Some(*recv), args))
+        }
+        InstrKind::CallStatic { args, .. } => Some((None, args)),
+        _ => None,
+    }
+}
+
+fn add_sym(set: &mut Vec<Sym>, s: Sym) -> bool {
+    if set.len() >= MAX_SYMS || set.contains(&s) {
+        return false;
+    }
+    set.push(s);
+    true
+}
+
+/// Computes the whole-program summary to a fixpoint.
+pub fn analyze(mir: &MirProgram) -> Statics {
+    let mut statics = Statics {
+        methods: mir
+            .methods
+            .iter()
+            .map(|b| {
+                let copies = b.param_copies();
+                MethodFacts {
+                    syms: vec![Vec::new(); b.vars.len()],
+                    arity: copies
+                        .iter()
+                        .filter(|(s, _)| matches!(s, PSlot::Param(_)))
+                        .count(),
+                    is_instance: copies.iter().any(|(s, _)| matches!(s, PSlot::This)),
+                    ..MethodFacts::default()
+                }
+            })
+            .collect(),
+        alias_rules: Vec::new(),
+    };
+
+    // Round-robin the bodies until nothing grows. Every set is monotone
+    // and bounded, so this terminates; the cap is a safety net.
+    for _round in 0..64 {
+        let mut grew = false;
+        for (m, body) in mir.methods.iter().enumerate() {
+            grew |= flow_body(m, body, &mut statics);
+            grew |= summarize_body(m, body, &mut statics);
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Sibling-field aliasing is resolved *after* the fixpoint and kept as
+    // rewrite rules rather than materialized into the summary sets: when
+    // two fields of one object may hold the same value (`this.c = backing;
+    // this.mutex = lockOn;` called with one object for both), the dynamic
+    // analyzer may name a path through either field, so superset queries
+    // must compare chains modulo [`Statics::chain_variants`]. Closing the
+    // sets themselves would feed the doubled entries back into call-site
+    // composition and blow every summary to its cap.
+    statics.alias_rules = alias_rules(mir, &statics);
+
+    for (m, body) in mir.methods.iter().enumerate() {
+        let escaped = escaping_allocs(body, &statics.methods[m].syms);
+        statics.methods[m].escaped = escaped;
+    }
+    statics
+}
+
+/// One flow-insensitive pass of symbolic propagation over `body`,
+/// returning whether any register set grew.
+fn flow_body(m: usize, body: &Body, statics: &mut Statics) -> bool {
+    let mut grew = false;
+    // Seed: the explicit entry copies `I_x := local` identify which local
+    // carries which parameter slot; seed both sides so propagation covers
+    // uses of the local and of the `I` copy alike.
+    for instr in &body.instrs {
+        if let InstrKind::Copy { dst, src } = instr.kind {
+            if let narada_lang::mir::VarKind::ParamCopy(slot) = body.vars[dst.index()].kind {
+                let s = Sym::slot(slot);
+                let set = &mut statics.methods[m].syms;
+                grew |= add_sym(&mut set[src.index()], s.clone());
+                grew |= add_sym(&mut set[dst.index()], s);
+            }
+        }
+    }
+
+    loop {
+        let mut local_grew = false;
+        for (i, instr) in body.instrs.iter().enumerate() {
+            match &instr.kind {
+                InstrKind::Copy { dst, src } => {
+                    let from = statics.methods[m].syms[src.index()].clone();
+                    let set = &mut statics.methods[m].syms[dst.index()];
+                    for s in from {
+                        local_grew |= add_sym(set, s);
+                    }
+                }
+                InstrKind::ReadField { dst, obj, field } => {
+                    let from = statics.methods[m].syms[obj.index()].clone();
+                    let set = &mut statics.methods[m].syms[dst.index()];
+                    for s in from {
+                        if let Some(c) = s.child(PathField::Field(*field)) {
+                            local_grew |= add_sym(set, c);
+                        }
+                    }
+                }
+                InstrKind::ReadIndex { dst, arr, .. } => {
+                    let from = statics.methods[m].syms[arr.index()].clone();
+                    let set = &mut statics.methods[m].syms[dst.index()];
+                    for s in from {
+                        if let Some(c) = s.child(PathField::Elem) {
+                            local_grew |= add_sym(set, c);
+                        }
+                    }
+                }
+                InstrKind::AllocObj { dst, .. } | InstrKind::NewArray { dst, .. } => {
+                    let set = &mut statics.methods[m].syms[dst.index()];
+                    local_grew |= add_sym(
+                        set,
+                        Sym {
+                            root: SymRoot::Fresh(i),
+                            chain: Vec::new(),
+                        },
+                    );
+                }
+                kind => {
+                    // Call results: pull the callee's return aliases
+                    // through the argument bindings.
+                    let (dst, targets) = match (kind, call_targets(statics, kind)) {
+                        (
+                            InstrKind::Call { dst: Some(d), .. }
+                            | InstrKind::CallExact { dst: Some(d), .. }
+                            | InstrKind::CallStatic { dst: Some(d), .. },
+                            Some(ts),
+                        ) => (*d, ts),
+                        _ => continue,
+                    };
+                    let (recv, args) = call_operands(kind).expect("call has operands");
+                    let args = args.to_vec();
+                    let mut incoming: Vec<Sym> = Vec::new();
+                    for t in targets {
+                        let aliases = statics.methods[t].ret_alias.clone();
+                        for alias in aliases {
+                            let SymRoot::Slot(root) = alias.root else {
+                                continue;
+                            };
+                            for base in translate_slot(statics, m, root, recv, &args) {
+                                if let Some(s) = base.extend(&alias.chain) {
+                                    incoming.push(s);
+                                }
+                            }
+                        }
+                    }
+                    let set = &mut statics.methods[m].syms[dst.index()];
+                    for s in incoming {
+                        local_grew |= add_sym(set, s);
+                    }
+                }
+            }
+        }
+        grew |= local_grew;
+        if !local_grew {
+            break;
+        }
+    }
+    grew
+}
+
+/// The caller-frame symbolic values feeding a callee's parameter slot.
+fn translate_slot(
+    statics: &Statics,
+    m: usize,
+    root: PathRoot,
+    recv: Option<VarId>,
+    args: &[VarId],
+) -> Vec<Sym> {
+    let reg = match root {
+        PathRoot::This => recv,
+        PathRoot::Param(i) => args.get(i).copied(),
+        PathRoot::Ret => None,
+    };
+    match reg {
+        Some(r) => statics.methods[m].syms[r.index()].clone(),
+        None => Vec::new(),
+    }
+}
+
+fn add_entry<T: PartialEq>(set: &mut Vec<T>, e: T) -> bool {
+    if set.len() >= MAX_ENTRIES || set.contains(&e) {
+        return false;
+    }
+    set.push(e);
+    true
+}
+
+/// Rebuilds the write/return summaries of one body from the current
+/// register facts (plus callee summaries), returning whether anything new
+/// appeared.
+fn summarize_body(m: usize, body: &Body, statics: &mut Statics) -> bool {
+    let mut grew = false;
+
+    // Direct and composed heap edges. A hash-set view of the current
+    // entries keeps dedup O(1); the candidate cross-products get large
+    // under the widened call graph.
+    let mut write_set: std::collections::HashSet<(Sym, Sym)> =
+        statics.methods[m].writes.iter().cloned().collect();
+    let mut new_writes: Vec<(Sym, Sym)> = Vec::new();
+    let mut direct: Vec<(Sym, Sym)> = Vec::new();
+    let push = |write_set: &mut std::collections::HashSet<(Sym, Sym)>,
+                new_writes: &mut Vec<(Sym, Sym)>,
+                e: (Sym, Sym)| {
+        if write_set.len() < MAX_ENTRIES && write_set.insert(e.clone()) {
+            new_writes.push(e);
+        }
+    };
+    for instr in &body.instrs {
+        match &instr.kind {
+            InstrKind::WriteField { obj, field, src } => {
+                for so in &statics.methods[m].syms[obj.index()] {
+                    let Some(lhs) = so.child(PathField::Field(*field)) else {
+                        continue;
+                    };
+                    for ss in &statics.methods[m].syms[src.index()] {
+                        if matches!(lhs.root, SymRoot::Slot(_)) && lhs.chain.len() == 1 {
+                            direct.push((lhs.clone(), ss.clone()));
+                        }
+                        push(&mut write_set, &mut new_writes, (lhs.clone(), ss.clone()));
+                    }
+                }
+            }
+            InstrKind::WriteIndex { arr, src, .. } => {
+                for so in &statics.methods[m].syms[arr.index()] {
+                    let Some(lhs) = so.child(PathField::Elem) else {
+                        continue;
+                    };
+                    for ss in &statics.methods[m].syms[src.index()] {
+                        push(&mut write_set, &mut new_writes, (lhs.clone(), ss.clone()));
+                    }
+                }
+            }
+            kind => {
+                let Some(targets) = call_targets(statics, kind) else {
+                    continue;
+                };
+                let (recv, args) = call_operands(kind).expect("call has operands");
+                let args = args.to_vec();
+                for t in targets {
+                    let callee_writes = statics.methods[t].writes.clone();
+                    for (l, r) in callee_writes {
+                        let (SymRoot::Slot(lr), SymRoot::Slot(rr)) = (l.root, r.root) else {
+                            continue;
+                        };
+                        for lb in translate_slot(statics, m, lr, recv, &args) {
+                            let Some(lhs) = lb.extend(&l.chain) else {
+                                continue;
+                            };
+                            for rb in translate_slot(statics, m, rr, recv, &args) {
+                                if let Some(rhs) = rb.extend(&r.chain) {
+                                    push(&mut write_set, &mut new_writes, (lhs.clone(), rhs));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !new_writes.is_empty() {
+        grew = true;
+        statics.methods[m].writes.extend(new_writes);
+    }
+    for e in direct {
+        grew |= add_entry(&mut statics.methods[m].direct_setters, e);
+    }
+
+    // Return aliases.
+    let mut new_aliases: Vec<Sym> = Vec::new();
+    let mut returned: Vec<Sym> = Vec::new();
+    for instr in &body.instrs {
+        if let InstrKind::Return { val: Some(v) } = instr.kind {
+            for s in &statics.methods[m].syms[v.index()] {
+                returned.push(s.clone());
+                if matches!(s.root, SymRoot::Slot(_)) {
+                    new_aliases.push(s.clone());
+                }
+            }
+        }
+    }
+    for a in new_aliases {
+        grew |= add_entry(&mut statics.methods[m].ret_alias, a);
+    }
+
+    // Builder exposures: expand heap edges reachable below each returned
+    // value; every slot-rooted right-hand side at chain `c` yields
+    // `ret.c ⤳ src`.
+    let writes = statics.methods[m].writes.clone();
+    let mut exposures: Vec<(Vec<PathField>, Sym)> = Vec::new();
+    let mut work: Vec<(Vec<PathField>, Sym)> =
+        returned.into_iter().map(|s| (Vec::new(), s)).collect();
+    let mut seen: std::collections::HashSet<(Vec<PathField>, Sym)> = work.iter().cloned().collect();
+    while let Some((prefix, at)) = work.pop() {
+        if prefix.len() >= MAX_CHAIN {
+            continue;
+        }
+        for (l, r) in &writes {
+            if l.root != at.root
+                || !l.chain.starts_with(&at.chain)
+                || l.chain.len() <= at.chain.len()
+            {
+                continue;
+            }
+            let mut ext = prefix.clone();
+            ext.extend_from_slice(&l.chain[at.chain.len()..]);
+            if ext.len() > MAX_CHAIN {
+                continue;
+            }
+            if matches!(r.root, SymRoot::Slot(_)) {
+                exposures.push((ext.clone(), r.clone()));
+            }
+            let next = (ext, r.clone());
+            if seen.len() < MAX_ENTRIES && seen.insert(next.clone()) {
+                work.push(next);
+            }
+        }
+    }
+    let mut ret_set: std::collections::HashSet<(Vec<PathField>, Sym)> =
+        statics.methods[m].returns.iter().cloned().collect();
+    for e in exposures {
+        if ret_set.len() >= MAX_ENTRIES {
+            break;
+        }
+        if ret_set.insert(e.clone()) {
+            statics.methods[m].returns.push(e);
+            grew = true;
+        }
+    }
+    grew
+}
+
+/// Variant cap per chain during alias closure (alias classes are tiny in
+/// practice; the cap is a blowup backstop).
+const MAX_VARIANTS: usize = 32;
+
+/// Derives subchain rewrite rules `a ↔ b` from sibling-field aliasing:
+/// two bare setter writes `this.fA = <v>` / `this.fB = <v'>` in one
+/// method make `fA` and `fB` interchangeable chain links whenever `v` and
+/// `v'` may be the same object — either literally the same symbolic value,
+/// or two parameter slots that share an incoming value at some call site
+/// of the method (`new SynchronizedCollection(c, c)`).
+fn alias_rules(mir: &MirProgram, statics: &Statics) -> Vec<(Vec<PathField>, Vec<PathField>)> {
+    // Parameter slots of a callee that may be bound to one object.
+    let mut slot_pairs: Vec<(usize, PathRoot, PathRoot)> = Vec::new();
+    for (m, body) in mir.methods.iter().enumerate() {
+        for instr in &body.instrs {
+            let Some(targets) = call_targets(statics, &instr.kind) else {
+                continue;
+            };
+            let Some((recv, args)) = call_operands(&instr.kind) else {
+                continue;
+            };
+            let mut ops: Vec<(PathRoot, VarId)> = Vec::new();
+            if let Some(r) = recv {
+                ops.push((PathRoot::This, r));
+            }
+            for (i, a) in args.iter().enumerate() {
+                ops.push((PathRoot::Param(i), *a));
+            }
+            for x in 0..ops.len() {
+                for y in x + 1..ops.len() {
+                    let sx = &statics.methods[m].syms[ops[x].1.index()];
+                    let sy = &statics.methods[m].syms[ops[y].1.index()];
+                    if !sx.iter().any(|s| sy.contains(s)) {
+                        continue;
+                    }
+                    for &t in &targets {
+                        let e = (t, ops[x].0, ops[y].0);
+                        if !slot_pairs.contains(&e) {
+                            slot_pairs.push(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut rules: Vec<(Vec<PathField>, Vec<PathField>)> = Vec::new();
+    for (t, f) in statics.methods.iter().enumerate() {
+        // Only installs this body performs itself qualify (see
+        // [`MethodFacts::direct_setters`]): the widened call graph
+        // replicates setter shapes into every caller, and rules built
+        // from those would alias unrelated fields program-wide.
+        let setters = &f.direct_setters;
+        for (i, (l1, r1)) in setters.iter().enumerate() {
+            for (l2, r2) in &setters[i + 1..] {
+                if l1.root != l2.root || l1.chain == l2.chain {
+                    continue;
+                }
+                let bare_slot = |s: &Sym| match (s.chain.is_empty(), s.root) {
+                    (true, SymRoot::Slot(r)) => Some(r),
+                    _ => None,
+                };
+                let same_value = r1 == r2
+                    || match (bare_slot(r1), bare_slot(r2)) {
+                        (Some(ra), Some(rb)) => {
+                            slot_pairs.contains(&(t, ra, rb)) || slot_pairs.contains(&(t, rb, ra))
+                        }
+                        _ => false,
+                    };
+                if !same_value {
+                    continue;
+                }
+                let e = (l1.chain.clone(), l2.chain.clone());
+                let rev = (l2.chain.clone(), l1.chain.clone());
+                if !rules.contains(&e) && !rules.contains(&rev) {
+                    rules.push(e);
+                }
+            }
+        }
+    }
+    rules
+}
+
+/// All spellings of `chain` under the rewrite rules (including itself).
+/// Register facts are deliberately *not* rewritten by callers: the
+/// lockset analysis depends on their precision — a monitor register names
+/// the field it concretely reads.
+fn chain_variants(
+    chain: &[PathField],
+    rules: &[(Vec<PathField>, Vec<PathField>)],
+) -> Vec<Vec<PathField>> {
+    let mut out = vec![chain.to_vec()];
+    let mut i = 0;
+    while i < out.len() {
+        let cur = out[i].clone();
+        for (a, b) in rules {
+            for (from, to) in [(a, b), (b, a)] {
+                if from.is_empty() || cur.len() < from.len() {
+                    continue;
+                }
+                for pos in 0..=cur.len() - from.len() {
+                    if &cur[pos..pos + from.len()] != from.as_slice() {
+                        continue;
+                    }
+                    let mut v = cur[..pos].to_vec();
+                    v.extend_from_slice(to);
+                    v.extend_from_slice(&cur[pos + from.len()..]);
+                    if v.len() <= MAX_CHAIN && !out.contains(&v) && out.len() < MAX_VARIANTS {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Allocation sites of `body` whose object escapes: stored into any heap
+/// location, bound to any call parameter (including field initializers),
+/// or returned.
+fn escaping_allocs(body: &Body, syms: &[Vec<Sym>]) -> Vec<usize> {
+    let mut escaped: Vec<usize> = Vec::new();
+    let mark = |regs: &[VarId], escaped: &mut Vec<usize>| {
+        for r in regs {
+            for s in &syms[r.index()] {
+                if let SymRoot::Fresh(site) = s.root {
+                    if !escaped.contains(&site) {
+                        escaped.push(site);
+                    }
+                }
+            }
+        }
+    };
+    for instr in &body.instrs {
+        match &instr.kind {
+            InstrKind::WriteField { src, .. } | InstrKind::WriteIndex { src, .. } => {
+                mark(&[*src], &mut escaped)
+            }
+            InstrKind::Return { val: Some(v) } => mark(&[*v], &mut escaped),
+            InstrKind::CallInit { obj, .. } => mark(&[*obj], &mut escaped),
+            kind => {
+                if let Some((recv, args)) = call_operands(kind) {
+                    if let Some(r) = recv {
+                        mark(&[r], &mut escaped);
+                    }
+                    mark(args, &mut escaped);
+                }
+            }
+        }
+    }
+    escaped.sort_unstable();
+    escaped
+}

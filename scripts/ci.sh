@@ -6,11 +6,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release (warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --release
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> static screener suite"
+cargo test -q -p narada-screen
+
+echo "==> screener/scheduler agreement (full corpus sweep)"
+NARADA_AGREEMENT_FULL=1 cargo test -q --release --test properties screener_agreement
 
 echo "==> replay regression suite (release)"
 cargo test -q --release --test replay_fixtures

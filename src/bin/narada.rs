@@ -6,6 +6,7 @@
 //! narada synth <file.mj> [--render] [flags]          synthesize racy tests
 //! narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
 //!                                                    synthesize + detect + confirm
+//! narada pairs <file.mj|C1..C9>                      dump candidate pairs + static verdicts
 //! narada corpus [C1..C9]                             run the pipeline on a corpus class
 //! ```
 
@@ -35,6 +36,7 @@ fn main() -> ExitCode {
         "mir" => cmd_mir(rest),
         "synth" => cmd_synth(rest),
         "detect" => cmd_detect(rest),
+        "pairs" => cmd_pairs(rest),
         "corpus" => cmd_corpus(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -59,15 +61,19 @@ USAGE:
     narada mir <file.mj> [--method Class.m]
     narada synth <file.mj> [--render] [--strict-unprotected]
                            [--no-prefix-fallback] [--no-lockset-aware]
+                           [--static-filter] [--static-rank]
                            [--threads N] [--timings]
                            [--strategy S] [--depth N]
                            [--record DIR] [--replay FILE.sched]
     narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
+                            [--static-filter] [--static-rank]
                             [--threads N] [--timings]
                             [--strategy S] [--depth N]
                             [--record DIR] [--replay FILE.sched]
+    narada pairs <file.mj|C1..C9> [--may-race-only] [--threads N]
     narada corpus [C1..C9] [--threads N] [--timings] [--detect]
                            [--schedules N] [--confirms N] [--seed N]
+                           [--static-filter] [--static-rank]
                            [--strategy S] [--depth N] [--record DIR]
 
 `--strategy S` picks the exploration scheduler: pct[:DEPTH], random,
@@ -79,7 +85,11 @@ ddmin-minimized schedule of every confirmed race as a fixture.
 re-synthesized suite and verifies it (target race, trace digest).
 `--threads N` shards the pipeline and detector trials over N workers
 (0 or omitted = one per core); results are identical at any value.
-`--timings` prints the per-stage wall-clock breakdown.";
+`--timings` prints the per-stage wall-clock breakdown.
+`--static-filter` drops pairs the static pre-screener proves cannot
+race; `--static-rank` orders the survivors most-suspicious-first.
+`narada pairs` prints every candidate pair with both access sites,
+their lock state, and the screener's verdict.";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -177,9 +187,35 @@ fn synth_opts(rest: &[String]) -> Result<SynthesisOptions, String> {
         strict_unprotected: flag(rest, "--strict-unprotected"),
         prefix_fallback: !flag(rest, "--no-prefix-fallback"),
         lockset_aware: !flag(rest, "--no-lockset-aware"),
+        static_filter: flag(rest, "--static-filter"),
+        static_rank: flag(rest, "--static-rank"),
         threads: opt_usize(rest, "--threads", 0)?,
         ..Default::default()
     })
+}
+
+/// Synthesizes with the static pre-screener plugged in; the pipeline only
+/// invokes it when `--static-filter` / `--static-rank` are set.
+fn run_synthesis(
+    prog: &Program,
+    mir: &MirProgram,
+    rest: &[String],
+) -> Result<SynthesisOutput, String> {
+    let opts = synth_opts(rest)?;
+    let out = narada::synthesize_with(prog, mir, &opts, Some(narada::screen_pairs));
+    if opts.static_filter || opts.static_rank {
+        println!(
+            "static screener: {} of {} pairs pruned{}",
+            out.timings.pairs_pruned,
+            out.pairs.pairs.len(),
+            if opts.static_rank {
+                ", survivors ranked by score"
+            } else {
+                ""
+            }
+        );
+    }
+    Ok(out)
 }
 
 /// Parses the shared exploration flags: `--strategy` and `--depth`.
@@ -279,7 +315,15 @@ fn record_fixtures(
     };
     let mut written = 0usize;
     for test in &out.tests {
-        let report = evaluate_test_indexed(prog, mir, &seeds, &test.plan, &cfg, test.index as u64);
+        let mut report =
+            evaluate_test_indexed(prog, mir, &seeds, &test.plan, &cfg, test.index as u64);
+        // Stamp the static pre-screener's verdict onto each confirmed race
+        // (the detectors cannot: only the synthesis output knows which pair
+        // a plan was derived from).
+        for (_, confirmed) in &mut report.reproduced {
+            confirmed.static_verdict =
+                out.static_verdict_for(test.index, confirmed.key.span_a, confirmed.key.span_b);
+        }
         for (_, confirmed) in &report.reproduced {
             let Some(schedule) = &confirmed.schedule else {
                 continue;
@@ -299,6 +343,9 @@ fn record_fixtures(
             );
             schedule.set_meta("sched-seed", format!("{:#x}", confirmed.sched_seed));
             schedule.set_meta("strategy", cfg.strategy.label());
+            if let Some(v) = &confirmed.static_verdict {
+                schedule.set_meta("static-verdict", v.to_string());
+            }
             // Stamp the byte-identity oracle: replay once and record the
             // digest the regression suite must reproduce.
             let replay = replay_schedule(prog, mir, &seeds, &test.plan, cfg.budget, &schedule)?;
@@ -329,7 +376,7 @@ fn record_fixtures(
 fn cmd_synth(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
-    let out = synthesize(&prog, &mir, &synth_opts(rest)?);
+    let out = run_synthesis(&prog, &mir, rest)?;
     println!(
         "{} racing pairs, {} synthesized tests ({} race-expecting) in {:?}",
         out.pair_count(),
@@ -385,7 +432,7 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
 fn cmd_detect(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
-    let mut out = synthesize(&prog, &mir, &synth_opts(rest)?);
+    let mut out = run_synthesis(&prog, &mir, rest)?;
     let cfg = DetectConfig {
         schedule_trials: opt_usize(rest, "--schedules", 6)?,
         confirm_trials: opt_usize(rest, "--confirms", 4)?,
@@ -422,20 +469,84 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders one side of a candidate pair: `Class.method path kind locks`.
+fn render_access(prog: &Program, a: &narada::core::AccessRecord) -> String {
+    let path = a
+        .path
+        .as_ref()
+        .map(|p| p.display(prog).to_string())
+        .unwrap_or_else(|| "?".into());
+    let locks: Vec<String> = a
+        .locks
+        .iter()
+        .map(|l| {
+            l.path
+                .as_ref()
+                .map(|p| p.display(prog).to_string())
+                .unwrap_or_else(|| "<internal>".into())
+        })
+        .collect();
+    format!(
+        "{} {} {}{} locks=[{}]",
+        prog.qualified_name(a.method),
+        path,
+        if a.is_write { "W" } else { "R" },
+        if a.unprotected { " unprot" } else { "" },
+        locks.join(",")
+    )
+}
+
+fn cmd_pairs(rest: &[String]) -> Result<(), String> {
+    let prog = match rest.first().filter(|a| !a.starts_with("--")) {
+        Some(id) if narada::corpus::by_id(id).is_some() => {
+            let e = narada::corpus::by_id(id).expect("checked");
+            e.compile().map_err(|d| format!("{}: {d}", e.id))?
+        }
+        _ => load(rest)?.1,
+    };
+    let mir = lower_program(&prog);
+    let out = synthesize(&prog, &mir, &synth_opts(rest)?);
+    let verdicts = narada::screen_pairs(&mir, &out.pairs);
+    let may_only = flag(rest, "--may-race-only");
+    let mut shown = 0usize;
+    for (i, (pair, v)) in out.pairs.pairs.iter().zip(&verdicts).enumerate() {
+        if may_only && !v.may_race() {
+            continue;
+        }
+        let (x, y) = out.pairs.accesses_of(pair);
+        println!(
+            "#{i:<4} {:<28} {}  |  {}",
+            v.to_string(),
+            render_access(&prog, x),
+            render_access(&prog, y)
+        );
+        shown += 1;
+    }
+    let pruned = verdicts.iter().filter(|v| !v.may_race()).count();
+    println!(
+        "{} candidate pairs ({} may-race, {} must-not-race){}",
+        out.pairs.pairs.len(),
+        out.pairs.pairs.len() - pruned,
+        pruned,
+        if may_only {
+            format!(", {shown} shown")
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
 fn cmd_corpus(rest: &[String]) -> Result<(), String> {
     let entries = match rest.first().filter(|a| !a.starts_with("--")) {
         Some(id) => vec![narada::corpus::by_id(id)
             .ok_or_else(|| format!("unknown corpus id `{id}` (C1..C9)"))?],
         None => narada::corpus::all(),
     };
-    let opts = SynthesisOptions {
-        threads: opt_usize(rest, "--threads", 0)?,
-        ..SynthesisOptions::default()
-    };
     for e in entries {
         let prog = e.compile().map_err(|d| format!("{}: {d}", e.id))?;
         let mir = lower_program(&prog);
-        let out = synthesize(&prog, &mir, &opts);
+        let out = run_synthesis(&prog, &mir, rest)?;
         println!(
             "{} {} ({}): {} pairs, {} tests [paper: {} pairs, {} tests]",
             e.id,

@@ -19,6 +19,9 @@
 //! * [`core`] — the paper's pipeline: trace analysis (`H`/`A`/`D`),
 //!   pair generation, context derivation (`Q` rules), test synthesis
 //!   (Algorithm 1);
+//! * [`screen`] — the static race pre-screener: a MIR-level lockset /
+//!   escape analysis that prunes and ranks candidate pairs before any
+//!   dynamic exploration (`--static-filter` / `--static-rank`);
 //! * [`detect`] — Eraser lockset, FastTrack happens-before, and the
 //!   RaceFuzzer-style confirmation scheduler with harmful/benign triage;
 //! * [`contege`] — the ConTeGe-style random baseline;
@@ -62,11 +65,13 @@ pub use narada_core as core;
 pub use narada_corpus as corpus;
 pub use narada_detect as detect;
 pub use narada_lang as lang;
+pub use narada_screen as screen;
 pub use narada_vm as vm;
 
 pub use narada_core::{
-    execute_plan, parallel_map, synthesize, synthesize_source, StageTimings, SynthesisOptions,
-    SynthesisOutput, TestPlan,
+    execute_plan, parallel_map, synthesize, synthesize_source, synthesize_with, ScreenReason,
+    StageTimings, StaticVerdict, SynthesisOptions, SynthesisOutput, TestPlan,
 };
 pub use narada_detect::{evaluate_suite, evaluate_test, DetectConfig};
 pub use narada_lang::compile;
+pub use narada_screen::screen_pairs;
