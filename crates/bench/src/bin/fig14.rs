@@ -6,9 +6,12 @@
 //! Environment knobs as in `table5` (`NARADA_SCHEDULES`,
 //! `NARADA_CONFIRMS`, `NARADA_MAX_TESTS`).
 
-use narada_bench::{env_threads, fig14_distribution, render_table, run_all, FIG14_BUCKETS};
+use narada_bench::{
+    env_threads, fig14_distribution, render_table, synthesize_corpus_observed, write_manifest,
+    FIG14_BUCKETS,
+};
 use narada_core::SynthesisOptions;
-use narada_detect::{evaluate_suite, DetectConfig};
+use narada_detect::{evaluate_suite_observed, DetectConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -28,10 +31,16 @@ fn main() {
         ..DetectConfig::default()
     };
     let max_tests = env_usize("NARADA_MAX_TESTS", usize::MAX);
-    let runs = run_all(&SynthesisOptions {
+    let obs = narada_obs::Obs::new();
+    let wall = std::time::Instant::now();
+    let runs = synthesize_corpus_observed(
+        &SynthesisOptions {
+            threads,
+            ..SynthesisOptions::default()
+        },
         threads,
-        ..SynthesisOptions::default()
-    });
+        &obs,
+    );
     let mut rows = Vec::new();
     let mut all_dists = Vec::new();
     for r in &runs {
@@ -43,7 +52,7 @@ fn main() {
             .take(max_tests)
             .map(|t| &t.plan)
             .collect();
-        let agg = evaluate_suite(&r.prog, &r.mir, &seeds, &plans, &cfg);
+        let agg = evaluate_suite_observed(&r.prog, &r.mir, &seeds, &plans, &cfg, &obs);
         let dist = fig14_distribution(&agg.per_test_races);
         let mut row = vec![r.entry.id.to_string()];
         for pct in dist {
@@ -69,4 +78,17 @@ fn main() {
         }
         println!("{id:>3} |{bar}");
     }
+    obs.metrics
+        .gauge("bench.fig14.wall_ns")
+        .set_duration(wall.elapsed());
+    write_manifest(
+        "fig14",
+        threads,
+        &obs,
+        &[
+            ("schedules", cfg.schedule_trials.to_string()),
+            ("confirms", cfg.confirm_trials.to_string()),
+            ("seed", format!("{:#x}", cfg.seed)),
+        ],
+    );
 }

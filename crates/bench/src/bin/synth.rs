@@ -1,0 +1,45 @@
+//! Corpus-wide synthesis benchmark: runs the full pipeline on all nine
+//! corpus classes and writes the run manifest (`BENCH_synth.json`) that
+//! records the perf trajectory PR-over-PR — pairs generated, tests
+//! synthesized, per-stage wall-clock, and every other registry metric.
+//!
+//! Knobs: `NARADA_THREADS` (worker count, 0/unset = one per core),
+//! `NARADA_MANIFEST_DIR` (manifest output directory, default `.`).
+
+use narada_bench::{env_threads, render_table, secs, synthesize_corpus_observed, write_manifest};
+use narada_core::SynthesisOptions;
+use narada_obs::Obs;
+use std::time::Instant;
+
+fn main() {
+    let threads = env_threads();
+    let opts = SynthesisOptions {
+        threads,
+        ..SynthesisOptions::default()
+    };
+    let obs = Obs::new();
+    let start = Instant::now();
+    let runs = synthesize_corpus_observed(&opts, threads, &obs);
+    obs.metrics
+        .gauge("bench.synth.wall_ns")
+        .set_duration(start.elapsed());
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.entry.id.to_string(),
+                r.out.pair_count().to_string(),
+                r.out.test_count().to_string(),
+                secs(r.out.elapsed),
+            ]
+        })
+        .collect();
+    println!("Corpus synthesis (all classes)");
+    print!(
+        "{}",
+        render_table(&["class", "pairs", "tests", "time (s)"], &rows)
+    );
+
+    write_manifest("synth", threads, &obs, &[("classes", "C1-C9".to_string())]);
+}

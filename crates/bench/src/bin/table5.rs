@@ -8,9 +8,9 @@
 //! `NARADA_MAX_TESTS` (cap on tests evaluated per class, default
 //! unlimited).
 
-use narada_bench::{env_threads, render_table, run_all};
+use narada_bench::{env_threads, render_table, synthesize_corpus_observed, write_manifest};
 use narada_core::SynthesisOptions;
-use narada_detect::{evaluate_suite, DetectConfig};
+use narada_detect::{evaluate_suite_observed, DetectConfig};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -31,10 +31,15 @@ fn main() {
         ..DetectConfig::default()
     };
     let max_tests = env_usize("NARADA_MAX_TESTS", usize::MAX);
-    let runs = run_all(&SynthesisOptions {
+    let obs = narada_obs::Obs::new();
+    let runs = synthesize_corpus_observed(
+        &SynthesisOptions {
+            threads,
+            ..SynthesisOptions::default()
+        },
         threads,
-        ..SynthesisOptions::default()
-    });
+        &obs,
+    );
     let mut rows = Vec::new();
     let mut totals = (0usize, 0usize, 0usize, 0usize);
     for r in &runs {
@@ -46,7 +51,7 @@ fn main() {
             .take(max_tests)
             .map(|t| &t.plan)
             .collect();
-        let agg = evaluate_suite(&r.prog, &r.mir, &seeds, &plans, &cfg);
+        let agg = evaluate_suite_observed(&r.prog, &r.mir, &seeds, &plans, &cfg, &obs);
         totals.0 += agg.races_detected;
         totals.1 += agg.harmful;
         totals.2 += agg.benign;
@@ -86,5 +91,18 @@ fn main() {
             ],
             &rows
         )
+    );
+    obs.metrics
+        .gauge("bench.table5.wall_ns")
+        .set_duration(wall.elapsed());
+    write_manifest(
+        "table5",
+        threads,
+        &obs,
+        &[
+            ("schedules", cfg.schedule_trials.to_string()),
+            ("confirms", cfg.confirm_trials.to_string()),
+            ("seed", format!("{:#x}", cfg.seed)),
+        ],
     );
 }

@@ -119,6 +119,13 @@ where
 /// Wall-clock breakdown of one pipeline run, per stage, plus the job
 /// throughput of the sharded stages — the measurement the `--threads`
 /// speedup claims are checked against (`results/`).
+///
+/// Since the telemetry layer landed this is a **derived view**: the
+/// pipeline records stage wall-clocks and job counts into the
+/// [`narada_obs::Metrics`] registry as it runs, and
+/// [`StageTimings::from_metrics`] projects the registry into this struct
+/// for rendering and for callers that predate the registry. The struct no
+/// longer carries any bookkeeping of its own.
 #[derive(Debug, Clone, Default)]
 pub struct StageTimings {
     /// Effective worker count the sharded stages ran with.
@@ -145,6 +152,31 @@ pub struct StageTimings {
 }
 
 impl StageTimings {
+    /// Projects the metrics registry into the legacy per-stage view.
+    /// `threads` is passed separately because the effective worker count
+    /// is run *environment*, not a metric (the registry must snapshot
+    /// identically at any `--threads` value).
+    pub fn from_metrics(metrics: &narada_obs::Metrics, threads: usize) -> StageTimings {
+        let wall = |stage: &str| Duration::from_nanos(metrics.scalar(&format!("{stage}.wall_ns")));
+        let mut t = StageTimings {
+            threads,
+            trace: wall("stage.trace"),
+            analyze: wall("stage.analyze"),
+            pairs: wall("stage.pairs"),
+            screen: wall("stage.screen"),
+            pairs_pruned: metrics.scalar("pairs.pruned") as usize,
+            derive: wall("stage.derive"),
+            derive_jobs: metrics.scalar("derive.jobs") as usize,
+            detect: None,
+        };
+        let detect_wall = wall("stage.detect");
+        let detect_jobs = metrics.scalar("detect.jobs") as usize;
+        if detect_wall != Duration::ZERO || detect_jobs > 0 {
+            t.detect = Some((detect_wall, detect_jobs));
+        }
+        t
+    }
+
     /// Sum of the recorded stage wall-clocks.
     pub fn total(&self) -> Duration {
         self.trace
@@ -284,6 +316,24 @@ mod tests {
             assert!(s.contains(stage), "missing {stage} in:\n{s}");
         }
         assert!(s.contains("4 pairs pruned"), "prune counter in:\n{s}");
+    }
+
+    #[test]
+    fn stage_timings_project_from_registry() {
+        let m = narada_obs::Metrics::new();
+        m.gauge("stage.trace.wall_ns").set(1_000_000);
+        m.counter("pairs.pruned").add(4);
+        m.counter("derive.jobs").add(10);
+        let t = StageTimings::from_metrics(&m, 4);
+        assert_eq!(t.threads, 4);
+        assert_eq!(t.trace, Duration::from_millis(1));
+        assert_eq!(t.pairs_pruned, 4);
+        assert_eq!(t.derive_jobs, 10);
+        assert!(t.detect.is_none(), "no detect stage recorded");
+        m.gauge("stage.detect.wall_ns").set(5_000_000);
+        m.counter("detect.jobs").add(3);
+        let t = StageTimings::from_metrics(&m, 4);
+        assert_eq!(t.detect, Some((Duration::from_millis(5), 3)));
     }
 
     #[test]

@@ -15,8 +15,9 @@ use crate::screen::{ScreenerFn, StaticVerdict};
 use crate::synth::SynthesizedTest;
 use narada_lang::hir::Program;
 use narada_lang::mir::MirProgram;
+use narada_obs::{span, Obs};
 use narada_vm::rng::derive_seed;
-use narada_vm::{Machine, MachineOptions, Schedule, VecSink, VmError};
+use narada_vm::{Machine, MachineOptions, ObservedScheduler, Schedule, VecSink, VmError};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -104,11 +105,43 @@ pub fn synthesize_with(
     opts: &SynthesisOptions,
     screener: Option<ScreenerFn>,
 ) -> SynthesisOutput {
-    let start = Instant::now();
-    let mut timings = StageTimings {
-        threads: effective_threads(opts.threads),
-        ..StageTimings::default()
+    synthesize_observed(prog, mir, opts, screener, &Obs::new())
+}
+
+/// Tallies a screener verdict vector into per-discharge-reason counters.
+fn record_verdict_metrics(obs: &Obs, verdicts: &[StaticVerdict]) {
+    use crate::screen::ScreenReason;
+    let reason_counter = |r: &ScreenReason| {
+        obs.metrics.counter(match r {
+            ScreenReason::OwnerMonitorHeld => "screen.discharged.owner_monitor",
+            ScreenReason::ThreadLocalOwner => "screen.discharged.thread_local",
+            ScreenReason::NoRacyContext => "screen.discharged.no_racy_context",
+        })
     };
+    let survivors = obs.metrics.counter("screen.survivors");
+    for v in verdicts {
+        match v {
+            StaticVerdict::MustNotRace { reason } => reason_counter(reason).inc(),
+            StaticVerdict::MayRace { .. } => survivors.inc(),
+        }
+    }
+}
+
+/// [`synthesize_with`], recording every stage into `obs`: wall-clock
+/// gauges (`stage.*.wall_ns`), work counters (`pairs.*`, `derive.jobs`,
+/// `tests.*`, `screen.*`), and hierarchical spans when tracing is on.
+/// [`SynthesisOutput::timings`] is derived from the registry afterwards —
+/// the registry is the single bookkeeping path.
+pub fn synthesize_observed(
+    prog: &Program,
+    mir: &MirProgram,
+    opts: &SynthesisOptions,
+    screener: Option<ScreenerFn>,
+    obs: &Obs,
+) -> SynthesisOutput {
+    let start = Instant::now();
+    let root = span!(obs.tracer, "pipeline.synthesize");
+    let m = &obs.metrics;
 
     // Stage 1: execute the seed suite, recording traces. Sequential by
     // design: the analysis consumes one totally-ordered trace (object
@@ -117,24 +150,38 @@ pub fn synthesize_with(
     let mut sink = VecSink::new();
     let mut seed_failures = Vec::new();
     {
+        let _s = span!(obs.tracer, "stage.trace");
         let mut machine = Machine::new(prog, mir, MachineOptions::default());
         for t in &prog.tests {
+            let _run = span!(obs.tracer, "seed.run", test = t.name);
             if let Err(e) = machine.run_test(t.id, &mut sink) {
                 seed_failures.push((t.name.clone(), e));
             }
         }
     }
-    timings.trace = stage.elapsed();
+    m.gauge("stage.trace.wall_ns").set_duration(stage.elapsed());
+    m.counter("trace.events").add(sink.events.len() as u64);
+    m.counter("seed.failures").add(seed_failures.len() as u64);
 
     // Stage 1b: the Access Analyzer.
     let stage = Instant::now();
-    let analysis = analyze(prog, &sink.events);
-    timings.analyze = stage.elapsed();
+    let analysis = {
+        let _s = span!(obs.tracer, "stage.analyze");
+        analyze(prog, &sink.events)
+    };
+    m.gauge("stage.analyze.wall_ns")
+        .set_duration(stage.elapsed());
+    m.counter("accesses.recorded")
+        .add(analysis.accesses.len() as u64);
 
     // Stage 2a: the Pair Generator.
     let stage = Instant::now();
-    let pairs = generate_pairs(prog, &analysis, opts);
-    timings.pairs = stage.elapsed();
+    let pairs = {
+        let _s = span!(obs.tracer, "stage.pairs");
+        generate_pairs(prog, &analysis, opts)
+    };
+    m.gauge("stage.pairs.wall_ns").set_duration(stage.elapsed());
+    m.counter("pairs.generated").add(pairs.pairs.len() as u64);
 
     // Stage 2a': static pre-screening. `order` holds the original pair
     // indices to derive, in derivation order — the identity permutation
@@ -143,18 +190,22 @@ pub fn synthesize_with(
     let mut verdicts: Option<Vec<StaticVerdict>> = None;
     if opts.static_filter || opts.static_rank {
         let stage = Instant::now();
+        let _s = span!(obs.tracer, "stage.screen");
         let screener = screener.expect("static screening requested but no screener supplied");
         let vs = screener(mir, &pairs);
         debug_assert_eq!(vs.len(), pairs.pairs.len(), "one verdict per pair");
+        record_verdict_metrics(obs, &vs);
         if opts.static_filter {
             order.retain(|&i| vs[i].may_race());
-            timings.pairs_pruned = pairs.pairs.len() - order.len();
+            m.counter("pairs.pruned")
+                .add((pairs.pairs.len() - order.len()) as u64);
         }
         if opts.static_rank {
             order.sort_by_key(|&i| (std::cmp::Reverse(vs[i].score()), i));
         }
         verdicts = Some(vs);
-        timings.screen = stage.elapsed();
+        m.gauge("stage.screen.wall_ns")
+            .set_duration(stage.elapsed());
     }
 
     // Stage 2b + 3: Context Deriver + plan construction. Each pair's
@@ -162,7 +213,11 @@ pub fn synthesize_with(
     // worker pool; the dedup merge below runs in derivation order, making
     // the suite identical at any thread count (see `parallel`).
     let stage = Instant::now();
+    let derive_span = span!(obs.tracer, "stage.derive", jobs = order.len());
+    let derive_span_id = derive_span.id();
     let plans = parallel_map(opts.threads, &order, |_, &i| {
+        let mut s = obs.tracer.span_under("derive.pair", derive_span_id);
+        s.attr("pair", &i);
         derive_plan(prog, &analysis, &pairs, &pairs.pairs[i], opts)
     });
     let mut by_key: HashMap<String, usize> = HashMap::new();
@@ -182,15 +237,23 @@ pub fn synthesize_with(
             }
         }
     }
-    timings.derive = stage.elapsed();
-    timings.derive_jobs = order.len();
+    drop(derive_span);
+    m.gauge("stage.derive.wall_ns")
+        .set_duration(stage.elapsed());
+    m.counter("derive.jobs").add(order.len() as u64);
+    m.counter("tests.synthesized").add(tests.len() as u64);
+    m.counter("tests.race_expecting")
+        .add(tests.iter().filter(|t| t.plan.expects_race).count() as u64);
 
+    drop(root);
+    let elapsed = start.elapsed();
+    m.gauge("pipeline.total.wall_ns").set_duration(elapsed);
     SynthesisOutput {
         analysis,
         pairs,
         tests,
-        elapsed: start.elapsed(),
-        timings,
+        elapsed,
+        timings: StageTimings::from_metrics(m, effective_threads(opts.threads)),
         seed_failures,
         verdicts,
     }
@@ -222,14 +285,32 @@ pub fn demonstrate(
     output: &SynthesisOutput,
     explore: &ExploreOptions,
 ) -> Vec<Demonstration> {
+    demonstrate_observed(prog, mir, output, explore, &Obs::new())
+}
+
+/// [`demonstrate`] recording scheduler activity (`sched.decisions`,
+/// `sched.preemptions`), per-run counters (`demo.runs`, `demo.failures`),
+/// and a `stage.demo.wall_ns` gauge into `obs`.
+pub fn demonstrate_observed(
+    prog: &Program,
+    mir: &MirProgram,
+    output: &SynthesisOutput,
+    explore: &ExploreOptions,
+    obs: &Obs,
+) -> Vec<Demonstration> {
+    let start = Instant::now();
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let targets: Vec<&SynthesizedTest> = output
         .tests
         .iter()
         .filter(|t| t.plan.expects_race)
         .collect();
+    let demo_span = span!(obs.tracer, "stage.demo", jobs = targets.len());
+    let demo_span_id = demo_span.id();
     let runs = parallel_map(explore.threads, &targets, |_, test| {
         let idx = test.index as u64;
+        let mut s = obs.tracer.span_under("demo.run", demo_span_id);
+        s.attr("test", &test.index);
         let mut machine = Machine::new(
             prog,
             mir,
@@ -238,22 +319,31 @@ pub fn demonstrate(
                 ..MachineOptions::default()
             },
         );
-        let mut sched = explore.strategy.build(
+        let mut inner = explore.strategy.build(
             derive_seed(explore.seed, &[STAGE_DEMO_SCHED, idx]),
             explore.pct_horizon,
         );
+        let mut sched = ObservedScheduler::new(&mut *inner, &obs.metrics);
         let mut sink = narada_vm::NullSink;
         crate::synth::execute_plan_recorded(
             &mut machine,
             &seeds,
             &test.plan,
-            &mut *sched,
+            &mut sched,
             &mut sink,
             explore.budget,
         )
         .ok()
         .map(|(report, schedule)| (test.index, schedule, report.failures))
     });
+    drop(demo_span);
+    obs.metrics.counter("demo.runs").add(targets.len() as u64);
+    obs.metrics
+        .counter("demo.failures")
+        .add(runs.iter().flatten().map(|(_, _, f)| f.len() as u64).sum());
+    obs.metrics
+        .gauge("stage.demo.wall_ns")
+        .set_duration(start.elapsed());
     runs.into_iter()
         .flatten()
         .map(|(test_index, mut schedule, failures)| {

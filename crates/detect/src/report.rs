@@ -31,8 +31,11 @@ use narada_core::synth::execute_plan;
 use narada_core::TestPlan;
 use narada_lang::hir::{Program, TestId};
 use narada_lang::mir::MirProgram;
+use narada_obs::{span, Obs, TRIAL_BUCKETS};
 use narada_vm::rng::derive_seed;
-use narada_vm::{Machine, MachineOptions, RecordingScheduler, ScheduleStrategy, TeeSink};
+use narada_vm::{
+    Machine, MachineOptions, ObservedScheduler, RecordingScheduler, ScheduleStrategy, TeeSink,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
@@ -115,6 +118,7 @@ impl TestReport {
 /// One detection-pass trial: a fresh machine + detectors under a random
 /// schedule derived from `(base_seed, test, trial)`. Pure function of its
 /// arguments — the unit of work the parallel runner shards.
+#[allow(clippy::too_many_arguments)]
 fn detection_trial(
     prog: &Program,
     mir: &MirProgram,
@@ -123,6 +127,7 @@ fn detection_trial(
     cfg: &DetectConfig,
     test_idx: u64,
     trial: u64,
+    obs: &Obs,
 ) -> Result<Vec<RaceReport>, String> {
     let machine_seed = derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, trial]);
     let sched_seed = derive_seed(cfg.seed, &[STAGE_DETECT_SCHED, test_idx, trial]);
@@ -141,7 +146,8 @@ fn detection_trial(
         b: &mut hb,
     };
     let mut inner = cfg.strategy.build(sched_seed, cfg.pct_horizon);
-    let mut sched = RecordingScheduler::new(&mut *inner);
+    let mut observed = ObservedScheduler::new(&mut *inner, &obs.metrics);
+    let mut sched = RecordingScheduler::new(&mut observed);
     execute_plan(&mut machine, seeds, plan, &mut sched, &mut sink, cfg.budget)
         .map_err(|e| e.to_string())?;
     // Stamp every report with the manifesting run's identity so rendered
@@ -167,6 +173,7 @@ fn detection_trial(
 
 /// One confirmation job: directed re-execution attempts targeting each
 /// witnessing site pair of a single coarse race, first confirmation wins.
+#[allow(clippy::too_many_arguments)]
 fn confirm_race(
     prog: &Program,
     mir: &MirProgram,
@@ -175,9 +182,12 @@ fn confirm_race(
     cfg: &DetectConfig,
     test_idx: u64,
     fine_keys: &[StaticRaceKey],
+    obs: &Obs,
 ) -> Option<ConfirmedRace> {
+    let mut attempts = 0u64;
     for fine in fine_keys {
         for trial in 0..cfg.confirm_trials as u64 {
+            attempts += 1;
             let machine_seed = derive_seed(cfg.seed, &[STAGE_CONFIRM_MACHINE, test_idx, trial]);
             let mut machine = Machine::new(
                 prog,
@@ -191,19 +201,35 @@ fn confirm_race(
                 *fine,
                 derive_seed(cfg.seed, &[STAGE_CONFIRM_SCHED, test_idx, trial]),
             );
-            let mut rec = RecordingScheduler::new(&mut sched);
+            let mut observed = ObservedScheduler::new(&mut sched, &obs.metrics);
+            let mut rec = RecordingScheduler::new(&mut observed);
             let mut sink = narada_vm::NullSink;
-            if execute_plan(&mut machine, seeds, plan, &mut rec, &mut sink, cfg.budget).is_err() {
+            let run = execute_plan(&mut machine, seeds, plan, &mut rec, &mut sink, cfg.budget);
+            let schedule = rec.to_schedule(machine_seed);
+            obs.metrics.counter("detect.confirm_trials").inc();
+            obs.metrics
+                .counter("racefuzzer.gave_up")
+                .add(sched.gave_up as u64);
+            if run.is_err() {
                 continue;
             }
-            let schedule = rec.to_schedule(machine_seed);
             if let Some(mut c) = sched.confirmed.into_iter().find(|c| c.key == *fine) {
+                obs.metrics
+                    .histogram("detect.trials_to_first_confirm", TRIAL_BUCKETS)
+                    .observe(attempts);
                 // Attach the replayable interleaving; shrink it first when
                 // fixtures are being committed.
                 c.schedule = Some(match cfg.minimize {
-                    true => minimize_schedule(prog, mir, seeds, plan, cfg.budget, fine, &schedule)
-                        .map(|m| m.schedule)
-                        .unwrap_or(schedule),
+                    true => {
+                        match minimize_schedule(prog, mir, seeds, plan, cfg.budget, fine, &schedule)
+                        {
+                            Some(m) => {
+                                obs.metrics.counter("minimize.probes").add(m.probes as u64);
+                                m.schedule
+                            }
+                            None => schedule,
+                        }
+                    }
                     false => schedule,
                 });
                 return Some(c);
@@ -226,6 +252,25 @@ pub fn evaluate_test_indexed(
     cfg: &DetectConfig,
     test_idx: u64,
 ) -> TestReport {
+    evaluate_test_observed(prog, mir, seeds, plan, cfg, test_idx, &Obs::new())
+}
+
+/// [`evaluate_test_indexed`] recording trial and confirmation activity
+/// into `obs`: `detect.trials`, `detect.races_detected`,
+/// `detect.confirmed`, `detect.setup_errors`, the
+/// `detect.trials_to_first_confirm` histogram, scheduler decision
+/// counters, and `racefuzzer.gave_up`. Every count is a commutative sum
+/// over work whose extent is independent of the worker count, so
+/// snapshots are byte-identical at any `cfg.threads`.
+pub fn evaluate_test_observed(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    cfg: &DetectConfig,
+    test_idx: u64,
+    obs: &Obs,
+) -> TestReport {
     let index = MethodIndex::new(prog);
     let mut report = TestReport::default();
     // Coarse race → the fine site pairs witnessing it (confirmation
@@ -235,10 +280,17 @@ pub fn evaluate_test_indexed(
 
     // Pass 1: random schedules with passive detectors, sharded per trial;
     // the merge below consumes results in trial order.
+    let detect_span = span!(obs.tracer, "detect.test", test = test_idx);
+    let detect_span_id = detect_span.id();
     let trials: Vec<u64> = (0..cfg.schedule_trials as u64).collect();
     let trial_results = parallel_map(cfg.threads, &trials, |_, &trial| {
-        detection_trial(prog, mir, seeds, plan, cfg, test_idx, trial)
+        let mut s = obs.tracer.span_under("detect.trial", detect_span_id);
+        s.attr("trial", &trial);
+        detection_trial(prog, mir, seeds, plan, cfg, test_idx, trial, obs)
     });
+    obs.metrics
+        .counter("detect.trials")
+        .add(trials.len() as u64);
     for result in trial_results {
         match result {
             Ok(reports) => {
@@ -250,6 +302,7 @@ pub fn evaluate_test_indexed(
                 }
             }
             Err(e) => {
+                obs.metrics.counter("detect.setup_errors").inc();
                 report.setup_errors.push(e);
                 return report;
             }
@@ -260,7 +313,8 @@ pub fn evaluate_test_indexed(
     // key order.
     let targets: Vec<(CoarseRaceKey, Vec<StaticRaceKey>)> = detected.into_iter().collect();
     let confirmations = parallel_map(cfg.threads, &targets, |_, (_, fine_keys)| {
-        confirm_race(prog, mir, seeds, plan, cfg, test_idx, fine_keys)
+        let _s = obs.tracer.span_under("detect.confirm", detect_span_id);
+        confirm_race(prog, mir, seeds, plan, cfg, test_idx, fine_keys, obs)
     });
     for ((coarse, _), confirmed) in targets.iter().zip(confirmations) {
         if let Some(c) = confirmed {
@@ -268,6 +322,12 @@ pub fn evaluate_test_indexed(
         }
     }
 
+    obs.metrics
+        .counter("detect.races_detected")
+        .add(targets.len() as u64);
+    obs.metrics
+        .counter("detect.confirmed")
+        .add(report.reproduced.len() as u64);
     report.detected = targets.into_iter().map(|(k, _)| k).collect();
     report
 }
@@ -317,7 +377,22 @@ pub fn evaluate_suite(
     plans: &[&TestPlan],
     cfg: &DetectConfig,
 ) -> ClassDetection {
+    evaluate_suite_observed(prog, mir, seeds, plans, cfg, &Obs::new())
+}
+
+/// [`evaluate_suite`] recording per-trial telemetry (see
+/// [`evaluate_test_observed`]) plus the stage-level `stage.detect.wall_ns`
+/// gauge and `detect.jobs` counter into `obs`.
+pub fn evaluate_suite_observed(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plans: &[&TestPlan],
+    cfg: &DetectConfig,
+    obs: &Obs,
+) -> ClassDetection {
     let start = Instant::now();
+    let stage_span = span!(obs.tracer, "stage.detect", plans = plans.len());
     // Outer fan-out over plans; inner trial runner forced sequential so
     // worker count stays bounded by `threads`.
     let inner_cfg = DetectConfig {
@@ -325,8 +400,9 @@ pub fn evaluate_suite(
         ..cfg.clone()
     };
     let reports = parallel_map(cfg.threads, plans, |i, plan| {
-        evaluate_test_indexed(prog, mir, seeds, plan, &inner_cfg, i as u64)
+        evaluate_test_observed(prog, mir, seeds, plan, &inner_cfg, i as u64, obs)
     });
+    drop(stage_span);
 
     let mut all_detected: BTreeSet<CoarseRaceKey> = BTreeSet::new();
     let mut all_reproduced: BTreeSet<CoarseRaceKey> = BTreeSet::new();
@@ -350,6 +426,10 @@ pub fn evaluate_suite(
             }
         }
     }
+    obs.metrics.counter("detect.jobs").add(jobs as u64);
+    obs.metrics
+        .gauge("stage.detect.wall_ns")
+        .set_duration(start.elapsed());
     ClassDetection {
         races_detected: all_detected.len(),
         harmful,

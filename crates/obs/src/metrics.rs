@@ -1,0 +1,357 @@
+//! A registry of named counters, gauges, and fixed-bucket histograms.
+//!
+//! Everything here is designed around one invariant: **snapshot values are
+//! a pure function of the work performed, never of scheduling**. Counters
+//! and histogram buckets are commutative sums over atomics, so sharded
+//! pipeline stages produce byte-identical snapshots at any `--threads`
+//! value; gauges are driver-set configuration/timing values. Histogram
+//! buckets are fixed at registration (no dynamic resizing), so two runs
+//! that observe the same samples serialize identically.
+//!
+//! ## Naming scheme
+//!
+//! Dot-separated lowercase segments, most-general first:
+//! `<subsystem>.<noun>[.<qualifier>]` — e.g. `pairs.generated`,
+//! `screen.discharged.owner_monitor`, `detect.trials_to_first_confirm`.
+//! Wall-clock values are gauges named `stage.<stage>.wall_ns`; the
+//! manifest layer routes every `*.wall_ns` gauge into its (run-varying)
+//! `timings` section and everything else into the deterministic
+//! `metrics` section.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Monotonic counter handle (cheap to clone, safe to update from worker
+/// threads).
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge handle. Gauges hold driver-set values (effective
+/// thread count, stage wall-clocks); setting one from racing workers would
+/// make snapshots schedule-dependent, so don't.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn set_duration(&self, d: Duration) {
+        self.set(d.as_nanos() as u64);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds, strictly increasing; an implicit overflow
+    /// bucket catches everything above the last bound.
+    bounds: Vec<u64>,
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Fixed-bucket histogram handle.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The default bucket bounds for trial-count distributions (1..64,
+/// roughly geometric).
+pub const TRIAL_BUCKETS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        let c = &self.0;
+        let idx = c
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(c.bounds.len());
+        c.counts[idx].fetch_add(1, Ordering::Relaxed);
+        c.total.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn read(m: &Metric) -> MetricValue {
+    match m {
+        Metric::Counter(c) => MetricValue::Counter(c.get()),
+        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+        Metric::Histogram(h) => MetricValue::Histogram(
+            h.0.bounds.clone(),
+            h.0.counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            h.count(),
+            h.sum(),
+        ),
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's total.
+    Counter(u64),
+    /// A gauge's last value.
+    Gauge(u64),
+    /// A histogram's buckets: `(bounds, counts, total, sum)` — `counts`
+    /// has one extra trailing overflow entry.
+    Histogram(Vec<u64>, Vec<u64>, u64, u64),
+}
+
+impl MetricValue {
+    /// Serializes one value; scalars become bare integers, histograms an
+    /// object tagged `"type": "histogram"`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => Json::Int(*v as i64),
+            MetricValue::Histogram(bounds, counts, total, sum) => Json::obj()
+                .with("type", Json::Str("histogram".into()))
+                .with(
+                    "le",
+                    Json::Arr(bounds.iter().map(|&b| Json::Int(b as i64)).collect()),
+                )
+                .with(
+                    "counts",
+                    Json::Arr(counts.iter().map(|&c| Json::Int(c as i64)).collect()),
+                )
+                .with("count", Json::Int(*total as i64))
+                .with("sum", Json::Int(*sum as i64)),
+        }
+    }
+
+    /// Parses what [`MetricValue::to_json`] wrote. Scalars come back as
+    /// counters (the distinction is presentational).
+    pub fn from_json(v: &Json) -> Result<MetricValue, String> {
+        if let Some(n) = v.as_i64() {
+            return Ok(MetricValue::Counter(n as u64));
+        }
+        let ints = |key: &str| -> Result<Vec<u64>, String> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("histogram missing `{key}`"))?
+                .iter()
+                .map(|x| {
+                    x.as_i64()
+                        .map(|n| n as u64)
+                        .ok_or("non-integer bucket".into())
+                })
+                .collect()
+        };
+        match v.get("type").and_then(Json::as_str) {
+            Some("histogram") => Ok(MetricValue::Histogram(
+                ints("le")?,
+                ints("counts")?,
+                v.get("count")
+                    .and_then(Json::as_i64)
+                    .ok_or("histogram missing `count`")? as u64,
+                v.get("sum")
+                    .and_then(Json::as_i64)
+                    .ok_or("histogram missing `sum`")? as u64,
+            )),
+            _ => Err("metric value is neither an integer nor a histogram".into()),
+        }
+    }
+}
+
+/// The registry. Shared by reference across a run; handles are registered
+/// on first use and live for the registry's lifetime.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Returns the counter named `name`, registering it at zero on first
+    /// use. Panics if the name is already registered as another kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().unwrap();
+        let m = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))));
+        match m {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().unwrap();
+        let m = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))));
+        match m {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it with `bounds` on
+    /// first use (later calls keep the original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.inner.lock().unwrap();
+        let m = map.entry(name.to_string()).or_insert_with(|| {
+            Metric::Histogram(Histogram(Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                total: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            })))
+        });
+        match m {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// Reads one metric's current value without registering anything.
+    pub fn value(&self, name: &str) -> Option<MetricValue> {
+        let map = self.inner.lock().unwrap();
+        map.get(name).map(read)
+    }
+
+    /// Reads a counter/gauge scalar without registering anything (0 when
+    /// the metric never fired).
+    pub fn scalar(&self, name: &str) -> u64 {
+        match self.value(name) {
+            Some(MetricValue::Counter(v) | MetricValue::Gauge(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// Snapshots every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let map = self.inner.lock().unwrap();
+        map.iter()
+            .map(|(name, m)| (name.clone(), read(m)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_commutatively_across_threads() {
+        let m = Metrics::new();
+        let c = m.counter("x");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("x").get(), 8000);
+    }
+
+    #[test]
+    fn histogram_buckets_are_fixed_and_deterministic() {
+        let m = Metrics::new();
+        let h = m.histogram("t", &[1, 2, 4]);
+        for v in [1, 1, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        let snap = m.snapshot();
+        let (name, v) = &snap[0];
+        assert_eq!(name, "t");
+        assert_eq!(
+            *v,
+            MetricValue::Histogram(vec![1, 2, 4], vec![2, 1, 2, 1], 6, 111)
+        );
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let m = Metrics::new();
+        m.counter("z.last");
+        m.gauge("a.first");
+        m.counter("m.mid");
+        let names: Vec<_> = m.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    fn metric_value_json_round_trip() {
+        for v in [
+            MetricValue::Counter(7),
+            MetricValue::Histogram(vec![1, 2], vec![1, 0, 3], 4, 9),
+        ] {
+            let parsed =
+                MetricValue::from_json(&Json::parse(&v.to_json().to_compact()).unwrap()).unwrap();
+            match (&v, &parsed) {
+                (MetricValue::Gauge(a) | MetricValue::Counter(a), MetricValue::Counter(b)) => {
+                    assert_eq!(a, b)
+                }
+                _ => assert_eq!(v, parsed),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let m = Metrics::new();
+        m.gauge("x");
+        m.counter("x");
+    }
+}

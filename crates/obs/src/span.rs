@@ -1,0 +1,328 @@
+//! Hierarchical tracing spans with monotonic timing and JSONL emission.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s; a span records its name,
+//! a monotonic `[start_ns, end_ns]` window relative to the tracer's
+//! epoch, the recording thread's ordinal, its parent span (innermost
+//! enclosing guard on the same thread, or an explicitly supplied id for
+//! spans created inside sharded workers), and free-form string
+//! attributes. Records are buffered in memory and serialized as one JSON
+//! object per line ([`Tracer::to_jsonl`]), sorted by span id — creation
+//! order, which for a single-threaded run is a stable golden-testable
+//! sequence.
+//!
+//! Tracing defaults to **disabled** ([`Tracer::disabled`]): guards are
+//! inert and allocate nothing, so instrumented hot paths cost one branch
+//! when no `--trace-out` was requested.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Creation-ordered id, unique within the tracer.
+    pub id: u64,
+    /// Innermost enclosing span on the recording thread (or the id given
+    /// to [`Tracer::span_under`]).
+    pub parent: Option<u64>,
+    /// Span name (see the taxonomy in DESIGN.md §6).
+    pub name: String,
+    /// Process-wide ordinal of the recording OS thread.
+    pub thread: u64,
+    /// Nanoseconds since the tracer's epoch at guard creation.
+    pub start_ns: u64,
+    /// Nanoseconds since the tracer's epoch at guard drop.
+    pub end_ns: u64,
+    /// Attribute key/value pairs, in attachment order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Serializes the record as one JSONL object.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj()
+            .with("id", Json::Int(self.id as i64))
+            .with(
+                "parent",
+                match self.parent {
+                    Some(p) => Json::Int(p as i64),
+                    None => Json::Null,
+                },
+            )
+            .with("name", Json::Str(self.name.clone()))
+            .with("thread", Json::Int(self.thread as i64))
+            .with("start_ns", Json::Int(self.start_ns as i64))
+            .with("end_ns", Json::Int(self.end_ns as i64));
+        if !self.attrs.is_empty() {
+            doc.set(
+                "attrs",
+                Json::Obj(
+                    self.attrs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            );
+        }
+        doc
+    }
+}
+
+// Process-wide stable thread ordinals (assigned on first use per OS
+// thread; ordinal 0 is whichever thread asked first).
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static THREAD_ORDINAL: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    // Innermost-first stack of (tracer id, span id) for parent linkage.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The ordinal of the calling OS thread.
+pub fn thread_ordinal() -> u64 {
+    THREAD_ORDINAL.with(|t| *t)
+}
+
+static NEXT_TRACER: AtomicU64 = AtomicU64::new(1);
+
+/// A span collector. Cheap when disabled; thread-safe when enabled.
+#[derive(Debug)]
+pub struct Tracer {
+    /// Distinguishes this tracer's frames on the shared per-thread span
+    /// stack (multiple tracers may be live in one process, e.g. tests).
+    tracer_id: u64,
+    enabled: bool,
+    epoch: Instant,
+    next_span: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl Tracer {
+    /// A tracer that records every span.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            tracer_id: NEXT_TRACER.fetch_add(1, Ordering::Relaxed),
+            enabled: true,
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(0),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A tracer whose guards are inert no-ops.
+    pub fn disabled() -> Tracer {
+        Tracer {
+            enabled: false,
+            ..Tracer::enabled()
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span; the parent is the innermost open span of this tracer
+    /// on the calling thread.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.open(name, None, true)
+    }
+
+    /// Opens a span with an explicit parent — for jobs running on sharded
+    /// worker threads, where the stage span lives on the driver thread's
+    /// stack and implicit linkage cannot see it.
+    pub fn span_under(&self, name: &str, parent: Option<u64>) -> SpanGuard<'_> {
+        self.open(name, parent, false)
+    }
+
+    fn open(&self, name: &str, parent: Option<u64>, implicit_parent: bool) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                tracer: self,
+                record: None,
+            };
+        }
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = if implicit_parent {
+            SPAN_STACK.with(|s| {
+                s.borrow()
+                    .iter()
+                    .rev()
+                    .find(|(t, _)| *t == self.tracer_id)
+                    .map(|(_, id)| *id)
+            })
+        } else {
+            parent
+        };
+        SPAN_STACK.with(|s| s.borrow_mut().push((self.tracer_id, id)));
+        SpanGuard {
+            tracer: self,
+            record: Some(SpanRecord {
+                id,
+                parent,
+                name: name.to_string(),
+                thread: thread_ordinal(),
+                start_ns: self.epoch.elapsed().as_nanos() as u64,
+                end_ns: 0,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Snapshot of all finished spans, sorted by id (creation order).
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        let mut records = self.records.lock().unwrap().clone();
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    /// Serializes every finished span as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.finished() {
+            out.push_str(&r.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// RAII handle for an open span; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    record: Option<SpanRecord>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches an attribute (no-op on a disabled tracer).
+    pub fn attr(&mut self, key: &str, value: &dyn Display) {
+        if let Some(r) = &mut self.record {
+            r.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// This span's id, for explicit [`Tracer::span_under`] parenting.
+    /// `None` when the tracer is disabled.
+    pub fn id(&self) -> Option<u64> {
+        self.record.as_ref().map(|r| r.id)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(mut record) = self.record.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Guards are almost always dropped innermost-first; tolerate
+            // out-of-order drops by removing the exact frame.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, id)| t == self.tracer.tracer_id && id == record.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        record.end_ns = self.tracer.epoch.elapsed().as_nanos() as u64;
+        self.tracer.records.lock().unwrap().push(record);
+    }
+}
+
+/// Opens a span on `$tracer` with optional `key = value` attributes:
+/// `span!(obs.tracer, "derive.pair", pair = i)`. Attribute values are
+/// formatted with `Display` only when tracing is enabled.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut guard = $tracer.span($name);
+        $( guard.attr(stringify!($key), &$value); )*
+        guard
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_links_parents() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span("a");
+            {
+                let mut b = t.span("b");
+                b.attr("k", &7);
+            }
+            let _c = t.span("c");
+        }
+        let spans = t.finished();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("a").parent, None);
+        assert_eq!(by_name("b").parent, Some(by_name("a").id));
+        assert_eq!(by_name("c").parent, Some(by_name("a").id));
+        assert_eq!(by_name("b").attrs, vec![("k".to_string(), "7".to_string())]);
+        assert!(spans.iter().all(|s| s.end_ns >= s.start_ns));
+    }
+
+    #[test]
+    fn explicit_parenting_crosses_threads() {
+        let t = Tracer::enabled();
+        let root = t.span("root");
+        let root_id = root.id();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = t.span_under("worker", root_id);
+            });
+        });
+        drop(root);
+        let spans = t.finished();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, root_id);
+        assert_ne!(
+            worker.thread,
+            spans.iter().find(|s| s.name == "root").unwrap().thread
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        let mut g = span!(t, "x", k = 1);
+        assert_eq!(g.id(), None);
+        g.attr("more", &2);
+        drop(g);
+        assert!(t.finished().is_empty());
+        assert_eq!(t.to_jsonl(), "");
+    }
+
+    #[test]
+    fn two_tracers_do_not_cross_link() {
+        let t1 = Tracer::enabled();
+        let t2 = Tracer::enabled();
+        let _a = t1.span("outer1");
+        let b = t2.span("outer2");
+        drop(b);
+        let spans = t2.finished();
+        assert_eq!(spans[0].parent, None, "t1's open span must not parent t2's");
+    }
+
+    #[test]
+    fn jsonl_lines_parse() {
+        let t = Tracer::enabled();
+        {
+            let _s = span!(t, "s", idx = 3);
+        }
+        let text = t.to_jsonl();
+        for line in text.lines() {
+            let doc = crate::json::Json::parse(line).unwrap();
+            assert_eq!(doc.get("name").and_then(Json::as_str), Some("s"));
+            assert!(doc.get("start_ns").is_some());
+        }
+    }
+}

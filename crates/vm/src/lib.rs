@@ -55,7 +55,7 @@ pub use render::{render_schedule_summary, TraceRenderer};
 pub use rng::{derive_seed, splitmix64, SplitMix64};
 pub use schedule::{Schedule, ScheduleError, VM_VERSION};
 pub use scheduler::{
-    PctScheduler, RandomScheduler, RecordingScheduler, ReplayScheduler, RoundRobin,
-    ScheduleStrategy, Scheduler, SegmentScheduler, SerialScheduler,
+    ObservedScheduler, PctScheduler, RandomScheduler, RecordingScheduler, ReplayScheduler,
+    RoundRobin, ScheduleStrategy, Scheduler, SegmentScheduler, SerialScheduler,
 };
 pub use value::{ObjId, Value};

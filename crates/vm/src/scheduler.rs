@@ -280,6 +280,54 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
     }
 }
 
+/// Wraps another scheduler, streaming every decision into the telemetry
+/// registry: `sched.decisions` counts choices, `sched.preemptions` counts
+/// choices that switched away from a still-runnable thread. Both are
+/// commutative counter sums, so totals are identical at any `--threads`
+/// value even when many observed runs share one registry.
+#[derive(Debug)]
+pub struct ObservedScheduler<S> {
+    inner: S,
+    decisions: narada_obs::Counter,
+    preemptions: narada_obs::Counter,
+    last: Option<ThreadId>,
+}
+
+impl<S: Scheduler> ObservedScheduler<S> {
+    /// Wraps `inner`, recording into `metrics`.
+    pub fn new(inner: S, metrics: &narada_obs::Metrics) -> Self {
+        ObservedScheduler {
+            inner,
+            decisions: metrics.counter("sched.decisions"),
+            preemptions: metrics.counter("sched.preemptions"),
+            last: None,
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for ObservedScheduler<S> {
+    fn choose(&mut self, machine: &Machine<'_>, runnable: &[ThreadId]) -> ThreadId {
+        let pick = self.inner.choose(machine, runnable);
+        self.decisions.inc();
+        if let Some(last) = self.last {
+            if pick != last && runnable.contains(&last) {
+                self.preemptions.inc();
+            }
+        }
+        self.last = Some(pick);
+        pick
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 /// Replays a recorded schedule step for step. When the recording is
 /// exhausted (or the recorded thread is no longer runnable — which cannot
 /// happen when replaying against the same deterministic program and seed),
@@ -557,6 +605,33 @@ mod tests {
         let choices = drive(&mut PctScheduler::new(3, 1, 256), 3);
         let sched = Schedule::new("pct", 3, choices);
         assert!(sched.preemptions() <= 1, "{:?}", sched.runs());
+    }
+
+    #[test]
+    fn observed_scheduler_streams_decision_counters() {
+        let metrics = narada_obs::Metrics::new();
+        let mut obs = ObservedScheduler::new(RandomScheduler::new(99), &metrics);
+        let choices = drive(&mut obs, 5);
+        assert_eq!(
+            metrics.counter("sched.decisions").get(),
+            choices.len() as u64
+        );
+        // True preemptions (switching off a still-runnable thread) are a
+        // subset of all context switches.
+        let switches = Schedule::new("random", 5, choices).preemptions() as u64;
+        let preemptions = metrics.counter("sched.preemptions").get();
+        assert!(preemptions <= switches, "{preemptions} > {switches}");
+        assert!(
+            preemptions > 0,
+            "a random schedule of two contended threads preempts"
+        );
+        // And the wrapper is transparent to the recorded interleaving.
+        let replayed = drive(&mut RandomScheduler::new(99), 5);
+        let again = drive(
+            &mut ObservedScheduler::new(RandomScheduler::new(99), &metrics),
+            5,
+        );
+        assert_eq!(replayed, again);
     }
 
     #[test]

@@ -24,6 +24,23 @@ cargo test -q --release --test replay_fixtures
 echo "==> detector_shootout example smoke test"
 cargo run -q --release --example detector_shootout > /dev/null
 
+echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen)"
+# Each bench bin must emit a run manifest; `narada report` re-parses it
+# and fails on any missing required field (schema, git_rev, metrics, ...).
+MANIFEST_DIR="$(mktemp -d)"
+trap 'rm -rf "$MANIFEST_DIR"' EXIT
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" \
+    cargo run -q --release -p narada-bench --bin synth > /dev/null
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_REPS=2 NARADA_MAX_TRIALS=8 NARADA_MAX_PLANS=3 \
+    cargo run -q --release -p narada-bench --bin explore > /dev/null
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" \
+    cargo run -q --release -p narada-bench --bin screen > /dev/null
+for name in synth explore screen; do
+    manifest="$MANIFEST_DIR/BENCH_$name.json"
+    [ -f "$manifest" ] || { echo "missing $manifest" >&2; exit 1; }
+    cargo run -q --release --bin narada -- report "$manifest" > /dev/null
+done
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

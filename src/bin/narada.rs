@@ -6,22 +6,24 @@
 //! narada synth <file.mj> [--render] [flags]          synthesize racy tests
 //! narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
 //!                                                    synthesize + detect + confirm
-//! narada pairs <file.mj|C1..C9>                      dump candidate pairs + static verdicts
+//! narada pairs <file.mj|C1..C9> [--json]             dump candidate pairs + static verdicts
 //! narada corpus [C1..C9]                             run the pipeline on a corpus class
+//! narada report <m.json..> [--diff a.json b.json]    render or diff run manifests
 //! ```
 
-use narada::core::{demonstrate, ExploreOptions, SynthesisOutput};
+use narada::core::{demonstrate_observed, ExploreOptions, SynthesisOutput};
 use narada::detect::{
-    evaluate_suite, evaluate_test_indexed, replay_schedule, DetectConfig, StaticRaceKey,
+    evaluate_suite_observed, evaluate_test_indexed, replay_schedule, DetectConfig, StaticRaceKey,
 };
 use narada::lang::hir::Program;
 use narada::lang::lower::lower_program;
 use narada::lang::mir::MirProgram;
 use narada::lang::SourceMap;
+use narada::obs::Json;
 use narada::vm::{
     render_schedule_summary, Machine, Schedule, ScheduleStrategy, TraceRenderer, VecSink,
 };
-use narada::{synthesize, SynthesisOptions};
+use narada::{synthesize, Obs, RunManifest, SynthesisOptions};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         "detect" => cmd_detect(rest),
         "pairs" => cmd_pairs(rest),
         "corpus" => cmd_corpus(rest),
+        "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,16 +68,20 @@ USAGE:
                            [--threads N] [--timings]
                            [--strategy S] [--depth N]
                            [--record DIR] [--replay FILE.sched]
+                           [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
                             [--static-filter] [--static-rank]
                             [--threads N] [--timings]
                             [--strategy S] [--depth N]
                             [--record DIR] [--replay FILE.sched]
-    narada pairs <file.mj|C1..C9> [--may-race-only] [--threads N]
+                            [--trace-out FILE.jsonl] [--manifest FILE.json]
+    narada pairs <file.mj|C1..C9> [--may-race-only] [--threads N] [--json]
     narada corpus [C1..C9] [--threads N] [--timings] [--detect]
                            [--schedules N] [--confirms N] [--seed N]
                            [--static-filter] [--static-rank]
                            [--strategy S] [--depth N] [--record DIR]
+                           [--trace-out FILE.jsonl] [--manifest FILE.json]
+    narada report <manifest.json>... [--diff OLD.json NEW.json]
 
 `--strategy S` picks the exploration scheduler: pct[:DEPTH], random,
 sticky[:PERCENT], or rr; `--depth N` overrides the PCT depth.
@@ -89,7 +96,14 @@ re-synthesized suite and verifies it (target race, trace digest).
 `--static-filter` drops pairs the static pre-screener proves cannot
 race; `--static-rank` orders the survivors most-suspicious-first.
 `narada pairs` prints every candidate pair with both access sites,
-their lock state, and the screener's verdict.";
+their lock state, and the screener's verdict; `--json` emits the same
+data machine-readably.
+`--trace-out FILE` records hierarchical timing spans for every
+pipeline stage as JSON Lines; `--manifest FILE` writes a run manifest
+(environment, config, stage timings, and every metric — the metric
+section is byte-identical at any --threads value). `narada report`
+renders manifests; with `--diff` it compares two stage by stage and
+metric by metric.";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -194,15 +208,50 @@ fn synth_opts(rest: &[String]) -> Result<SynthesisOptions, String> {
     })
 }
 
+/// Builds the run's telemetry bundle; spans are recorded only when
+/// `--trace-out` asks for them (inert guards otherwise).
+fn obs_for(rest: &[String]) -> Obs {
+    if opt(rest, "--trace-out").is_some() {
+        Obs::with_tracing()
+    } else {
+        Obs::new()
+    }
+}
+
+/// Writes the `--trace-out` / `--manifest` artifacts of one invocation.
+fn write_telemetry(
+    rest: &[String],
+    obs: &Obs,
+    name: &str,
+    threads: usize,
+    config: &[(&str, String)],
+) -> Result<(), String> {
+    if let Some(path) = opt(rest, "--trace-out") {
+        std::fs::write(path, obs.tracer.to_jsonl())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {} span(s) to {path}", obs.tracer.finished().len());
+    }
+    if let Some(path) = opt(rest, "--manifest") {
+        let mut m = RunManifest::from_obs(name, threads as u64, obs);
+        for (k, v) in config {
+            m.set_config(k, v);
+        }
+        std::fs::write(path, m.to_pretty()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote manifest to {path}");
+    }
+    Ok(())
+}
+
 /// Synthesizes with the static pre-screener plugged in; the pipeline only
 /// invokes it when `--static-filter` / `--static-rank` are set.
 fn run_synthesis(
     prog: &Program,
     mir: &MirProgram,
     rest: &[String],
+    obs: &Obs,
 ) -> Result<SynthesisOutput, String> {
     let opts = synth_opts(rest)?;
-    let out = narada::synthesize_with(prog, mir, &opts, Some(narada::screen_pairs));
+    let out = narada::synthesize_observed(prog, mir, &opts, Some(narada::screen_pairs), obs);
     if opts.static_filter || opts.static_rank {
         println!(
             "static screener: {} of {} pairs pruned{}",
@@ -376,7 +425,8 @@ fn record_fixtures(
 fn cmd_synth(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
-    let out = run_synthesis(&prog, &mir, rest)?;
+    let obs = obs_for(rest);
+    let out = run_synthesis(&prog, &mir, rest, &obs)?;
     println!(
         "{} racing pairs, {} synthesized tests ({} race-expecting) in {:?}",
         out.pair_count(),
@@ -409,7 +459,7 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
         let dir = Path::new(dir);
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-        let demos = demonstrate(&prog, &mir, &out, &explore);
+        let demos = demonstrate_observed(&prog, &mir, &out, &explore, &obs);
         for d in &demos {
             let file = dir.join(format!("demo-p{}.sched", d.test_index));
             std::fs::write(&file, d.schedule.to_text())
@@ -426,13 +476,20 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
             explore.strategy.label()
         );
     }
-    Ok(())
+    write_telemetry(
+        rest,
+        &obs,
+        "synth",
+        out.timings.threads,
+        &[("strategy", strategy_opts(rest)?.label().to_string())],
+    )
 }
 
 fn cmd_detect(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
-    let mut out = run_synthesis(&prog, &mir, rest)?;
+    let obs = obs_for(rest);
+    let mut out = run_synthesis(&prog, &mir, rest, &obs)?;
     let cfg = DetectConfig {
         schedule_trials: opt_usize(rest, "--schedules", 6)?,
         confirm_trials: opt_usize(rest, "--confirms", 4)?,
@@ -452,7 +509,7 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
     }
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
-    let agg = evaluate_suite(&prog, &mir, &seeds, &plans, &cfg);
+    let agg = evaluate_suite_observed(&prog, &mir, &seeds, &plans, &cfg, &obs);
     println!(
         "{} tests: {} races detected, {} reproduced ({} harmful, {} benign), {} unreproduced",
         plans.len(),
@@ -466,7 +523,18 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
         out.timings.record_detect(agg.elapsed, agg.jobs);
         print!("{}", out.timings.render());
     }
-    Ok(())
+    write_telemetry(
+        rest,
+        &obs,
+        "detect",
+        out.timings.threads,
+        &[
+            ("schedules", cfg.schedule_trials.to_string()),
+            ("confirms", cfg.confirm_trials.to_string()),
+            ("seed", cfg.seed.to_string()),
+            ("strategy", cfg.strategy.label().to_string()),
+        ],
+    )
 }
 
 /// Renders one side of a candidate pair: `Class.method path kind locks`.
@@ -496,6 +564,39 @@ fn render_access(prog: &Program, a: &narada::core::AccessRecord) -> String {
     )
 }
 
+/// One access site of a candidate pair as a JSON object (`pairs --json`).
+fn access_json(prog: &Program, a: &narada::core::AccessRecord) -> Json {
+    Json::obj()
+        .with("method", Json::Str(prog.qualified_name(a.method)))
+        .with(
+            "path",
+            Json::Str(
+                a.path
+                    .as_ref()
+                    .map(|p| p.display(prog).to_string())
+                    .unwrap_or_else(|| "?".into()),
+            ),
+        )
+        .with("kind", Json::Str(if a.is_write { "W" } else { "R" }.into()))
+        .with("unprotected", Json::Bool(a.unprotected))
+        .with(
+            "locks",
+            Json::Arr(
+                a.locks
+                    .iter()
+                    .map(|l| {
+                        Json::Str(
+                            l.path
+                                .as_ref()
+                                .map(|p| p.display(prog).to_string())
+                                .unwrap_or_else(|| "<internal>".into()),
+                        )
+                    })
+                    .collect(),
+            ),
+        )
+}
+
 fn cmd_pairs(rest: &[String]) -> Result<(), String> {
     let prog = match rest.first().filter(|a| !a.starts_with("--")) {
         Some(id) if narada::corpus::by_id(id).is_some() => {
@@ -508,6 +609,27 @@ fn cmd_pairs(rest: &[String]) -> Result<(), String> {
     let out = synthesize(&prog, &mir, &synth_opts(rest)?);
     let verdicts = narada::screen_pairs(&mir, &out.pairs);
     let may_only = flag(rest, "--may-race-only");
+    if flag(rest, "--json") {
+        let entries: Vec<Json> = out
+            .pairs
+            .pairs
+            .iter()
+            .zip(&verdicts)
+            .enumerate()
+            .filter(|(_, (_, v))| !may_only || v.may_race())
+            .map(|(i, (pair, v))| {
+                let (x, y) = out.pairs.accesses_of(pair);
+                Json::obj()
+                    .with("index", Json::Int(i as i64))
+                    .with("verdict", Json::Str(v.to_string()))
+                    .with("may_race", Json::Bool(v.may_race()))
+                    .with("a", access_json(&prog, x))
+                    .with("b", access_json(&prog, y))
+            })
+            .collect();
+        println!("{}", Json::Arr(entries).to_pretty());
+        return Ok(());
+    }
     let mut shown = 0usize;
     for (i, (pair, v)) in out.pairs.pairs.iter().zip(&verdicts).enumerate() {
         if may_only && !v.may_race() {
@@ -543,10 +665,15 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("unknown corpus id `{id}` (C1..C9)"))?],
         None => narada::corpus::all(),
     };
+    let obs = obs_for(rest);
+    let mut classes = Vec::new();
+    let mut threads = 0usize;
     for e in entries {
+        classes.push(e.id);
         let prog = e.compile().map_err(|d| format!("{}: {d}", e.id))?;
         let mir = lower_program(&prog);
-        let out = run_synthesis(&prog, &mir, rest)?;
+        let out = run_synthesis(&prog, &mir, rest, &obs)?;
+        threads = out.timings.threads;
         println!(
             "{} {} ({}): {} pairs, {} tests [paper: {} pairs, {} tests]",
             e.id,
@@ -576,7 +703,7 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
             } else {
                 let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
                 let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
-                let agg = evaluate_suite(&prog, &mir, &seeds, &plans, &cfg);
+                let agg = evaluate_suite_observed(&prog, &mir, &seeds, &plans, &cfg, &obs);
                 println!(
                     "{}: {} races detected, {} reproduced ({} harmful, {} benign)",
                     e.id,
@@ -587,6 +714,41 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
                 );
             }
         }
+    }
+    write_telemetry(
+        rest,
+        &obs,
+        "corpus",
+        threads,
+        &[("classes", classes.join(","))],
+    )
+}
+
+/// Renders (or, with `--diff`, compares) run manifests — validating every
+/// file against the schema's required fields along the way.
+fn cmd_report(rest: &[String]) -> Result<(), String> {
+    let load_manifest = |path: &str| -> Result<RunManifest, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        RunManifest::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let files: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+    if flag(rest, "--diff") {
+        let [a, b] = files[..] else {
+            return Err("report --diff expects exactly two manifest files".into());
+        };
+        print!(
+            "{}",
+            RunManifest::render_diff(&load_manifest(a)?, &load_manifest(b)?)
+        );
+        return Ok(());
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "report expects at least one manifest file\n{USAGE}"
+        ));
+    }
+    for f in files {
+        print!("{}", load_manifest(f)?.render());
     }
     Ok(())
 }

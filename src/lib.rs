@@ -65,13 +65,16 @@ pub use narada_core as core;
 pub use narada_corpus as corpus;
 pub use narada_detect as detect;
 pub use narada_lang as lang;
+pub use narada_obs as obs;
 pub use narada_screen as screen;
 pub use narada_vm as vm;
 
 pub use narada_core::{
-    execute_plan, parallel_map, synthesize, synthesize_source, synthesize_with, ScreenReason,
-    StageTimings, StaticVerdict, SynthesisOptions, SynthesisOutput, TestPlan,
+    execute_plan, parallel_map, synthesize, synthesize_observed, synthesize_source,
+    synthesize_with, ScreenReason, StageTimings, StaticVerdict, SynthesisOptions, SynthesisOutput,
+    TestPlan,
 };
-pub use narada_detect::{evaluate_suite, evaluate_test, DetectConfig};
+pub use narada_detect::{evaluate_suite, evaluate_suite_observed, evaluate_test, DetectConfig};
 pub use narada_lang::compile;
+pub use narada_obs::{Obs, RunManifest};
 pub use narada_screen::screen_pairs;

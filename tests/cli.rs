@@ -145,6 +145,99 @@ fn corpus_single_entry() {
 }
 
 #[test]
+fn synth_writes_trace_and_manifest() {
+    let path = write_fixture("telemetry.mj", FIXTURE);
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    let trace = dir.join("trace.jsonl");
+    let manifest = dir.join("manifest.json");
+    let out = narada(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--threads",
+        "1",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--manifest",
+        manifest.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Every trace line is a JSON object naming a span.
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    assert!(jsonl.lines().count() > 1, "{jsonl}");
+    for line in jsonl.lines() {
+        let span = narada::obs::Json::parse(line).expect("valid JSONL line");
+        assert!(span.get("name").is_some(), "{line}");
+    }
+
+    // The manifest parses back and carries the pipeline's counters.
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let m = narada::RunManifest::parse(&text).expect("manifest parses");
+    assert!(m.metric("pairs.generated").is_some());
+    assert!(m.config_get("strategy").is_some(), "strategy stamped");
+}
+
+#[test]
+fn report_renders_and_diffs_manifests() {
+    let path = write_fixture("report.mj", FIXTURE);
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    let a = dir.join("report-a.json");
+    let b = dir.join("report-b.json");
+    for m in [&a, &b] {
+        let out = narada(&[
+            "synth",
+            path.to_str().unwrap(),
+            "--manifest",
+            m.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+    }
+    let out = narada(&["report", a.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pairs.generated"), "{stdout}");
+
+    let out = narada(&["report", "--diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Identical pipelines → every metric matches.
+    assert!(stdout.contains("metrics identical"), "{stdout}");
+}
+
+#[test]
+fn report_rejects_invalid_manifest() {
+    let path = write_fixture("not-a-manifest.json", "{\"schema\": \"nope\"}");
+    let out = narada(&["report", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn pairs_json_is_machine_readable() {
+    let path = write_fixture("pairs.mj", FIXTURE);
+    let out = narada(&["pairs", path.to_str().unwrap(), "--json"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = narada::obs::Json::parse(&stdout).expect("pairs --json parses");
+    let arr = doc.as_arr().expect("top-level array");
+    assert!(!arr.is_empty());
+    for pair in arr {
+        assert!(
+            pair.get("a").is_some() && pair.get("b").is_some(),
+            "{stdout}"
+        );
+        assert!(pair.get("may_race").is_some(), "{stdout}");
+    }
+}
+
+#[test]
 fn missing_file_is_reported() {
     let out = narada(&["run", "/nonexistent/zzz.mj"]);
     assert!(!out.status.success());

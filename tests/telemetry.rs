@@ -1,0 +1,159 @@
+//! Telemetry invariants across the full pipeline: the run manifest's
+//! metric section must be byte-identical regardless of worker-thread
+//! count, traces must form a well-shaped span tree, and manifests must
+//! survive a serialize/parse round trip.
+
+use narada::detect::DetectConfig;
+use narada::lang::lower::lower_program;
+use narada::obs::Json;
+use narada::{
+    evaluate_suite_observed, screen_pairs, synthesize_observed, Obs, RunManifest, SynthesisOptions,
+};
+
+/// Runs synthesis + detection over a small corpus class with the given
+/// worker-thread count and returns the populated observability context.
+fn run_pipeline(threads: usize) -> Obs {
+    let entry = narada::corpus::c9();
+    let prog = entry.compile().unwrap();
+    let mir = lower_program(&prog);
+    let obs = Obs::new();
+    let opts = SynthesisOptions {
+        threads,
+        ..SynthesisOptions::default()
+    };
+    let out = synthesize_observed(&prog, &mir, &opts, Some(screen_pairs), &obs);
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
+    let cfg = DetectConfig {
+        schedule_trials: 3,
+        confirm_trials: 2,
+        seed: 0xdead,
+        budget: 1_000_000,
+        threads,
+        ..DetectConfig::default()
+    };
+    evaluate_suite_observed(&prog, &mir, &seeds, &plans, &cfg, &obs);
+    obs
+}
+
+#[test]
+fn manifest_metrics_identical_across_thread_counts() {
+    let baseline = RunManifest::from_obs("t", 1, &run_pipeline(1))
+        .metrics_json()
+        .to_compact();
+    assert!(
+        baseline.contains("pairs.generated"),
+        "pipeline must populate the registry: {baseline}"
+    );
+    assert!(baseline.contains("detect.trials"), "{baseline}");
+    for threads in [2, 8] {
+        let got = RunManifest::from_obs("t", threads as u64, &run_pipeline(threads))
+            .metrics_json()
+            .to_compact();
+        assert_eq!(
+            baseline, got,
+            "metric section must not depend on worker count (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn manifest_survives_round_trip() {
+    let obs = run_pipeline(1);
+    let mut m = RunManifest::from_obs("round-trip", 1, &obs);
+    m.set_config("strategy", "pct");
+    let text = m.to_pretty();
+    let back = RunManifest::parse(&text).expect("parses back");
+    assert_eq!(m.to_json().to_compact(), back.to_json().to_compact());
+    assert_eq!(back.config_get("strategy"), Some("pct"));
+    assert_eq!(back.metric("pairs.generated"), m.metric("pairs.generated"));
+}
+
+const FIXTURE: &str = r#"
+    class Counter { int count; void inc() { this.count = this.count + 1; } }
+    class Lib {
+        Counter c;
+        sync void update() { this.c.inc(); }
+        sync void set(Counter x) { this.c = x; }
+    }
+    test seed {
+        var r = new Counter();
+        var p = new Lib();
+        p.set(r);
+        p.update();
+    }
+"#;
+
+/// Golden trace shape: at one worker thread the synthesis trace is fully
+/// deterministic — fixed span names in a fixed order, with every stage
+/// parented under the pipeline root and every derive job under its stage.
+#[test]
+fn trace_spans_form_the_expected_tree() {
+    let prog = narada::compile(FIXTURE).expect("fixture compiles");
+    let mir = lower_program(&prog);
+    let obs = Obs::with_tracing();
+    let opts = SynthesisOptions {
+        threads: 1,
+        static_filter: true,
+        ..SynthesisOptions::default()
+    };
+    synthesize_observed(&prog, &mir, &opts, Some(screen_pairs), &obs);
+
+    let jsonl = obs.tracer.to_jsonl();
+    let spans: Vec<Json> = jsonl
+        .lines()
+        .map(|l| Json::parse(l).expect("every trace line is valid JSON"))
+        .collect();
+    assert!(!spans.is_empty());
+
+    let name = |s: &Json| s.get("name").and_then(Json::as_str).unwrap().to_string();
+    let id = |s: &Json| s.get("id").and_then(Json::as_i64).unwrap();
+    let parent = |s: &Json| s.get("parent").and_then(Json::as_i64);
+
+    // Every span carries monotone timing and a thread ordinal.
+    for s in &spans {
+        let start = s.get("start_ns").and_then(Json::as_i64).unwrap();
+        let end = s.get("end_ns").and_then(Json::as_i64).unwrap();
+        assert!(end >= start, "span {} ends before it starts", name(s));
+        assert!(s.get("thread").is_some());
+    }
+
+    let root = spans
+        .iter()
+        .find(|s| name(s) == "pipeline.synthesize")
+        .expect("root span present");
+    assert_eq!(parent(root), None, "pipeline root has no parent");
+    let root_id = id(root);
+
+    // The five synthesis stages appear exactly once each, under the root.
+    for stage in [
+        "stage.trace",
+        "stage.analyze",
+        "stage.pairs",
+        "stage.screen",
+        "stage.derive",
+    ] {
+        let hits: Vec<_> = spans.iter().filter(|s| name(s) == stage).collect();
+        assert_eq!(hits.len(), 1, "{stage} must appear exactly once");
+        assert_eq!(parent(hits[0]), Some(root_id), "{stage} parented to root");
+    }
+
+    // Leaf jobs hang off their stage, never off the root.
+    let derive_id = spans.iter().find(|s| name(s) == "stage.derive").map(id);
+    let trace_id = spans.iter().find(|s| name(s) == "stage.trace").map(id);
+    for s in &spans {
+        match name(s).as_str() {
+            "derive.pair" => assert_eq!(parent(s), derive_id),
+            "seed.run" => assert_eq!(parent(s), trace_id),
+            _ => {}
+        }
+    }
+    assert!(
+        spans.iter().any(|s| name(s) == "derive.pair"),
+        "derive jobs traced"
+    );
+    assert!(
+        spans.iter().any(|s| name(s) == "seed.run"),
+        "seed runs traced"
+    );
+}
