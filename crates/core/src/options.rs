@@ -36,6 +36,11 @@ pub struct SynthesisOptions {
     /// derivation, so the most race-prone tests come first in the suite.
     /// Off by default (pairs stay in generation order).
     pub static_rank: bool,
+    /// Replace the program's own `test` declarations with a generated
+    /// seed suite before synthesis (`narada synth --generate-seeds`;
+    /// see [`crate::pipeline::synthesize_generated`]). Off by default —
+    /// the paper's pipeline consumes hand-written seed tests.
+    pub generate_seeds: bool,
 }
 
 impl Default for SynthesisOptions {
@@ -49,6 +54,7 @@ impl Default for SynthesisOptions {
             threads: 0,
             static_filter: false,
             static_rank: false,
+            generate_seeds: false,
         }
     }
 }

@@ -374,3 +374,47 @@ pub fn synthesize_source(
     let out = synthesize(&prog, &mir, opts);
     Ok((prog, mir, out))
 }
+
+/// A seed-suite generator: given the library (and its MIR), produce a
+/// sequential test suite to synthesize from. Implemented by `narada-gen`'s
+/// feedback-directed engine; kept as a callback here so `narada-core`
+/// stays independent of the generator crate (which depends on it).
+pub type SeedGenFn<'a> = &'a (dyn Fn(&Program, &MirProgram) -> Vec<narada_lang::hir::Test> + Sync);
+
+/// Runs the pipeline with a *generated* seed suite replacing the program's
+/// own `test` declarations (`SynthesisOptions::generate_seeds`): the
+/// generator's tests are renumbered and lowered against the library, and
+/// the rewritten program feeds [`synthesize_observed`] unchanged. Returns
+/// the rewritten program and MIR alongside the output so downstream
+/// consumers (rendering, demonstration, detection) operate on the suite
+/// that was actually synthesized from.
+pub fn synthesize_generated(
+    prog: &Program,
+    mir: &MirProgram,
+    opts: &SynthesisOptions,
+    generator: SeedGenFn<'_>,
+    screener: Option<ScreenerFn>,
+    obs: &Obs,
+) -> (Program, MirProgram, SynthesisOutput) {
+    let generated = generator(prog, mir);
+    let mut gen_prog = prog.clone();
+    gen_prog.tests = generated
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut t)| {
+            t.id = narada_lang::hir::TestId(i as u32);
+            t
+        })
+        .collect();
+    let mut gen_mir = mir.clone();
+    gen_mir.tests = gen_prog
+        .tests
+        .iter()
+        .map(|t| narada_lang::lower::lower_test(&gen_prog, t))
+        .collect();
+    obs.metrics
+        .counter("gen.seed_tests")
+        .add(gen_prog.tests.len() as u64);
+    let out = synthesize_observed(&gen_prog, &gen_mir, opts, screener, obs);
+    (gen_prog, gen_mir, out)
+}

@@ -210,6 +210,11 @@ fn confirm_race(
             obs.metrics
                 .counter("racefuzzer.gave_up")
                 .add(sched.gave_up as u64);
+            // Mirrored under the detect.* namespace so run manifests that
+            // filter on the stage prefix still surface give-ups.
+            obs.metrics
+                .counter("detect.gave_up")
+                .add(sched.gave_up as u64);
             if run.is_err() {
                 continue;
             }
@@ -259,7 +264,8 @@ pub fn evaluate_test_indexed(
 /// into `obs`: `detect.trials`, `detect.races_detected`,
 /// `detect.confirmed`, `detect.setup_errors`, the
 /// `detect.trials_to_first_confirm` histogram, scheduler decision
-/// counters, and `racefuzzer.gave_up`. Every count is a commutative sum
+/// counters, and `racefuzzer.gave_up` (mirrored as `detect.gave_up` for
+/// stage-prefixed manifest consumers). Every count is a commutative sum
 /// over work whose extent is independent of the worker count, so
 /// snapshots are byte-identical at any `cfg.threads`.
 pub fn evaluate_test_observed(

@@ -1,0 +1,239 @@
+//! Straight-line call sequences and their conversion to MJ tests.
+//!
+//! A [`GenSequence`] is the generator's working representation: a list of
+//! [`Step`]s, each producing at most one value bound to local `v<i>`.
+//! Reference-typed steps whose *concrete* class is statically known (`new
+//! C(…)`, `new int[n]`) form the object pool later steps may draw
+//! receivers and arguments from — the same role Algorithm 1's object
+//! collection plays for the synthesizer. Call results are bound to locals
+//! for readability but never pooled: their concrete class depends on
+//! dispatch, and the parity argument needs every binding's class known at
+//! generation time.
+
+use narada_lang::hir::{self, ClassId, Expr, LocalId, MethodId, Place, Stmt, TestId, Ty};
+use narada_lang::span::Span;
+
+/// An argument slot in a [`StepKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arg {
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A reference to the value produced by an earlier step (by index).
+    Ref(usize),
+}
+
+/// One statement of a generated sequence.
+#[derive(Debug, Clone)]
+pub enum StepKind {
+    /// `var v<i> = new C(args);`
+    New {
+        /// Allocated class.
+        class: ClassId,
+        /// Constructor resolved via [`hir::Program::ctor_for`].
+        ctor: Option<MethodId>,
+        /// Constructor arguments.
+        args: Vec<Arg>,
+    },
+    /// `var v<i> = new int[len];` followed by element stores.
+    NewIntArray {
+        /// Array length.
+        len: usize,
+        /// Values stored into `v<i>[0..fill.len()]`.
+        fill: Vec<i64>,
+    },
+    /// `v<recv>.m(args);` (bound to a local when `m` returns a value).
+    Call {
+        /// Step index of the receiver.
+        recv: usize,
+        /// Statically resolved target method.
+        method: MethodId,
+        /// Arguments.
+        args: Vec<Arg>,
+    },
+    /// `C.m(args);` static call.
+    Static {
+        /// The target method.
+        method: MethodId,
+        /// Arguments.
+        args: Vec<Arg>,
+    },
+}
+
+/// One step: its kind, result type, and — for pooled objects — the
+/// statically known concrete class.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// What the step does.
+    pub kind: StepKind,
+    /// The type of the produced value (`Ty::Void` for void calls).
+    pub result: Ty,
+    /// `Some(class)` only for `New` steps; marks the step as poolable.
+    pub concrete: Option<ClassId>,
+}
+
+/// A straight-line sequence of generated steps.
+#[derive(Debug, Clone, Default)]
+pub struct GenSequence {
+    /// The steps, in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl GenSequence {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the sequence has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Indices of pooled objects whose concrete class is in `allowed`.
+    pub fn objects_of(&self, allowed: &[ClassId]) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.concrete.is_some_and(|c| allowed.contains(&c)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of `int[]` arrays built by this sequence.
+    pub fn int_arrays(&self) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, StepKind::NewIntArray { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The methods invoked by `Call`/`Static` steps, in order.
+    pub fn called_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.steps.iter().filter_map(|s| match s.kind {
+            StepKind::Call { method, .. } | StepKind::Static { method, .. } => Some(method),
+            _ => None,
+        })
+    }
+
+    /// Renders the sequence as a printable HIR test named `name`. Each
+    /// value-producing step gets a `var v<i> = …;` binding; void calls
+    /// become expression statements; arrays are built with `new int[n]`
+    /// plus element stores so the printed program round-trips through the
+    /// parser unchanged.
+    pub fn to_test(&self, id: TestId, name: String) -> hir::Test {
+        let sp = Span::DUMMY;
+        let mut locals: Vec<hir::Local> = Vec::new();
+        let mut slot: Vec<Option<LocalId>> = vec![None; self.steps.len()];
+        let mut stmts: Vec<Stmt> = Vec::new();
+
+        let arg_expr = |slot: &[Option<LocalId>], a: &Arg| -> Expr {
+            match a {
+                Arg::Int(v) => Expr::Int(*v, sp),
+                Arg::Bool(b) => Expr::Bool(*b, sp),
+                Arg::Ref(s) => Expr::Local(slot[*s].expect("ref to value-producing step"), sp),
+            }
+        };
+
+        for (i, step) in self.steps.iter().enumerate() {
+            let mut bind = |ty: Ty| -> LocalId {
+                let lid = LocalId(locals.len() as u32);
+                locals.push(hir::Local {
+                    name: format!("v{i}"),
+                    ty,
+                });
+                lid
+            };
+            match &step.kind {
+                StepKind::New { class, ctor, args } => {
+                    let lid = bind(Ty::Class(*class));
+                    slot[i] = Some(lid);
+                    stmts.push(Stmt::Let {
+                        local: lid,
+                        init: Expr::New {
+                            class: *class,
+                            args: args.iter().map(|a| arg_expr(&slot, a)).collect(),
+                            ctor: *ctor,
+                            span: sp,
+                        },
+                        span: sp,
+                    });
+                }
+                StepKind::NewIntArray { len, fill } => {
+                    let lid = bind(Ty::Array(Box::new(Ty::Int)));
+                    slot[i] = Some(lid);
+                    stmts.push(Stmt::Let {
+                        local: lid,
+                        init: Expr::NewArray {
+                            elem: Ty::Int,
+                            len: Box::new(Expr::Int(*len as i64, sp)),
+                            span: sp,
+                        },
+                        span: sp,
+                    });
+                    for (j, v) in fill.iter().enumerate() {
+                        stmts.push(Stmt::Assign {
+                            place: Place::Index {
+                                arr: Expr::Local(lid, sp),
+                                idx: Expr::Int(j as i64, sp),
+                            },
+                            value: Expr::Int(*v, sp),
+                            span: sp,
+                        });
+                    }
+                }
+                StepKind::Call { recv, method, args } => {
+                    let call = Expr::Call {
+                        recv: Box::new(Expr::Local(
+                            slot[*recv].expect("receiver is a pooled object"),
+                            sp,
+                        )),
+                        method: *method,
+                        args: args.iter().map(|a| arg_expr(&slot, a)).collect(),
+                        span: sp,
+                    };
+                    if step.result == Ty::Void {
+                        stmts.push(Stmt::Expr(call));
+                    } else {
+                        let lid = bind(step.result.clone());
+                        slot[i] = Some(lid);
+                        stmts.push(Stmt::Let {
+                            local: lid,
+                            init: call,
+                            span: sp,
+                        });
+                    }
+                }
+                StepKind::Static { method, args } => {
+                    let call = Expr::StaticCall {
+                        method: *method,
+                        args: args.iter().map(|a| arg_expr(&slot, a)).collect(),
+                        span: sp,
+                    };
+                    if step.result == Ty::Void {
+                        stmts.push(Stmt::Expr(call));
+                    } else {
+                        let lid = bind(step.result.clone());
+                        slot[i] = Some(lid);
+                        stmts.push(Stmt::Let {
+                            local: lid,
+                            init: call,
+                            span: sp,
+                        });
+                    }
+                }
+            }
+        }
+
+        hir::Test {
+            id,
+            name,
+            locals,
+            body: hir::Block { stmts },
+            span: sp,
+        }
+    }
+}

@@ -75,7 +75,10 @@ fn lower_method(prog: &Program, m: &hir::Method) -> Body {
     cx.finish()
 }
 
-fn lower_test(prog: &Program, t: &hir::Test) -> Body {
+/// Lowers a single test body. Public so callers that synthesize new HIR
+/// tests against an existing program (e.g. the seed generator) can produce
+/// matching MIR bodies without re-lowering the whole program.
+pub fn lower_test(prog: &Program, t: &hir::Test) -> Body {
     let mut cx = LowerCx::new(BodyId::Test(t.id), &t.locals);
     cx.block(prog, &t.body);
     cx.emit(InstrKind::Return { val: None }, t.span);

@@ -206,6 +206,22 @@ impl<'p> Machine<'p> {
         Self::new(program, mir, MachineOptions::default())
     }
 
+    /// Restores the machine to its freshly-constructed state under `seed`:
+    /// empty heap, a single idle main thread, and label/invocation counters
+    /// at zero. Lets callers that run many independent tests (e.g. the seed
+    /// generator's candidate executor) reuse one machine instead of paying
+    /// an allocation per run, while keeping each run's trace identical to a
+    /// `Machine::new` run with the same seed.
+    pub fn reset(&mut self, seed: u64) {
+        self.heap = Heap::new(self.program);
+        self.threads = vec![ThreadState::new()];
+        self.thread_results = Vec::new();
+        self.next_label = 0;
+        self.next_inv = 0;
+        self.opts.seed = seed;
+        self.rng = SplitMix64::seed_from_u64(seed);
+    }
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------

@@ -24,7 +24,18 @@ cargo test -q --release --test replay_fixtures
 echo "==> detector_shootout example smoke test"
 cargo run -q --release --example detector_shootout > /dev/null
 
-echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen)"
+echo "==> seed-generation smoke (fixed seed, thread-count determinism)"
+# `narada gen` output must be byte-identical at any worker count.
+GEN_DIR="$(mktemp -d)"
+cargo run -q --release --bin narada -- gen C1 --budget 256 --seed 7 --threads 1 \
+    > "$GEN_DIR/t1.mj"
+cargo run -q --release --bin narada -- gen C1 --budget 256 --seed 7 --threads 8 \
+    > "$GEN_DIR/t8.mj"
+cmp "$GEN_DIR/t1.mj" "$GEN_DIR/t8.mj" \
+    || { echo "gen output differs between --threads 1 and 8" >&2; exit 1; }
+rm -rf "$GEN_DIR"
+
+echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen)"
 # Each bench bin must emit a run manifest; `narada report` re-parses it
 # and fails on any missing required field (schema, git_rev, metrics, ...).
 MANIFEST_DIR="$(mktemp -d)"
@@ -35,7 +46,9 @@ NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_REPS=2 NARADA_MAX_TRIALS=8 NARADA_MAX
     cargo run -q --release -p narada-bench --bin explore > /dev/null
 NARADA_MANIFEST_DIR="$MANIFEST_DIR" \
     cargo run -q --release -p narada-bench --bin screen > /dev/null
-for name in synth explore screen; do
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_GEN_BUDGET=256 \
+    cargo run -q --release -p narada-bench --bin gen > /dev/null
+for name in synth explore screen gen; do
     manifest="$MANIFEST_DIR/BENCH_$name.json"
     [ -f "$manifest" ] || { echo "missing $manifest" >&2; exit 1; }
     cargo run -q --release --bin narada -- report "$manifest" > /dev/null

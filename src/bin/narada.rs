@@ -6,6 +6,8 @@
 //! narada synth <file.mj> [--render] [flags]          synthesize racy tests
 //! narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
 //!                                                    synthesize + detect + confirm
+//! narada gen <file.mj|C1..C9> [--budget N] [--seed N] [--threads N]
+//!                                                    generate a sequential seed suite
 //! narada pairs <file.mj|C1..C9> [--json]             dump candidate pairs + static verdicts
 //! narada corpus [C1..C9]                             run the pipeline on a corpus class
 //! narada report <m.json..> [--diff a.json b.json]    render or diff run manifests
@@ -38,6 +40,7 @@ fn main() -> ExitCode {
         "mir" => cmd_mir(rest),
         "synth" => cmd_synth(rest),
         "detect" => cmd_detect(rest),
+        "gen" => cmd_gen(rest),
         "pairs" => cmd_pairs(rest),
         "corpus" => cmd_corpus(rest),
         "report" => cmd_report(rest),
@@ -75,6 +78,9 @@ USAGE:
                             [--strategy S] [--depth N]
                             [--record DIR] [--replay FILE.sched]
                             [--trace-out FILE.jsonl] [--manifest FILE.json]
+    narada gen <file.mj|C1..C9> [--budget N] [--seed N] [--threads N]
+                                [--max-len N] [--full-api]
+                                [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada pairs <file.mj|C1..C9> [--may-race-only] [--threads N] [--json]
     narada corpus [C1..C9] [--threads N] [--timings] [--detect]
                            [--schedules N] [--confirms N] [--seed N]
@@ -98,6 +104,14 @@ race; `--static-rank` orders the survivors most-suspicious-first.
 `narada pairs` prints every candidate pair with both access sites,
 their lock state, and the screener's verdict; `--json` emits the same
 data machine-readably.
+`narada gen` emits a feedback-directed generated seed suite (library +
+`gen_*` tests) to stdout as printable MJ; output is byte-identical at
+any `--threads` value. `--full-api` generates over the liberal
+HIR-derived surface instead of the bindings observed from the
+program's own tests. `synth`/`detect`/`corpus` accept
+`--generate-seeds` (plus the same `--budget`/`--max-len`/`--gen-seed`
+knobs) to replace the hand-written seed suite with a generated one
+before synthesis.
 `--trace-out FILE` records hierarchical timing spans for every
 pipeline stage as JSON Lines; `--manifest FILE` writes a run manifest
 (environment, config, stage timings, and every metric — the metric
@@ -242,16 +256,57 @@ fn write_telemetry(
     Ok(())
 }
 
+/// Parses the generation knobs shared by `narada gen` and
+/// `--generate-seeds`. The generation seed flag differs per command:
+/// `gen` owns `--seed`, but `detect`/`corpus` already use `--seed` for
+/// the detector, so there the generator reads `--gen-seed`.
+fn gen_opts(rest: &[String], seed_flag: &str) -> Result<narada::gen::GenOptions, String> {
+    Ok(narada::gen::GenOptions {
+        budget: opt_usize(rest, "--budget", 512)?,
+        seed: opt_usize(rest, seed_flag, 0x67656e)? as u64,
+        threads: opt_usize(rest, "--threads", 0)?,
+        max_len: opt_usize(rest, "--max-len", 10)?,
+        ..narada::gen::GenOptions::default()
+    })
+}
+
 /// Synthesizes with the static pre-screener plugged in; the pipeline only
-/// invokes it when `--static-filter` / `--static-rank` are set.
+/// invokes it when `--static-filter` / `--static-rank` are set. Under
+/// `--generate-seeds` the program's hand-written suite is replaced by a
+/// generated one first; the returned program/MIR are the ones synthesis
+/// actually ran on, so replay, recording, and detection downstream all
+/// operate on the generated suite.
 fn run_synthesis(
     prog: &Program,
     mir: &MirProgram,
     rest: &[String],
     obs: &Obs,
-) -> Result<SynthesisOutput, String> {
-    let opts = synth_opts(rest)?;
-    let out = narada::synthesize_observed(prog, mir, &opts, Some(narada::screen_pairs), obs);
+) -> Result<(Program, MirProgram, SynthesisOutput), String> {
+    let mut opts = synth_opts(rest)?;
+    opts.generate_seeds = flag(rest, "--generate-seeds");
+    let (prog, mir, out) = if opts.generate_seeds {
+        let gopts = gen_opts(rest, "--gen-seed")?;
+        let generator = |p: &Program, m: &MirProgram| {
+            let out = narada::gen::generate_suite(p, m, &gopts, obs);
+            println!(
+                "generated {} seed test(s) from {} candidate(s)",
+                out.tests.len(),
+                out.stats.candidates
+            );
+            out.tests
+        };
+        narada::synthesize_generated(
+            prog,
+            mir,
+            &opts,
+            &generator,
+            Some(narada::screen_pairs),
+            obs,
+        )
+    } else {
+        let out = narada::synthesize_observed(prog, mir, &opts, Some(narada::screen_pairs), obs);
+        (prog.clone(), mir.clone(), out)
+    };
     if opts.static_filter || opts.static_rank {
         println!(
             "static screener: {} of {} pairs pruned{}",
@@ -264,7 +319,7 @@ fn run_synthesis(
             }
         );
     }
-    Ok(out)
+    Ok((prog, mir, out))
 }
 
 /// Parses the shared exploration flags: `--strategy` and `--depth`.
@@ -426,7 +481,7 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
     let obs = obs_for(rest);
-    let out = run_synthesis(&prog, &mir, rest, &obs)?;
+    let (prog, mir, out) = run_synthesis(&prog, &mir, rest, &obs)?;
     println!(
         "{} racing pairs, {} synthesized tests ({} race-expecting) in {:?}",
         out.pair_count(),
@@ -489,7 +544,7 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
     let (_src, prog) = load(rest)?;
     let mir = lower_program(&prog);
     let obs = obs_for(rest);
-    let mut out = run_synthesis(&prog, &mir, rest, &obs)?;
+    let (prog, mir, mut out) = run_synthesis(&prog, &mir, rest, &obs)?;
     let cfg = DetectConfig {
         schedule_trials: opt_usize(rest, "--schedules", 6)?,
         confirm_trials: opt_usize(rest, "--confirms", 4)?,
@@ -597,6 +652,60 @@ fn access_json(prog: &Program, a: &narada::core::AccessRecord) -> Json {
         )
 }
 
+/// Generates a sequential seed suite for a program (or corpus class) and
+/// prints it as compilable MJ — library classes plus the `gen_*` tests —
+/// so the output can feed straight back into `narada synth`/`detect`.
+/// Generation statistics go to stderr, keeping stdout byte-comparable
+/// across runs (the determinism smoke in CI relies on this).
+fn cmd_gen(rest: &[String]) -> Result<(), String> {
+    let prog = match rest.first().filter(|a| !a.starts_with("--")) {
+        Some(id) if narada::corpus::by_id(id).is_some() => {
+            let e = narada::corpus::by_id(id).expect("checked");
+            e.compile().map_err(|d| format!("{}: {d}", e.id))?
+        }
+        _ => load(rest)?.1,
+    };
+    let mir = lower_program(&prog);
+    let obs = obs_for(rest);
+    let opts = gen_opts(rest, "--seed")?;
+    let api = if flag(rest, "--full-api") || prog.tests.is_empty() {
+        narada::gen::ApiSurface::for_program(&prog)
+    } else {
+        narada::gen::ApiSurface::from_tests(&prog, &mir)
+    };
+    let basis = (!flag(rest, "--full-api") && !prog.tests.is_empty())
+        .then(|| narada::gen::FactBasis::from_tests(&prog, &mir));
+    let out = narada::gen::generate(&prog, &mir, &api, basis.as_ref(), &opts, &obs);
+    let stats = out.stats;
+    let mut gen_prog = prog.clone();
+    gen_prog.tests = out.tests;
+    print!("{}", narada::lang::pretty::program(&gen_prog));
+    eprintln!(
+        "generated {} test(s): {} candidates over {} rounds, {} facts covered, \
+         {} discarded (error), {} rejected (no novelty), {} rejected (shape), \
+         {} rejected (off target)",
+        gen_prog.tests.len(),
+        stats.candidates,
+        stats.rounds,
+        stats.facts,
+        stats.discarded_error,
+        stats.rejected_no_novelty,
+        stats.rejected_shape,
+        stats.rejected_off_target,
+    );
+    write_telemetry(
+        rest,
+        &obs,
+        "gen",
+        narada::core::effective_threads(opts.threads),
+        &[
+            ("budget", opts.budget.to_string()),
+            ("gen-seed", format!("{:#x}", opts.seed)),
+            ("max-len", opts.max_len.to_string()),
+        ],
+    )
+}
+
 fn cmd_pairs(rest: &[String]) -> Result<(), String> {
     let prog = match rest.first().filter(|a| !a.starts_with("--")) {
         Some(id) if narada::corpus::by_id(id).is_some() => {
@@ -672,7 +781,7 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
         classes.push(e.id);
         let prog = e.compile().map_err(|d| format!("{}: {d}", e.id))?;
         let mir = lower_program(&prog);
-        let out = run_synthesis(&prog, &mir, rest, &obs)?;
+        let (prog, mir, out) = run_synthesis(&prog, &mir, rest, &obs)?;
         threads = out.timings.threads;
         println!(
             "{} {} ({}): {} pairs, {} tests [paper: {} pairs, {} tests]",

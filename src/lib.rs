@@ -25,6 +25,9 @@
 //! * [`detect`] — Eraser lockset, FastTrack happens-before, and the
 //!   RaceFuzzer-style confirmation scheduler with harmful/benign triage;
 //! * [`contege`] — the ConTeGe-style random baseline;
+//! * [`gen`] — feedback-directed sequential seed-test generation
+//!   (Randoop-style, novelty-scored by the access analyzer), removing the
+//!   need for hand-written seed suites (`narada gen`, `--generate-seeds`);
 //! * [`corpus`] — MJ ports of the paper's nine benchmark classes.
 //!
 //! ## Quickstart
@@ -64,15 +67,16 @@ pub use narada_contege as contege;
 pub use narada_core as core;
 pub use narada_corpus as corpus;
 pub use narada_detect as detect;
+pub use narada_gen as gen;
 pub use narada_lang as lang;
 pub use narada_obs as obs;
 pub use narada_screen as screen;
 pub use narada_vm as vm;
 
 pub use narada_core::{
-    execute_plan, parallel_map, synthesize, synthesize_observed, synthesize_source,
-    synthesize_with, ScreenReason, StageTimings, StaticVerdict, SynthesisOptions, SynthesisOutput,
-    TestPlan,
+    execute_plan, parallel_map, synthesize, synthesize_generated, synthesize_observed,
+    synthesize_source, synthesize_with, ScreenReason, StageTimings, StaticVerdict,
+    SynthesisOptions, SynthesisOutput, TestPlan,
 };
 pub use narada_detect::{evaluate_suite, evaluate_suite_observed, evaluate_test, DetectConfig};
 pub use narada_lang::compile;

@@ -243,3 +243,159 @@ fn missing_file_is_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn report_diff_missing_manifest_fails() {
+    let path = write_fixture("diff-present.mj", FIXTURE);
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    let present = dir.join("diff-present.json");
+    let out = narada(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--manifest",
+        present.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = narada(&[
+        "report",
+        "--diff",
+        present.to_str().unwrap(),
+        "/nonexistent/other.json",
+    ]);
+    assert!(!out.status.success(), "missing manifest must fail the diff");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn report_diff_schema_mismatch_fails() {
+    let path = write_fixture("diff-schema.mj", FIXTURE);
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    let good = dir.join("diff-good.json");
+    let out = narada(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--manifest",
+        good.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    // A structurally complete manifest from a different (future) schema
+    // revision: only the version marker is wrong.
+    let text = std::fs::read_to_string(&good).unwrap();
+    let stale = write_fixture(
+        "diff-stale.json",
+        &text.replace("narada-manifest/1", "narada-manifest/999"),
+    );
+
+    let out = narada(&[
+        "report",
+        "--diff",
+        good.to_str().unwrap(),
+        stale.to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "schema-mismatched manifest must fail the diff"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema"), "{stderr}");
+}
+
+#[test]
+fn detect_manifest_records_gave_up() {
+    let path = write_fixture("gaveup.mj", FIXTURE);
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    let manifest = dir.join("gaveup.json");
+    let out = narada(&[
+        "detect",
+        path.to_str().unwrap(),
+        "--schedules",
+        "6",
+        "--confirms",
+        "4",
+        "--manifest",
+        manifest.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    let m = narada::RunManifest::parse(&text).expect("manifest parses");
+    assert!(
+        m.metric("detect.gave_up").is_some(),
+        "detect.gave_up must be surfaced alongside racefuzzer.gave_up"
+    );
+    assert!(m.metric("racefuzzer.gave_up").is_some());
+}
+
+#[test]
+fn gen_emits_compilable_novel_suite() {
+    let path = write_fixture("gen.mj", FIXTURE);
+    let out = narada(&[
+        "gen",
+        path.to_str().unwrap(),
+        "--budget",
+        "128",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("test gen_"), "{stdout}");
+    // The emitted suite is a complete MJ program: library + tests.
+    let prog = narada::compile(&stdout).expect("generated suite compiles");
+    assert!(!prog.tests.is_empty());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("candidates"), "stats on stderr: {stderr}");
+}
+
+#[test]
+fn gen_output_is_byte_identical_across_threads() {
+    let path = write_fixture("gen-threads.mj", FIXTURE);
+    let mut outs = Vec::new();
+    for threads in ["1", "8"] {
+        let out = narada(&[
+            "gen",
+            path.to_str().unwrap(),
+            "--budget",
+            "128",
+            "--seed",
+            "5",
+            "--threads",
+            threads,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outs.push(out.stdout);
+    }
+    assert_eq!(outs[0], outs[1], "gen output must not depend on --threads");
+}
+
+#[test]
+fn synth_generate_seeds_replaces_manual_suite() {
+    let path = write_fixture("gen-synth.mj", FIXTURE);
+    let out = narada(&[
+        "synth",
+        path.to_str().unwrap(),
+        "--generate-seeds",
+        "--budget",
+        "128",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("generated"), "{stdout}");
+}
