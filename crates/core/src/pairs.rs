@@ -8,7 +8,7 @@
 use crate::access::{AccessRecord, Analysis, RaceKey};
 use crate::options::SynthesisOptions;
 use narada_lang::hir::Program;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A potential racy access pair: indices into the deduplicated access list
 /// returned by [`generate_pairs`].
@@ -69,8 +69,12 @@ pub fn generate_pairs(_prog: &Program, analysis: &Analysis, opts: &SynthesisOpti
         accesses.push(rec.clone());
     }
 
-    // 2. Group by static location.
-    let mut groups: HashMap<RaceKey, Vec<usize>> = HashMap::new();
+    // 2. Group by static location. A BTreeMap keyed on RaceKey's Ord makes
+    //    the grouping itself order-independent: pair emission below walks
+    //    keys in sorted order by construction, so downstream consumers
+    //    (screener verdict indices, the difftest harness) see the same
+    //    pair list on every run regardless of hasher state.
+    let mut groups: BTreeMap<RaceKey, Vec<usize>> = BTreeMap::new();
     for (i, rec) in accesses.iter().enumerate() {
         if let Some(k) = rec.race_key() {
             groups.entry(k).or_default().push(i);
@@ -85,10 +89,7 @@ pub fn generate_pairs(_prog: &Program, analysis: &Analysis, opts: &SynthesisOpti
             && rec.path.is_some()
     };
     let mut pairs = Vec::new();
-    let mut keys: Vec<&RaceKey> = groups.keys().collect();
-    keys.sort();
-    for key in keys {
-        let idxs = &groups[key];
+    for (key, idxs) in &groups {
         let mut count = 0usize;
         for (pos, &i) in idxs.iter().enumerate() {
             for &j in &idxs[pos..] {
@@ -302,6 +303,39 @@ mod tests {
             ps.accesses[0].locks.is_empty(),
             "a bare occurrence means no lock is guaranteed"
         );
+    }
+
+    #[test]
+    fn pair_order_is_stable_across_repeated_runs() {
+        // Many distinct race keys spread across methods so step 2's
+        // grouping has real work to do; the emitted pair list (including
+        // order) must be identical on every run — the difftest harness
+        // derives per-pair seeds from pair indices, so any hash-order
+        // leakage here would break byte-for-byte sweep reproducibility.
+        let mut accesses = Vec::new();
+        for field in 0..16u32 {
+            for method in 0..4u32 {
+                let span = field * 100 + method * 10;
+                accesses.push(rec(method, span, field, true, true, 0));
+                accesses.push(rec(method, span + 5, field, false, true, 0));
+            }
+        }
+        let analysis = Analysis {
+            accesses,
+            ..Default::default()
+        };
+        let baseline = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+        assert!(!baseline.pairs.is_empty());
+        for _ in 0..20 {
+            let again = generate_pairs(&prog(), &analysis, &SynthesisOptions::default());
+            assert_eq!(baseline.pairs, again.pairs);
+            assert_eq!(baseline.accesses.len(), again.accesses.len());
+        }
+        // Keys must come out in sorted order, not hasher order.
+        let keys: Vec<_> = baseline.pairs.iter().map(|p| p.key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -61,3 +61,63 @@ fn every_public_method_is_invoked_by_some_seed() {
         );
     }
 }
+
+/// The same inventory audit against the differential corpus generator:
+/// one pinned generated class per locking-discipline bucket. This
+/// guards the client-suite emitter — a generated seed suite that stops
+/// driving a `Subject` method would silently shrink the fact basis the
+/// whole difftest oracle rests on.
+#[test]
+fn generated_seed_suites_cover_every_subject_method() {
+    use narada_difftest::{emit, ClassSpec, Discipline};
+
+    // First sweep spec per discipline, fixed to the default sweep seed so
+    // the audited programs are the ones `narada difftest` actually runs.
+    let specs = ClassSpec::enumerate(0xd1ff, 36);
+    for discipline in Discipline::ALL {
+        let spec = *specs
+            .iter()
+            .find(|s| s.discipline == discipline)
+            .expect("lattice covers every discipline");
+        let gen = emit(spec);
+        let prog = gen
+            .program
+            .compile()
+            .unwrap_or_else(|e| panic!("{}: {e}\n{}", spec.label(), gen.source()));
+        let mir = lower_program(&prog);
+        let mut machine = Machine::with_defaults(&prog, &mir);
+        let mut sink = VecSink::new();
+        for t in &prog.tests {
+            machine
+                .run_test(t.id, &mut sink)
+                .unwrap_or_else(|e| panic!("{} seed `{}` failed: {e}", spec.label(), t.name));
+        }
+        let invoked: BTreeSet<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::InvokeStart {
+                    method: Some(m), ..
+                } => Some(m),
+                _ => None,
+            })
+            .collect();
+        let class = prog
+            .classes
+            .iter()
+            .find(|c| c.name == "Subject")
+            .unwrap_or_else(|| panic!("{}: no Subject class", spec.label()));
+        let missed: Vec<String> = prog
+            .entry_points(class.id)
+            .into_iter()
+            .filter(|m| !invoked.contains(m))
+            .map(|m| prog.qualified_name(m))
+            .collect();
+        assert!(
+            missed.is_empty(),
+            "{}: Subject methods never driven by the generated seed suite: {missed:?}\n{}",
+            spec.label(),
+            gen.source()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # narada-difftest — differential corpus testing
+//!
+//! The paper's evaluation rests on nine hand-ported classes, so every
+//! soundness claim (the screener's `MustNotRace` discharges, the replay
+//! oracle) is only exercised on a fixed corpus. This crate manufactures
+//! coverage instead of hoping for it: a deterministic, seed-driven
+//! generator synthesizes complete MJ library classes by crossing
+//!
+//! * **field kinds** — scalar / array element / object reference,
+//! * **locking disciplines** — fully guarded / unguarded / mixed /
+//!   wrong-lock (with a reentrant helper chain),
+//! * **sharing shapes** — escaping field (setter), returned alias
+//!   (getter), constructor-captured owner (with a ctor-escaped `this`),
+//!
+//! emits a sequential client seed suite for each, and then runs every
+//! generated program through **both** the static screener
+//! (`narada_screen::screen_pairs`) and the full dynamic pipeline
+//! (synthesis → PCT exploration → replay confirmation), treating the
+//! two as each other's oracle:
+//!
+//! * a `MustNotRace` verdict on a dynamically-confirmed race is a
+//!   **soundness bug** — always fatal;
+//! * a dynamically-race-free program whose screener survivors were
+//!   expected to manifest is a **precision datapoint** — logged.
+//!
+//! Disagreements are auto-shrunk with a ddmin pass over class members
+//! ([`shrink::shrink_class`]) and committed as regression fixtures, so
+//! the generator permanently grows the test bed.
+//!
+//! Everything is reproducible byte-for-byte from
+//! `(GENERATOR_VERSION, seed)`: per-class seeds derive via the VM's
+//! `derive_seed`, classes shard through the order-preserving
+//! `parallel_map`, and [`harness::SweepReport::digest`] certifies that
+//! two sweeps saw identical results.
+//!
+//! ```no_run
+//! use narada_difftest::{DiffConfig, run_sweep};
+//! use narada_obs::Obs;
+//!
+//! let cfg = DiffConfig { count: 36, ..DiffConfig::default() };
+//! let report = run_sweep(&cfg, &Obs::new());
+//! assert!(report.soundness().is_empty(), "{}", report.summary());
+//! ```
+
+pub mod emit;
+pub mod harness;
+pub mod shrink;
+pub mod spec;
+
+pub use emit::{emit, emit_retained, GenClass};
+pub use harness::{
+    check_agreement, run_class, run_sweep, screen_pairs_inject_unsound, AgreementCheck,
+    ClassReport, DiffConfig, Disagreement, Outcome, SweepReport,
+};
+pub use shrink::{shrink_class, ShrinkOutcome};
+pub use spec::{ClassSpec, Discipline, FieldKind, Sharing, GENERATOR_VERSION};

@@ -1,0 +1,215 @@
+//! ddmin over class members: shrinks a soundness disagreement to a
+//! minimal generated program before it is committed as a fixture.
+//!
+//! Same Zeller/Hildebrandt chunked-complement loop as the schedule
+//! minimizer (`narada_detect::minimize`), but the unit of deletion is a
+//! *noise member* of the generated class — the emitter re-renders the
+//! program without the dropped members (and without their seed-suite
+//! calls), and the oracle is "the soundness disagreement still
+//! reproduces". The racy core (`read`/`write`/the sharing member) is
+//! pinned by construction, so every candidate is a complete,
+//! compilable program.
+
+use crate::emit::emit_retained;
+use crate::harness::{run_class, ClassReport, DiffConfig, Outcome};
+use crate::spec::ClassSpec;
+use narada_obs::Obs;
+use std::collections::BTreeSet;
+
+/// Cap on oracle executions per shrink; each probe is a full synthesize +
+/// explore run. The member lists are small (≤ 4 noise members), so this
+/// never binds in practice — it is a backstop against oracle flapping.
+const MAX_PROBES: usize = 64;
+
+/// Result of shrinking one disagreeing class.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// Report of the minimal still-disagreeing program.
+    pub report: ClassReport,
+    /// Noise members removed from the original emission.
+    pub removed: Vec<String>,
+    /// Noise members that had to stay.
+    pub kept: Vec<String>,
+    /// Oracle executions spent.
+    pub probes: usize,
+}
+
+impl ShrinkOutcome {
+    /// Fixture-ready source: header comments recording provenance and
+    /// the disagreement, then the minimal program.
+    pub fn fixture_source(&self) -> String {
+        let spec = self.report.spec;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "// difftest regression fixture: {}\n",
+            spec.label()
+        ));
+        out.push_str(&format!(
+            "// generator_version={} seed={:#x} index={}\n",
+            crate::GENERATOR_VERSION,
+            spec.seed,
+            spec.index
+        ));
+        if let Outcome::Soundness(ds) = &self.report.outcome {
+            for d in ds {
+                out.push_str(&format!(
+                    "// disagreement: pair {} discharged ({}) but confirmed by test {}\n",
+                    d.race, d.reason, d.test_index
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "// shrink: removed [{}], {} probe(s)\n",
+            self.removed.join(", "),
+            self.probes
+        ));
+        out.push('\n');
+        out.push_str(&self.report.source);
+        out
+    }
+}
+
+fn is_soundness(report: &ClassReport) -> bool {
+    matches!(report.outcome, Outcome::Soundness(_))
+}
+
+/// Shrinks a disagreeing class to a 1-minimal member set that still
+/// disagrees. Returns `None` when the full program does not reproduce
+/// the disagreement (stale report — e.g. a config drift between sweep
+/// and shrink).
+pub fn shrink_class(spec: ClassSpec, cfg: &DiffConfig, obs: &Obs) -> Option<ShrinkOutcome> {
+    let probes = std::cell::Cell::new(0usize);
+    let run = |dropped: &BTreeSet<String>| -> ClassReport {
+        probes.set(probes.get() + 1);
+        obs.metrics.counter("difftest.shrink.probes").inc();
+        run_class(&emit_retained(spec, dropped), cfg, obs)
+    };
+
+    // The full emission must disagree, otherwise there is nothing to
+    // shrink.
+    let full = run(&BTreeSet::new());
+    if !is_soundness(&full) {
+        return None;
+    }
+    let all: Vec<String> = emit_retained(spec, &BTreeSet::new()).removable;
+
+    // ddmin over the *kept* member list: a candidate keeps a subset of
+    // noise members (drops the rest) and passes iff the disagreement
+    // still reproduces.
+    let mut kept = all.clone();
+    let mut best = full;
+    let mut n = 2usize;
+    while !kept.is_empty() && probes.get() < MAX_PROBES {
+        if kept.len() == 1 {
+            // Terminal granularity: try dropping the last member outright.
+            let dropped: BTreeSet<String> = all.iter().cloned().collect();
+            let r = run(&dropped);
+            if is_soundness(&r) {
+                kept.clear();
+                best = r;
+            }
+            break;
+        }
+        let chunk = kept.len().div_ceil(n);
+        let mut reduced = None;
+        for i in 0..n {
+            let (lo, hi) = (i * chunk, ((i + 1) * chunk).min(kept.len()));
+            if lo >= hi {
+                continue;
+            }
+            // Complement: keep everything except chunk i.
+            let candidate: Vec<String> = kept[..lo].iter().chain(&kept[hi..]).cloned().collect();
+            let dropped: BTreeSet<String> = all
+                .iter()
+                .filter(|m| !candidate.contains(m))
+                .cloned()
+                .collect();
+            let r = run(&dropped);
+            if is_soundness(&r) {
+                reduced = Some((candidate, r));
+                break;
+            }
+            if probes.get() >= MAX_PROBES {
+                break;
+            }
+        }
+        match reduced {
+            Some((candidate, r)) => {
+                kept = candidate;
+                best = r;
+                n = 2.max(n - 1);
+            }
+            None => {
+                if n >= kept.len() {
+                    break;
+                }
+                n = (n * 2).min(kept.len());
+            }
+        }
+    }
+
+    let removed: Vec<String> = all.iter().filter(|m| !kept.contains(m)).cloned().collect();
+    Some(ShrinkOutcome {
+        report: best,
+        removed,
+        kept,
+        probes: probes.get(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClassSpec;
+
+    /// Fault-injected disagreements shrink: the minimal program still
+    /// disagrees (the injected flip tracks the top survivor, which lives
+    /// in the pinned racy core, so noise members should all fall away).
+    #[test]
+    fn injected_disagreement_shrinks_to_core() {
+        let cfg = DiffConfig {
+            inject_unsound: true,
+            schedule_trials: 4,
+            confirm_trials: 3,
+            threads: 1,
+            ..DiffConfig::default()
+        };
+        let obs = Obs::new();
+        // Find a spec with noise members whose injected run disagrees.
+        let spec = ClassSpec::enumerate(cfg.seed, 12)
+            .into_iter()
+            .find(|&s| {
+                !crate::emit::emit(s).removable.is_empty()
+                    && matches!(
+                        run_class(&crate::emit::emit(s), &cfg, &obs).outcome,
+                        Outcome::Soundness(_)
+                    )
+            })
+            .expect("an injected run with noise members disagrees");
+        let outcome = shrink_class(spec, &cfg, &obs).expect("full program disagrees");
+        assert!(is_soundness(&outcome.report));
+        assert!(outcome.probes >= 1);
+        let fixture = outcome.fixture_source();
+        assert!(fixture.contains("difftest regression fixture"));
+        assert!(fixture.contains("disagreement: pair"));
+        // The fixture body must still compile.
+        let body: String = fixture
+            .lines()
+            .filter(|l| !l.starts_with("//"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        narada_lang::compile(&body).expect("fixture body compiles");
+    }
+
+    #[test]
+    fn agreeing_class_does_not_shrink() {
+        let cfg = DiffConfig {
+            schedule_trials: 2,
+            confirm_trials: 2,
+            threads: 1,
+            ..DiffConfig::default()
+        };
+        let spec = ClassSpec::nth(cfg.seed, 0);
+        assert!(shrink_class(spec, &cfg, &Obs::new()).is_none());
+    }
+}

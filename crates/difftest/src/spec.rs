@@ -1,0 +1,202 @@
+//! The generation lattice: which classes the corpus generator can emit.
+//!
+//! A [`ClassSpec`] names one point in the cross product
+//! {field kind} × {locking discipline} × {sharing shape}, plus a derived
+//! per-class RNG seed. The cross product has 36 points; sweeps larger
+//! than that cycle through it with fresh seeds, so every combination is
+//! revisited with different surface details (initial values, noise
+//! members).
+
+use narada_vm::rng::derive_seed;
+
+/// Version stamp folded into every derived seed. Bump whenever the
+/// emitter's output changes shape, so old `(version, seed)` pairs don't
+/// silently reproduce different programs.
+pub const GENERATOR_VERSION: u64 = 1;
+
+/// What kind of storage the racy leaf is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FieldKind {
+    /// `int val;` — a scalar field.
+    Scalar,
+    /// `int[] arr;` — element 0 of an array field.
+    Array,
+    /// `Item ref;` — a reference-typed field (the reference itself races).
+    Object,
+}
+
+impl FieldKind {
+    /// Every field kind, in lattice order.
+    pub const ALL: [FieldKind; 3] = [FieldKind::Scalar, FieldKind::Array, FieldKind::Object];
+
+    /// Short lowercase tag for labels and fixture names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FieldKind::Scalar => "scalar",
+            FieldKind::Array => "array",
+            FieldKind::Object => "object",
+        }
+    }
+}
+
+/// How the library guards the racy leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Discipline {
+    /// Reads and writes both hold the owner's monitor (`sync (this.inner)`).
+    /// The screener should discharge these pairs, and the scheduler should
+    /// confirm nothing.
+    Guarded,
+    /// No locking at all — the classic racy library.
+    Unguarded,
+    /// Writes guarded, reads bare: the paper's most common real-world bug
+    /// shape (check-then-act readers).
+    Mixed,
+    /// Both sides locked, but on a lock object that is *not* the owner —
+    /// including a reentrant helper chain on that wrong lock, so lockset
+    /// reasoning that keys on "some lock held" rather than "the owner's
+    /// monitor held" is caught out.
+    WrongLock,
+}
+
+impl Discipline {
+    /// Every discipline, in lattice order.
+    pub const ALL: [Discipline; 4] = [
+        Discipline::Guarded,
+        Discipline::Unguarded,
+        Discipline::Mixed,
+        Discipline::WrongLock,
+    ];
+
+    /// Short lowercase tag for labels and fixture names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Discipline::Guarded => "guarded",
+            Discipline::Unguarded => "unguarded",
+            Discipline::Mixed => "mixed",
+            Discipline::WrongLock => "wronglock",
+        }
+    }
+}
+
+/// How the racy owner becomes reachable from more than one client call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sharing {
+    /// The owner is held in a field with a public setter
+    /// (`setInner(Inner x)`) — the Context Deriver's installable-path
+    /// bread and butter.
+    EscapingField,
+    /// The owner leaks through a getter (`getInner()`) — representation
+    /// exposure; no setter exists, so installation must go through the
+    /// builder/same-receiver route.
+    ReturnedAlias,
+    /// The owner is captured by the constructor (`init(Inner x)`), which
+    /// also writes `x.owner = this` — a constructor-escaped `this`.
+    CtorCaptured,
+}
+
+impl Sharing {
+    /// Every sharing shape, in lattice order.
+    pub const ALL: [Sharing; 3] = [
+        Sharing::EscapingField,
+        Sharing::ReturnedAlias,
+        Sharing::CtorCaptured,
+    ];
+
+    /// Short lowercase tag for labels and fixture names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Sharing::EscapingField => "escaping",
+            Sharing::ReturnedAlias => "aliased",
+            Sharing::CtorCaptured => "captured",
+        }
+    }
+}
+
+/// One point of the generation lattice with its derived per-class seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClassSpec {
+    /// Position in the sweep (also the lattice index modulo 36).
+    pub index: usize,
+    /// Storage kind of the racy leaf.
+    pub field_kind: FieldKind,
+    /// Locking discipline over the leaf.
+    pub discipline: Discipline,
+    /// How the owner escapes.
+    pub sharing: Sharing,
+    /// Per-class RNG seed: `derive_seed(base, [GENERATOR_VERSION, index])`.
+    pub seed: u64,
+}
+
+impl ClassSpec {
+    /// The `index`-th spec of a sweep rooted at `base_seed`. Walks the
+    /// cross product in a fixed order (field kind fastest, sharing
+    /// slowest) and cycles past 36.
+    pub fn nth(base_seed: u64, index: usize) -> ClassSpec {
+        let f = FieldKind::ALL[index % FieldKind::ALL.len()];
+        let d = Discipline::ALL[(index / FieldKind::ALL.len()) % Discipline::ALL.len()];
+        let s = Sharing::ALL
+            [(index / (FieldKind::ALL.len() * Discipline::ALL.len())) % Sharing::ALL.len()];
+        ClassSpec {
+            index,
+            field_kind: f,
+            discipline: d,
+            sharing: s,
+            seed: derive_seed(base_seed, &[GENERATOR_VERSION, index as u64]),
+        }
+    }
+
+    /// The first `count` specs of a sweep.
+    pub fn enumerate(base_seed: u64, count: usize) -> Vec<ClassSpec> {
+        (0..count).map(|i| ClassSpec::nth(base_seed, i)).collect()
+    }
+
+    /// Whether the dynamic pipeline is *expected* to confirm at least one
+    /// race on this class. Only a fully guarded discipline promises
+    /// race freedom; everything else leaves the leaf exposed.
+    pub fn expects_manifest(self) -> bool {
+        self.discipline != Discipline::Guarded
+    }
+
+    /// Stable human-readable label, e.g. `scalar-mixed-escaping-017`.
+    pub fn label(self) -> String {
+        format!(
+            "{}-{}-{}-{:03}",
+            self.field_kind.tag(),
+            self.discipline.tag(),
+            self.sharing.tag(),
+            self.index
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn first_36_cover_the_whole_lattice() {
+        let combos: BTreeSet<_> = ClassSpec::enumerate(1, 36)
+            .into_iter()
+            .map(|s| (s.field_kind, s.discipline, s.sharing))
+            .collect();
+        assert_eq!(combos.len(), 36);
+    }
+
+    #[test]
+    fn cycling_repeats_combination_with_fresh_seed() {
+        let a = ClassSpec::nth(1, 0);
+        let b = ClassSpec::nth(1, 36);
+        assert_eq!(
+            (a.field_kind, a.discipline, a.sharing),
+            (b.field_kind, b.discipline, b.sharing)
+        );
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn specs_are_pure_functions_of_base_and_index() {
+        assert_eq!(ClassSpec::nth(7, 12), ClassSpec::nth(7, 12));
+        assert_ne!(ClassSpec::nth(7, 12).seed, ClassSpec::nth(8, 12).seed);
+    }
+}

@@ -1,0 +1,322 @@
+//! Generator-facing program builders: assemble well-formed MJ source
+//! programmatically, then [`compile`](crate::compile) it into HIR.
+//!
+//! Corpus generators (`narada-difftest`) synthesize whole library classes
+//! member by member. They need three things source strings alone don't
+//! give them: (1) structural assembly — add a field here, a method there —
+//! without fragile string splicing, (2) *removability* — a shrinker must
+//! drop individual members and re-render a still-well-formed program, and
+//! (3) a single canonical rendering so generated output is byte-stable
+//! across runs. These builders provide exactly that surface; the result
+//! always goes through the real front end, so every generated program is
+//! parsed and type-checked like hand-written source.
+//!
+//! ```
+//! use narada_lang::build::{ClassSrc, ProgramSrc, TestSrc};
+//!
+//! let prog = ProgramSrc::new()
+//!     .class(
+//!         ClassSrc::new("Counter")
+//!             .field("int count;")
+//!             .method("inc", "void inc() { this.count = this.count + 1; }"),
+//!     )
+//!     .test(TestSrc::new("seed").stmt("var c = new Counter();").stmt("c.inc();"));
+//! let hir = prog.compile()?;
+//! assert_eq!(hir.classes.len(), 1);
+//! # Ok::<(), narada_lang::Diagnostics>(())
+//! ```
+
+use crate::hir::Program;
+use crate::Diagnostics;
+
+/// One method of a [`ClassSrc`]: the full declaration text plus the name
+/// the shrinker and the seed-suite emitter address it by.
+#[derive(Debug, Clone)]
+pub struct MethodSrc {
+    /// Bare method name (`inc`, not `Counter.inc`).
+    pub name: String,
+    /// The complete declaration, `void inc() { … }` — rendered verbatim
+    /// (re-indented) inside the class body.
+    pub decl: String,
+}
+
+/// A class under construction: fields, an optional constructor, and named
+/// methods.
+#[derive(Debug, Clone)]
+pub struct ClassSrc {
+    /// Class name.
+    pub name: String,
+    /// Superclass, when any.
+    pub extends: Option<String>,
+    /// Field declarations, rendered in insertion order.
+    pub fields: Vec<String>,
+    /// Constructor declaration (`init(…) { … }`), when any.
+    pub ctor: Option<String>,
+    /// Methods in insertion order.
+    pub methods: Vec<MethodSrc>,
+}
+
+impl ClassSrc {
+    /// Starts an empty class.
+    pub fn new(name: impl Into<String>) -> ClassSrc {
+        ClassSrc {
+            name: name.into(),
+            extends: None,
+            fields: Vec::new(),
+            ctor: None,
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds a field declaration (`int count;`).
+    pub fn field(mut self, decl: impl Into<String>) -> ClassSrc {
+        self.fields.push(decl.into());
+        self
+    }
+
+    /// Sets the constructor declaration.
+    pub fn ctor(mut self, decl: impl Into<String>) -> ClassSrc {
+        self.ctor = Some(decl.into());
+        self
+    }
+
+    /// Adds a named method.
+    pub fn method(mut self, name: impl Into<String>, decl: impl Into<String>) -> ClassSrc {
+        self.methods.push(MethodSrc {
+            name: name.into(),
+            decl: decl.into(),
+        });
+        self
+    }
+
+    /// Whether the class declares a method of this name.
+    pub fn has_method(&self, name: &str) -> bool {
+        self.methods.iter().any(|m| m.name == name)
+    }
+
+    /// A copy with only the methods `keep` admits — the shrinker's member
+    /// subset operation. Fields and the constructor always survive.
+    pub fn retain_methods(&self, keep: impl Fn(&MethodSrc) -> bool) -> ClassSrc {
+        ClassSrc {
+            name: self.name.clone(),
+            extends: self.extends.clone(),
+            fields: self.fields.clone(),
+            ctor: self.ctor.clone(),
+            methods: self.methods.iter().filter(|m| keep(m)).cloned().collect(),
+        }
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str("class ");
+        out.push_str(&self.name);
+        if let Some(sup) = &self.extends {
+            out.push_str(" extends ");
+            out.push_str(sup);
+        }
+        out.push_str(" {\n");
+        for f in &self.fields {
+            render_indented(out, f);
+        }
+        if let Some(ctor) = &self.ctor {
+            render_indented(out, ctor);
+        }
+        for m in &self.methods {
+            render_indented(out, &m.decl);
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// A sequential client test under construction.
+#[derive(Debug, Clone)]
+pub struct TestSrc {
+    /// Test name.
+    pub name: String,
+    /// Statements in order, one per entry.
+    pub stmts: Vec<String>,
+}
+
+impl TestSrc {
+    /// Starts an empty test.
+    pub fn new(name: impl Into<String>) -> TestSrc {
+        TestSrc {
+            name: name.into(),
+            stmts: Vec::new(),
+        }
+    }
+
+    /// Appends one statement.
+    pub fn stmt(mut self, stmt: impl Into<String>) -> TestSrc {
+        self.stmts.push(stmt.into());
+        self
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push_str("test ");
+        out.push_str(&self.name);
+        out.push_str(" {\n");
+        for s in &self.stmts {
+            render_indented(out, s);
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// A whole MJ program under construction: classes plus seed tests.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramSrc {
+    /// Classes in declaration order.
+    pub classes: Vec<ClassSrc>,
+    /// Tests in declaration order.
+    pub tests: Vec<TestSrc>,
+}
+
+impl ProgramSrc {
+    /// Starts an empty program.
+    pub fn new() -> ProgramSrc {
+        ProgramSrc::default()
+    }
+
+    /// Adds a class.
+    pub fn class(mut self, class: ClassSrc) -> ProgramSrc {
+        self.classes.push(class);
+        self
+    }
+
+    /// Adds a test.
+    pub fn test(mut self, test: TestSrc) -> ProgramSrc {
+        self.tests.push(test);
+        self
+    }
+
+    /// The class of the given name, when present.
+    pub fn class_named(&self, name: &str) -> Option<&ClassSrc> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Mutable access to the class of the given name.
+    pub fn class_named_mut(&mut self, name: &str) -> Option<&mut ClassSrc> {
+        self.classes.iter_mut().find(|c| c.name == name)
+    }
+
+    /// Renders the canonical source text: classes, then tests, each
+    /// member re-indented to one step per block level.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            c.render(&mut out);
+        }
+        for t in &self.tests {
+            out.push('\n');
+            t.render(&mut out);
+        }
+        out
+    }
+
+    /// Renders and compiles the program through the full front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front end's diagnostics when the assembled source does
+    /// not parse or type-check — for a generator this indicates an emitter
+    /// bug, so callers usually `expect` with the rendered source attached.
+    pub fn compile(&self) -> Result<Program, Diagnostics> {
+        crate::compile(&self.render())
+    }
+}
+
+/// Writes a multi-line member declaration at one indent level, normalizing
+/// the fragment's own leading whitespace so builders can use raw strings
+/// with arbitrary margins.
+fn render_indented(out: &mut String, decl: &str) {
+    let lines: Vec<&str> = decl.lines().collect();
+    // The common indent of all non-empty lines is stripped before
+    // re-indenting, so nested braces keep their relative depth.
+    let margin = lines
+        .iter()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.len() - l.trim_start().len())
+        .min()
+        .unwrap_or(0);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            out.push('\n');
+            continue;
+        }
+        // The first line often carries no margin of its own (e.g. a
+        // builder passing `"void f() {\n    …\n}"`), so it is stripped
+        // fully rather than by the common margin.
+        let body = if i == 0 {
+            line.trim_start()
+        } else {
+            &line[margin.min(line.len() - line.trim_start().len())..]
+        };
+        out.push_str("    ");
+        out.push_str(body);
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProgramSrc {
+        ProgramSrc::new()
+            .class(
+                ClassSrc::new("Counter")
+                    .field("int count;")
+                    .ctor("init() { this.count = 0; }")
+                    .method("inc", "void inc() { this.count = this.count + 1; }")
+                    .method("get", "int get() { return this.count; }"),
+            )
+            .test(
+                TestSrc::new("seed")
+                    .stmt("var c = new Counter();")
+                    .stmt("c.inc();")
+                    .stmt("var n = c.get();"),
+            )
+    }
+
+    #[test]
+    fn renders_and_compiles() {
+        let prog = sample().compile().expect("builder output compiles");
+        assert_eq!(prog.classes.len(), 1);
+        assert_eq!(prog.tests.len(), 1);
+        // ctor + 2 methods
+        assert_eq!(prog.methods.len(), 3);
+    }
+
+    #[test]
+    fn rendering_is_stable() {
+        assert_eq!(sample().render(), sample().render());
+    }
+
+    #[test]
+    fn retain_methods_drops_decl_only() {
+        let class = sample().classes[0].retain_methods(|m| m.name != "inc");
+        assert!(!class.has_method("inc"));
+        assert!(class.has_method("get"));
+        assert!(class.ctor.is_some(), "ctor is pinned");
+        let shrunk = ProgramSrc::new()
+            .class(class)
+            .test(TestSrc::new("seed").stmt("var c = new Counter();"));
+        shrunk.compile().expect("shrunk program still compiles");
+    }
+
+    #[test]
+    fn multiline_members_are_reindented() {
+        let src = ProgramSrc::new()
+            .class(ClassSrc::new("A").method(
+                "f",
+                "int f(int x) {\n    if (x > 0) {\n        return x;\n    }\n    return 0;\n}",
+            ))
+            .render();
+        assert!(src.contains("    int f(int x) {\n"), "{src}");
+        assert!(src.contains("        if (x > 0) {\n"), "{src}");
+        crate::compile(&src).expect("re-indented member compiles");
+    }
+}

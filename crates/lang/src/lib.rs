@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod build;
 pub mod error;
 pub mod hir;
 pub mod lexer;

@@ -35,7 +35,20 @@ cmp "$GEN_DIR/t1.mj" "$GEN_DIR/t8.mj" \
     || { echo "gen output differs between --threads 1 and 8" >&2; exit 1; }
 rm -rf "$GEN_DIR"
 
-echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen)"
+echo "==> differential corpus sweep (fixed seed, thread-count determinism)"
+# 64 generated classes through screener + dynamic pipeline; any screener
+# soundness disagreement exits 3 and fails the gate (set -e). The sweep
+# output must also be byte-identical at any worker count.
+DIFF_DIR="$(mktemp -d)"
+for t in 1 2 8; do
+    cargo run -q --release --bin narada -- difftest --seed 53759 --count 64 \
+        --threads "$t" > "$DIFF_DIR/t$t.out"
+done
+cmp "$DIFF_DIR/t1.out" "$DIFF_DIR/t2.out" && cmp "$DIFF_DIR/t1.out" "$DIFF_DIR/t8.out" \
+    || { echo "difftest output differs across --threads 1/2/8" >&2; exit 1; }
+rm -rf "$DIFF_DIR"
+
+echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen / BENCH_difftest)"
 # Each bench bin must emit a run manifest; `narada report` re-parses it
 # and fails on any missing required field (schema, git_rev, metrics, ...).
 MANIFEST_DIR="$(mktemp -d)"
@@ -48,7 +61,9 @@ NARADA_MANIFEST_DIR="$MANIFEST_DIR" \
     cargo run -q --release -p narada-bench --bin screen > /dev/null
 NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_GEN_BUDGET=256 \
     cargo run -q --release -p narada-bench --bin gen > /dev/null
-for name in synth explore screen gen; do
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" \
+    cargo run -q --release -p narada-bench --bin difftest > /dev/null
+for name in synth explore screen gen difftest; do
     manifest="$MANIFEST_DIR/BENCH_$name.json"
     [ -f "$manifest" ] || { echo "missing $manifest" >&2; exit 1; }
     cargo run -q --release --bin narada -- report "$manifest" > /dev/null

@@ -10,6 +10,7 @@
 //!                                                    generate a sequential seed suite
 //! narada pairs <file.mj|C1..C9> [--json]             dump candidate pairs + static verdicts
 //! narada corpus [C1..C9]                             run the pipeline on a corpus class
+//! narada difftest [--seed N] [--count N] [--shrink]  differential generator sweep
 //! narada report <m.json..> [--diff a.json b.json]    render or diff run manifests
 //! ```
 
@@ -43,6 +44,9 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(rest),
         "pairs" => cmd_pairs(rest),
         "corpus" => cmd_corpus(rest),
+        // difftest owns its exit code (3 = disagreement found), so it
+        // bypasses the Ok/Err mapping below.
+        "difftest" => return cmd_difftest(rest),
         "report" => cmd_report(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -87,6 +91,10 @@ USAGE:
                            [--static-filter] [--static-rank]
                            [--strategy S] [--depth N] [--record DIR]
                            [--trace-out FILE.jsonl] [--manifest FILE.json]
+    narada difftest [--seed N] [--count N] [--threads N] [--shrink]
+                    [--fixtures DIR] [--schedules N] [--confirms N]
+                    [--inject-unsound] [--verbose]
+                    [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada report <manifest.json>... [--diff OLD.json NEW.json]
 
 `--strategy S` picks the exploration scheduler: pct[:DEPTH], random,
@@ -112,6 +120,15 @@ program's own tests. `synth`/`detect`/`corpus` accept
 `--generate-seeds` (plus the same `--budget`/`--max-len`/`--gen-seed`
 knobs) to replace the hand-written seed suite with a generated one
 before synthesis.
+`narada difftest` sweeps `--count` generated library classes through
+both the static screener and the dynamic pipeline, treating them as
+each other's oracle. A `MustNotRace` verdict on a dynamically
+confirmed race is a soundness disagreement: the sweep prints it,
+optionally ddmin-shrinks the class (`--shrink`, fixtures under
+`--fixtures DIR`), and exits with code 3. The sweep digest is
+byte-identical at any `--threads` value. `--inject-unsound`
+deliberately mis-discharges one pair per class — a self test for the
+disagreement path.
 `--trace-out FILE` records hierarchical timing spans for every
 pipeline stage as JSON Lines; `--manifest FILE` writes a run manifest
 (environment, config, stage timings, and every metric — the metric
@@ -831,6 +848,107 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
         threads,
         &[("classes", classes.join(","))],
     )
+}
+
+/// Differential generator sweep: generated classes through screener +
+/// scheduler, disagreements shrunk and written as fixtures. Owns its
+/// exit codes: 0 = agreement, 1 = usage/IO error, 3 = soundness
+/// disagreement found.
+fn cmd_difftest(rest: &[String]) -> ExitCode {
+    match run_difftest(rest) {
+        Ok(disagreements) if disagreements > 0 => ExitCode::from(3),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The fallible body of `cmd_difftest`; returns the number of classes
+/// with soundness disagreements.
+fn run_difftest(rest: &[String]) -> Result<usize, String> {
+    use narada::difftest::{shrink_class, DiffConfig, Outcome};
+
+    let cfg = DiffConfig {
+        seed: opt_usize(rest, "--seed", 0xd1ff)? as u64,
+        count: opt_usize(rest, "--count", 36)?,
+        threads: opt_usize(rest, "--threads", 0)?,
+        schedule_trials: opt_usize(rest, "--schedules", 6)?,
+        confirm_trials: opt_usize(rest, "--confirms", 4)?,
+        inject_unsound: flag(rest, "--inject-unsound"),
+        ..DiffConfig::default()
+    };
+    let obs = obs_for(rest);
+    let sweep = narada::difftest::run_sweep(&cfg, &obs);
+    if flag(rest, "--verbose") {
+        for r in &sweep.reports {
+            println!("{}", r.summary());
+        }
+    } else {
+        for r in &sweep.reports {
+            if !matches!(r.outcome, Outcome::Agree) {
+                println!("{}", r.summary());
+            }
+        }
+    }
+    println!("{}", sweep.summary());
+
+    let disagreeing = sweep.soundness();
+    for r in &disagreeing {
+        if let Outcome::Soundness(ds) = &r.outcome {
+            for d in ds {
+                println!(
+                    "SOUNDNESS {}: pair {} discharged ({}) but confirmed by test {}",
+                    r.spec.label(),
+                    d.race,
+                    d.reason,
+                    d.test_index
+                );
+            }
+        }
+    }
+    if !disagreeing.is_empty() && flag(rest, "--shrink") {
+        let dir = Path::new(opt(rest, "--fixtures").unwrap_or("tests/fixtures/difftest"));
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for r in &disagreeing {
+            match shrink_class(r.spec, &cfg, &obs) {
+                Some(outcome) => {
+                    let file = dir.join(format!("{}.mj", r.spec.label()));
+                    std::fs::write(&file, outcome.fixture_source())
+                        .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+                    println!(
+                        "shrunk {}: removed [{}] in {} probe(s) -> {}",
+                        r.spec.label(),
+                        outcome.removed.join(", "),
+                        outcome.probes,
+                        file.display()
+                    );
+                }
+                None => println!(
+                    "shrink {}: disagreement did not reproduce, no fixture written",
+                    r.spec.label()
+                ),
+            }
+        }
+    }
+    write_telemetry(
+        rest,
+        &obs,
+        "difftest",
+        narada::core::effective_threads(cfg.threads),
+        &[
+            ("seed", format!("{:#x}", cfg.seed)),
+            ("count", cfg.count.to_string()),
+            (
+                "generator-version",
+                narada::difftest::GENERATOR_VERSION.to_string(),
+            ),
+            ("digest", format!("{:016x}", sweep.digest)),
+        ],
+    )?;
+    Ok(disagreeing.len())
 }
 
 /// Renders (or, with `--diff`, compares) run manifests — validating every

@@ -67,6 +67,7 @@ pub use narada_contege as contege;
 pub use narada_core as core;
 pub use narada_corpus as corpus;
 pub use narada_detect as detect;
+pub use narada_difftest as difftest;
 pub use narada_gen as gen;
 pub use narada_lang as lang;
 pub use narada_obs as obs;

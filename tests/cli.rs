@@ -399,3 +399,111 @@ fn synth_generate_seeds_replaces_manual_suite() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("generated"), "{stdout}");
 }
+
+#[test]
+fn difftest_happy_path_exits_zero() {
+    let out = narada(&["difftest", "--count", "6", "--seed", "7", "--threads", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 soundness disagreement(s)"), "{stdout}");
+    assert!(stdout.contains("digest="), "{stdout}");
+}
+
+#[test]
+fn difftest_output_is_thread_count_independent() {
+    let a = narada(&["difftest", "--count", "9", "--seed", "11", "--threads", "1"]);
+    let b = narada(&["difftest", "--count", "9", "--seed", "11", "--threads", "8"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        a.stdout, b.stdout,
+        "difftest output must not depend on --threads"
+    );
+}
+
+#[test]
+fn difftest_disagreement_exits_with_code_3() {
+    // --inject-unsound flips one verdict per class, so the sweep must
+    // find disagreements and report them through the dedicated exit code.
+    let out = narada(&[
+        "difftest",
+        "--count",
+        "3",
+        "--seed",
+        "7",
+        "--inject-unsound",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SOUNDNESS"), "{stdout}");
+}
+
+#[test]
+fn difftest_shrink_writes_fixtures() {
+    let dir = std::env::temp_dir().join("narada-cli-tests/difffix");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = narada(&[
+        "difftest",
+        "--count",
+        "3",
+        "--seed",
+        "7",
+        "--inject-unsound",
+        "--shrink",
+        "--fixtures",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shrunk "), "{stdout}");
+    let fixtures: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixture dir created")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mj"))
+        .collect();
+    assert!(!fixtures.is_empty(), "no fixtures written: {stdout}");
+    // Fixture bodies must compile and carry the provenance header.
+    for f in &fixtures {
+        let text = std::fs::read_to_string(f).unwrap();
+        assert!(text.contains("generator_version="), "{text}");
+        assert!(text.contains("disagreement: pair"), "{text}");
+    }
+}
+
+#[test]
+fn difftest_writes_validatable_manifest() {
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("difftest-manifest.json");
+    let out = narada(&[
+        "difftest",
+        "--count",
+        "4",
+        "--seed",
+        "3",
+        "--manifest",
+        manifest.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = narada(&["report", manifest.to_str().unwrap()]);
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert!(stdout.contains("difftest"), "{stdout}");
+}
