@@ -1,0 +1,294 @@
+//! Engine shootout: tree-walk vs bytecode on identical workloads.
+//!
+//! Runs each workload on both engines (same seeds, same sinks), checks
+//! that the observable results agree, and reports the wall-clock speedup.
+//! Workloads cover the paths the pipeline actually spends time in:
+//!
+//! * `field-loop` — a tight shared-field update loop, untraced: the
+//!   shape corpus methods actually have (counter increments and
+//!   read-modify-write on instance state), and the headline number;
+//! * `hot-loop` — the same loop with more arithmetic per field access;
+//! * `traced-loop` — into a `VecSink`: event construction bounds the win;
+//! * `corpus-suites` — the benchmark classes' full seed suites,
+//!   untraced: realistic instruction mix including per-machine compile;
+//! * `concurrent` — two racing threads under a seeded random scheduler,
+//!   untraced: the per-step (non-burst) dispatch path.
+//!
+//! Metrics land in `BENCH_vm.json` via the shared manifest writer
+//! (`vm.shootout.*`); an output path argument additionally writes the
+//! markdown report (e.g. `results/vm_speedup.md`).
+
+use narada_bench::render_table;
+use narada_corpus::all;
+use narada_lang::hir::Program;
+use narada_lang::lower::lower_program;
+use narada_lang::mir::MirProgram;
+use narada_vm::{
+    trace_digest, Engine, Machine, MachineOptions, NullSink, RandomScheduler, Value, VecSink,
+};
+use std::time::{Duration, Instant};
+
+const HOT_LOOP: &str = r#"
+    class Work {
+        int acc;
+        void spin(int n) {
+            var i = 0;
+            while (i < n) {
+                this.acc = this.acc + i * 3 % 7;
+                i = i + 1;
+            }
+        }
+    }
+    test seed {
+        var w = new Work();
+        w.spin(200000);
+    }
+"#;
+
+const FIELD_LOOP: &str = r#"
+    class Work {
+        int a;
+        int b;
+        void spin(int n) {
+            var i = 0;
+            while (i < n) {
+                this.a = this.a + 1;
+                this.b = this.b + this.a;
+                i = i + 1;
+            }
+        }
+    }
+    test seed {
+        var w = new Work();
+        w.spin(200000);
+    }
+"#;
+
+const CONTENDED: &str = r#"
+    class Counter {
+        int count;
+        int guarded;
+        void inc() { this.count = this.count + 1; }
+        sync void sinc() { this.guarded = this.guarded + 1; }
+        int mix(int n) {
+            var i = 0;
+            while (i < n) {
+                this.inc();
+                this.sinc();
+                i = i + 1;
+            }
+            return this.count + this.guarded;
+        }
+    }
+    test seed { var c = new Counter(); c.mix(1); }
+"#;
+
+fn build(src: &str) -> (Program, MirProgram) {
+    let prog = narada_lang::compile(src).expect("bench program compiles");
+    let mir = lower_program(&prog);
+    (prog, mir)
+}
+
+fn opts(engine: Engine) -> MachineOptions {
+    MachineOptions {
+        seed: 0xbe9c,
+        max_steps: 50_000_000,
+        engine,
+        ..MachineOptions::default()
+    }
+}
+
+/// Repetitions per (workload, engine); the minimum is reported.
+fn reps() -> u32 {
+    std::env::var("NARADA_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Times `f` (already warmed once by the equality check) and returns the
+/// best of `reps()` runs.
+fn time_best(mut f: impl FnMut() -> u64) -> (Duration, u64) {
+    let mut best = Duration::MAX;
+    let mut result = 0u64;
+    for _ in 0..reps() {
+        let t = Instant::now();
+        result = std::hint::black_box(f());
+        best = best.min(t.elapsed());
+    }
+    (best, result)
+}
+
+struct Shot {
+    name: &'static str,
+    tree: Duration,
+    bytecode: Duration,
+}
+
+impl Shot {
+    fn speedup(&self) -> f64 {
+        self.tree.as_secs_f64() / self.bytecode.as_secs_f64()
+    }
+}
+
+/// Runs one workload on both engines, asserting the engine-independent
+/// result value agrees before trusting the timings.
+fn shootout(name: &'static str, mut run: impl FnMut(Engine) -> u64) -> Shot {
+    let (tree, tree_result) = time_best(|| run(Engine::TreeWalk));
+    let (bytecode, bc_result) = time_best(|| run(Engine::Bytecode));
+    assert_eq!(
+        tree_result, bc_result,
+        "{name}: engines disagree — timings are meaningless"
+    );
+    Shot {
+        name,
+        tree,
+        bytecode,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1);
+    let obs = narada_obs::Obs::new();
+
+    let (hot_prog, hot_mir) = build(HOT_LOOP);
+    let hot = shootout("hot-loop", |engine| {
+        let mut m = Machine::new(&hot_prog, &hot_mir, opts(engine));
+        m.run_test(hot_prog.tests[0].id, &mut NullSink).unwrap();
+        let work = hot_prog.class_by_name("Work").unwrap();
+        let acc = hot_prog.field_by_name(work, "acc").unwrap();
+        match m.heap.get_field(narada_vm::ObjId(0), acc) {
+            Value::Int(n) => n as u64,
+            other => panic!("unexpected acc value {other:?}"),
+        }
+    });
+
+    let (field_prog, field_mir) = build(FIELD_LOOP);
+    let field = shootout("field-loop", |engine| {
+        let mut m = Machine::new(&field_prog, &field_mir, opts(engine));
+        m.run_test(field_prog.tests[0].id, &mut NullSink).unwrap();
+        let work = field_prog.class_by_name("Work").unwrap();
+        let b = field_prog.field_by_name(work, "b").unwrap();
+        match m.heap.get_field(narada_vm::ObjId(0), b) {
+            Value::Int(n) => n as u64,
+            other => panic!("unexpected b value {other:?}"),
+        }
+    });
+
+    let traced = shootout("traced-loop", |engine| {
+        let mut m = Machine::new(&hot_prog, &hot_mir, opts(engine));
+        let mut sink = VecSink::new();
+        m.run_test(hot_prog.tests[0].id, &mut sink).unwrap();
+        trace_digest(&sink.events)
+    });
+
+    let corpus: Vec<(Program, MirProgram)> = all()
+        .into_iter()
+        .map(|e| {
+            let prog = e.compile().expect("corpus compiles");
+            let mir = lower_program(&prog);
+            (prog, mir)
+        })
+        .collect();
+    let suites = shootout("corpus-suites", |engine| {
+        let mut failures = 0u64;
+        for (prog, mir) in &corpus {
+            let mut m = Machine::new(prog, mir, opts(engine));
+            for t in &prog.tests {
+                failures += m.run_test(t.id, &mut NullSink).is_err() as u64;
+            }
+        }
+        failures
+    });
+
+    let (con_prog, con_mir) = build(CONTENDED);
+    let counter = con_prog.class_by_name("Counter").unwrap();
+    let mix = con_prog.dispatch(counter, "mix").unwrap();
+    let count = con_prog.field_by_name(counter, "count").unwrap();
+    let concurrent = shootout("concurrent", |engine| {
+        let mut m = Machine::new(&con_prog, &con_mir, opts(engine));
+        let obj = m.heap.alloc_instance(&con_prog, counter);
+        for _ in 0..2 {
+            m.spawn_invoke(
+                mix,
+                Some(Value::Ref(obj)),
+                vec![Value::Int(20_000)],
+                &mut NullSink,
+            )
+            .unwrap();
+        }
+        let mut sched = RandomScheduler::new(7);
+        m.run_threads(&mut sched, &mut NullSink, 10_000_000);
+        match m.heap.get_field(obj, count) {
+            Value::Int(n) => n as u64,
+            other => panic!("unexpected count value {other:?}"),
+        }
+    });
+
+    let shots = [field, hot, traced, suites, concurrent];
+    let rows: Vec<Vec<String>> = shots
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                format!("{:.2}ms", s.tree.as_secs_f64() * 1e3),
+                format!("{:.2}ms", s.bytecode.as_secs_f64() * 1e3),
+                format!("{:.2}x", s.speedup()),
+            ]
+        })
+        .collect();
+    let table = render_table(&["workload", "tree", "bytecode", "speedup"], &rows);
+    println!(
+        "Engine shootout: tree-walk vs bytecode (best of {} runs)",
+        reps()
+    );
+    print!("{table}");
+
+    for s in &shots {
+        let key = |engine: &str| format!("vm.shootout.{}.{engine}_ns", s.name);
+        obs.metrics
+            .gauge(&key("tree"))
+            .set(s.tree.as_nanos() as u64);
+        obs.metrics
+            .gauge(&key("bytecode"))
+            .set(s.bytecode.as_nanos() as u64);
+        obs.metrics
+            .gauge(&format!("vm.shootout.{}.speedup_pct", s.name))
+            .set((s.speedup() * 100.0) as u64);
+    }
+
+    if let Some(path) = out_path {
+        let mut md = String::from(
+            "# Engine shootout: tree-walk vs bytecode\n\n\
+             Identical workloads on both execution engines (same seeds,\n\
+             same sinks; per-workload result equality asserted before\n\
+             timing — see DESIGN.md §9). `field-loop` is the headline\n\
+             interpreter-bound number: a shared-field update loop, the\n\
+             shape corpus methods actually have. `traced-loop` bounds\n\
+             the win by event construction; `corpus-suites` is the\n\
+             realistic mix (including per-machine compile cost);\n\
+             `concurrent` exercises the per-step scheduling path.\n\n",
+        );
+        md.push_str(&table);
+        md.push_str(&format!(
+            "\nbest of {} runs per cell; regenerate with \
+             `cargo run --release -p narada-bench --bin vm -- {path}`\n",
+            reps()
+        ));
+        std::fs::write(&path, md).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    narada_bench::write_manifest(
+        "vm",
+        1,
+        &obs,
+        &[
+            ("reps", reps().to_string()),
+            (
+                "workloads",
+                shots.iter().map(|s| s.name).collect::<Vec<_>>().join(","),
+            ),
+        ],
+    );
+}

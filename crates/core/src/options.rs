@@ -1,7 +1,7 @@
 //! Tuning knobs for the synthesis pipeline, including the ablation flags
 //! called out in DESIGN.md.
 
-use narada_vm::ScheduleStrategy;
+use narada_vm::{Engine, ScheduleStrategy};
 
 /// Options controlling pair generation, context derivation, and synthesis.
 #[derive(Debug, Clone)]
@@ -41,6 +41,11 @@ pub struct SynthesisOptions {
     /// see [`crate::pipeline::synthesize_generated`]). Off by default —
     /// the paper's pipeline consumes hand-written seed tests.
     pub generate_seeds: bool,
+    /// Execution engine for every machine the pipeline builds (seed runs,
+    /// setter probing, demonstration). Both engines are trace-equivalent
+    /// — see the engine differential suite — so this is purely a
+    /// throughput knob (the CLI's `--engine`).
+    pub engine: Engine,
 }
 
 impl Default for SynthesisOptions {
@@ -55,6 +60,7 @@ impl Default for SynthesisOptions {
             static_filter: false,
             static_rank: false,
             generate_seeds: false,
+            engine: Engine::TreeWalk,
         }
     }
 }
@@ -75,6 +81,9 @@ pub struct ExploreOptions {
     /// Worker threads for sharded demonstration runs (`0` = one per
     /// core); results are identical at any value.
     pub threads: usize,
+    /// Execution engine for exploration machines (trace-equivalent to
+    /// tree-walk; a throughput knob).
+    pub engine: Engine,
 }
 
 impl Default for ExploreOptions {
@@ -85,6 +94,7 @@ impl Default for ExploreOptions {
             seed: 0xdecaf,
             budget: 2_000_000,
             threads: 0,
+            engine: Engine::TreeWalk,
         }
     }
 }

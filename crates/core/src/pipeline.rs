@@ -151,7 +151,14 @@ pub fn synthesize_observed(
     let mut seed_failures = Vec::new();
     {
         let _s = span!(obs.tracer, "stage.trace");
-        let mut machine = Machine::new(prog, mir, MachineOptions::default());
+        let mut machine = Machine::new(
+            prog,
+            mir,
+            MachineOptions {
+                engine: opts.engine,
+                ..MachineOptions::default()
+            },
+        );
         for t in &prog.tests {
             let _run = span!(obs.tracer, "seed.run", test = t.name);
             if let Err(e) = machine.run_test(t.id, &mut sink) {
@@ -316,6 +323,7 @@ pub fn demonstrate_observed(
             mir,
             MachineOptions {
                 seed: derive_seed(explore.seed, &[STAGE_DEMO_MACHINE, idx]),
+                engine: explore.engine,
                 ..MachineOptions::default()
             },
         );

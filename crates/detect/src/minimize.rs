@@ -25,7 +25,7 @@ use narada_core::TestPlan;
 use narada_lang::hir::{Program, TestId};
 use narada_lang::mir::MirProgram;
 use narada_vm::{
-    trace_digest, Machine, MachineOptions, RecordingScheduler, ReplayScheduler, Schedule,
+    trace_digest, Engine, Machine, MachineOptions, RecordingScheduler, ReplayScheduler, Schedule,
     SegmentScheduler, TeeSink, ThreadId, VecSink,
 };
 
@@ -65,12 +65,14 @@ fn probe(
     budget: u64,
     target: &StaticRaceKey,
     segments: &[(ThreadId, u64)],
+    engine: Engine,
 ) -> Option<Probe> {
     let mut machine = Machine::new(
         prog,
         mir,
         MachineOptions {
             seed: machine_seed,
+            engine,
             ..MachineOptions::default()
         },
     );
@@ -121,6 +123,7 @@ pub fn minimize_schedule(
     budget: u64,
     target: &StaticRaceKey,
     schedule: &Schedule,
+    engine: Engine,
 ) -> Option<MinimizeOutcome> {
     let machine_seed = schedule.seed;
     let probes = std::cell::Cell::new(0usize);
@@ -135,6 +138,7 @@ pub fn minimize_schedule(
             budget,
             target,
             segments,
+            engine,
         )
     };
 
@@ -245,12 +249,14 @@ pub fn replay_schedule(
     plan: &TestPlan,
     budget: u64,
     schedule: &Schedule,
+    engine: Engine,
 ) -> Result<ReplayOutcome, String> {
     let mut machine = Machine::new(
         prog,
         mir,
         MachineOptions {
             seed: schedule.seed,
+            engine,
             ..MachineOptions::default()
         },
     );

@@ -34,7 +34,8 @@ use narada_lang::mir::MirProgram;
 use narada_obs::{span, Obs, TRIAL_BUCKETS};
 use narada_vm::rng::derive_seed;
 use narada_vm::{
-    Machine, MachineOptions, ObservedScheduler, RecordingScheduler, ScheduleStrategy, TeeSink,
+    Engine, Machine, MachineOptions, ObservedScheduler, RecordingScheduler, ScheduleStrategy,
+    TeeSink,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
@@ -73,6 +74,11 @@ pub struct DetectConfig {
     /// [`ConfirmedRace`] — used when committing `.sched` fixtures; costs
     /// one full re-execution per probe.
     pub minimize: bool,
+    /// Execution engine for every trial, confirmation, and minimization
+    /// machine. Trace-equivalent to tree-walk (see the engine
+    /// differential suite), so detection output is byte-identical across
+    /// engines; this is purely a throughput knob (the CLI's `--engine`).
+    pub engine: Engine,
 }
 
 impl Default for DetectConfig {
@@ -86,6 +92,7 @@ impl Default for DetectConfig {
             strategy: ScheduleStrategy::Random,
             pct_horizon: 1_000,
             minimize: false,
+            engine: Engine::TreeWalk,
         }
     }
 }
@@ -136,6 +143,7 @@ fn detection_trial(
         mir,
         MachineOptions {
             seed: machine_seed,
+            engine: cfg.engine,
             ..MachineOptions::default()
         },
     );
@@ -194,6 +202,7 @@ fn confirm_race(
                 mir,
                 MachineOptions {
                     seed: machine_seed,
+                    engine: cfg.engine,
                     ..MachineOptions::default()
                 },
             );
@@ -226,8 +235,9 @@ fn confirm_race(
                 // fixtures are being committed.
                 c.schedule = Some(match cfg.minimize {
                     true => {
-                        match minimize_schedule(prog, mir, seeds, plan, cfg.budget, fine, &schedule)
-                        {
+                        match minimize_schedule(
+                            prog, mir, seeds, plan, cfg.budget, fine, &schedule, cfg.engine,
+                        ) {
                             Some(m) => {
                                 obs.metrics.counter("minimize.probes").add(m.probes as u64);
                                 m.schedule

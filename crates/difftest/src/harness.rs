@@ -27,7 +27,7 @@ use narada_detect::{evaluate_test_indexed, DetectConfig};
 use narada_lang::lower::lower_program;
 use narada_obs::Obs;
 use narada_vm::rng::derive_seed;
-use narada_vm::ScheduleStrategy;
+use narada_vm::{Engine, ScheduleStrategy};
 
 /// Sweep configuration (the CLI's `narada difftest` knobs).
 #[derive(Debug, Clone)]
@@ -49,6 +49,10 @@ pub struct DiffConfig {
     /// verdict of every class to a bogus discharge, so the disagreement
     /// path (exit code, shrinker, fixtures) can be exercised on demand.
     pub inject_unsound: bool,
+    /// Execution engine for every machine in the sweep (synthesis *and*
+    /// detection). Trace-equivalent to tree-walk, so sweep digests are
+    /// engine-independent — a property the workspace suite asserts.
+    pub engine: Engine,
 }
 
 impl Default for DiffConfig {
@@ -61,6 +65,7 @@ impl Default for DiffConfig {
             confirm_trials: 4,
             budget: 2_000_000,
             inject_unsound: false,
+            engine: Engine::TreeWalk,
         }
     }
 }
@@ -211,10 +216,11 @@ pub fn screen_pairs_inject_unsound(
 /// Synthesis options for the differential run: rank, don't filter, so a
 /// wrongly-discharged pair still gets a derived plan and can be caught
 /// in the act.
-fn synth_opts() -> SynthesisOptions {
+fn synth_opts(engine: Engine) -> SynthesisOptions {
     SynthesisOptions {
         static_rank: true,
         threads: 1,
+        engine,
         ..SynthesisOptions::default()
     }
 }
@@ -233,6 +239,7 @@ fn detect_cfg_base(cfg: &DiffConfig) -> DetectConfig {
         strategy: ScheduleStrategy::Pct { depth: 3 },
         pct_horizon: 1_000,
         minimize: false,
+        engine: cfg.engine,
     }
 }
 
@@ -271,7 +278,7 @@ pub fn check_agreement(
     } else {
         narada_screen::screen_pairs
     };
-    let out: SynthesisOutput = synthesize_with(prog, &mir, &synth_opts(), Some(screener));
+    let out: SynthesisOutput = synthesize_with(prog, &mir, &synth_opts(cfg.engine), Some(screener));
     let verdicts = out.verdicts.as_deref().unwrap_or(&[]);
     let discharged = verdicts.iter().filter(|v| !v.may_race()).count();
     let survivors = verdicts.len() - discharged;

@@ -18,6 +18,7 @@ macro_rules! define_id {
 
         impl $name {
             /// The dense index of this id.
+            #[inline]
             pub fn index(self) -> usize {
                 self.0 as usize
             }

@@ -29,6 +29,7 @@ pub struct VarId(pub u32);
 
 impl VarId {
     /// Dense index of this register.
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }

@@ -1,0 +1,315 @@
+//! MIR → bytecode lowering. One pass, no optimization: the win is purely
+//! representational (dense bodies, `Copy` ops, pooled argument lists,
+//! interned dispatch), so the op stream mirrors the instruction stream
+//! 1:1 and pc values carry over unchanged.
+
+use super::{ArgRange, BcBody, BcProgram, Op};
+use crate::value::Value;
+use narada_lang::hir::Program;
+use narada_lang::mir::{Body, ConstVal, InstrKind, MirProgram, VarId};
+use std::collections::HashMap;
+
+pub(super) fn compile(program: &Program, mir: &MirProgram) -> BcProgram {
+    // Intern every method name once; the dispatch table below is keyed by
+    // (class, interned name).
+    let mut names: Vec<String> = Vec::new();
+    let mut name_id: HashMap<&str, u32> = HashMap::new();
+    for m in &program.methods {
+        name_id.entry(m.name.as_str()).or_insert_with(|| {
+            names.push(m.name.clone());
+            (names.len() - 1) as u32
+        });
+    }
+
+    // Flat vtable: one probe per virtual call instead of a string-keyed
+    // map walk. `u32::MAX` marks "no such method on this class".
+    let mut dispatch = vec![u32::MAX; program.classes.len() * names.len()];
+    for class in &program.classes {
+        for (name, method) in &class.vtable {
+            let n = name_id[name.as_str()];
+            dispatch[class.id.index() * names.len() + n as usize] = method.0;
+        }
+    }
+
+    // Field layouts are parent-prefix (`all_fields = parent's ++ own`,
+    // shadowing rejected), so each field occupies the same slot in its
+    // owner and every subclass: the slot can be burned into the op.
+    let field_slot: Vec<u32> = program
+        .fields
+        .iter()
+        .map(|f| {
+            program
+                .fields_of(f.owner)
+                .iter()
+                .position(|&g| g == f.id)
+                .expect("field present in its owner's layout") as u32
+        })
+        .collect();
+
+    let mut bc = BcProgram {
+        bodies: Vec::with_capacity(mir.methods.len() + mir.tests.len() + mir.field_inits.len()),
+        n_methods: mir.methods.len(),
+        init_index: vec![u32::MAX; program.fields.len()],
+        args_pool: Vec::new(),
+        elem_pool: Vec::new(),
+        names,
+        dispatch,
+    };
+
+    for body in &mir.methods {
+        compile_body(&mut bc, program, &name_id, &field_slot, body);
+    }
+    for body in &mir.tests {
+        compile_body(&mut bc, program, &name_id, &field_slot, body);
+    }
+    // HashMap iteration order is arbitrary; fix the dense order by field
+    // id so compilation is deterministic.
+    let mut inits: Vec<_> = mir.field_inits.iter().collect();
+    inits.sort_by_key(|(f, _)| f.index());
+    for (field, body) in inits {
+        bc.init_index[field.index()] = bc.bodies.len() as u32;
+        compile_body(&mut bc, program, &name_id, &field_slot, body);
+    }
+    bc
+}
+
+fn compile_body(
+    bc: &mut BcProgram,
+    program: &Program,
+    name_id: &HashMap<&str, u32>,
+    field_slot: &[u32],
+    body: &Body,
+) {
+    let mut ops = Vec::with_capacity(body.instrs.len());
+    let mut spans = Vec::with_capacity(body.instrs.len());
+    let pool_args = |pool: &mut Vec<VarId>, args: &[VarId]| -> ArgRange {
+        let start = pool.len() as u32;
+        pool.extend_from_slice(args);
+        ArgRange {
+            start,
+            len: args.len() as u32,
+        }
+    };
+    for instr in &body.instrs {
+        spans.push(instr.span);
+        ops.push(match instr.kind {
+            InstrKind::Const { dst, val } => Op::Const {
+                dst,
+                val: match val {
+                    ConstVal::Int(n) => Value::Int(n),
+                    ConstVal::Bool(b) => Value::Bool(b),
+                    ConstVal::Null => Value::Null,
+                },
+            },
+            InstrKind::Copy { dst, src } => Op::Copy { dst, src },
+            InstrKind::Rand { dst } => Op::Rand { dst },
+            InstrKind::Binary { dst, op, l, r } => Op::Binary { dst, op, l, r },
+            InstrKind::Unary { dst, op, v } => Op::Unary { dst, op, v },
+            InstrKind::ReadField { dst, obj, field } => Op::ReadField {
+                dst,
+                obj,
+                field,
+                slot: field_slot[field.index()],
+            },
+            InstrKind::WriteField { obj, field, src } => Op::WriteField {
+                obj,
+                field,
+                src,
+                slot: field_slot[field.index()],
+            },
+            InstrKind::ReadIndex { dst, arr, idx } => Op::ReadIndex { dst, arr, idx },
+            InstrKind::WriteIndex { arr, idx, src } => Op::WriteIndex { arr, idx, src },
+            InstrKind::ArrayLen { dst, arr } => Op::ArrayLen { dst, arr },
+            InstrKind::AllocObj { dst, class } => Op::AllocObj { dst, class },
+            InstrKind::NewArray { dst, ref elem, len } => {
+                bc.elem_pool.push(elem.clone());
+                Op::NewArray {
+                    dst,
+                    elem: (bc.elem_pool.len() - 1) as u32,
+                    len,
+                }
+            }
+            InstrKind::CallInit { obj, field } => Op::CallInit { obj, field },
+            InstrKind::Call {
+                dst,
+                recv,
+                method,
+                ref args,
+            } => Op::Call {
+                dst,
+                recv,
+                name: name_id[program.method(method).name.as_str()],
+                args: pool_args(&mut bc.args_pool, args),
+            },
+            InstrKind::CallExact {
+                dst,
+                recv,
+                method,
+                ref args,
+            } => Op::CallExact {
+                dst,
+                recv,
+                method,
+                args: pool_args(&mut bc.args_pool, args),
+            },
+            InstrKind::CallStatic {
+                dst,
+                method,
+                ref args,
+            } => Op::CallStatic {
+                dst,
+                method,
+                args: pool_args(&mut bc.args_pool, args),
+            },
+            InstrKind::Jump { target } => Op::Jump {
+                target: target as u32,
+            },
+            InstrKind::Branch {
+                cond,
+                then_t,
+                else_t,
+            } => Op::Branch {
+                cond,
+                then_t: then_t as u32,
+                else_t: else_t as u32,
+            },
+            InstrKind::MonitorEnter { var } => Op::MonitorEnter { var },
+            InstrKind::MonitorExit { var } => Op::MonitorExit { var },
+            InstrKind::Return { val } => Op::Return { val },
+            InstrKind::Assert { cond } => Op::Assert { cond },
+            InstrKind::MissingReturn => Op::MissingReturn,
+        });
+    }
+    fuse(&mut ops);
+    bc.bodies.push(BcBody {
+        id: body.id,
+        ops,
+        spans,
+    });
+}
+
+/// Superinstruction fusion: rewrites a head op's tag when the one or two
+/// ops that follow it have kinds the execution loop can continue into
+/// without re-dispatching (see the fused arms in `exec.rs`). Only the tag
+/// changes — the continuation ops keep their original slots, so pc
+/// numbering, spans, jump targets, and mid-group pause/resume all still
+/// line up, and a group is only formed when control flow cannot enter it
+/// anywhere but the head.
+fn fuse(ops: &mut [Op]) {
+    // Interior slots must not be jump targets (entry at a group's head is
+    // fine). Call/monitor resumption always lands right after the call op,
+    // and call ops are never fused, so branch/jump targets are the only
+    // interior entries to rule out.
+    let mut entry = vec![false; ops.len()];
+    for op in ops.iter() {
+        match *op {
+            Op::Jump { target } => entry[target as usize] = true,
+            Op::Branch { then_t, else_t, .. } => {
+                entry[then_t as usize] = true;
+                entry[else_t as usize] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        if entry[i + 1] {
+            i += 1;
+            continue;
+        }
+        let next = ops[i + 1];
+        let third = (i + 2 < ops.len() && !entry[i + 2]).then(|| ops[i + 2]);
+        let fused = match (ops[i], next) {
+            (Op::Const { dst, val }, Op::Binary { .. }) => Some(match third {
+                Some(Op::WriteField { .. }) => (Op::ConstBinWrite { dst, val }, 3),
+                Some(Op::Copy { .. }) => (Op::ConstBinCopy { dst, val }, 3),
+                _ => (Op::ConstBin { dst, val }, 2),
+            }),
+            (
+                Op::ReadField {
+                    dst,
+                    obj,
+                    field,
+                    slot,
+                },
+                Op::Binary { .. },
+            ) => Some(match third {
+                Some(Op::WriteField { .. }) => (
+                    Op::ReadBinWrite {
+                        dst,
+                        obj,
+                        field,
+                        slot,
+                    },
+                    3,
+                ),
+                _ => (
+                    Op::ReadBin {
+                        dst,
+                        obj,
+                        field,
+                        slot,
+                    },
+                    2,
+                ),
+            }),
+            (Op::Binary { dst, op, l, r }, Op::WriteField { .. }) => {
+                Some((Op::BinWrite { dst, op, l, r }, 2))
+            }
+            (Op::Binary { dst, op, l, r }, Op::Branch { .. }) => {
+                Some((Op::BinBranch { dst, op, l, r }, 2))
+            }
+            _ => None,
+        };
+        match fused {
+            Some((op, width)) => {
+                ops[i] = op;
+                i += width;
+            }
+            None => i += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{BcProgram, Op};
+    use narada_lang::lower::lower_program;
+
+    /// The canonical increment idioms must fuse: the loop body of
+    /// `spin` below contains a compare+branch, two field increments, and
+    /// an index bump, each of which has a superinstruction form.
+    #[test]
+    fn fuses_increment_idioms() {
+        let prog = narada_lang::compile(
+            r#"
+            class Work {
+                int a;
+                int b;
+                void spin(int n) {
+                    var i = 0;
+                    while (i < n) {
+                        this.a = this.a + 1;
+                        this.b = this.b + this.a;
+                        i = i + 1;
+                    }
+                }
+            }
+            test seed { var w = new Work(); w.spin(3); }
+            "#,
+        )
+        .unwrap();
+        let mir = lower_program(&prog);
+        let bc = BcProgram::compile(&prog, &mir);
+        let ops = &bc.bodies[0].ops;
+        let has = |pred: fn(&Op) -> bool| ops.iter().any(pred);
+        assert!(has(|op| matches!(op, Op::BinBranch { .. })), "{ops:?}");
+        assert!(has(|op| matches!(op, Op::ConstBinWrite { .. })), "{ops:?}");
+        assert!(has(|op| matches!(op, Op::ReadBinWrite { .. })), "{ops:?}");
+        assert!(has(|op| matches!(op, Op::ConstBinCopy { .. })), "{ops:?}");
+        // Continuation slots keep their original ops so that jumps,
+        // pauses, and single-step resumption still land on real
+        // instructions.
+        assert!(has(|op| matches!(op, Op::Binary { .. })), "{ops:?}");
+    }
+}

@@ -1,0 +1,768 @@
+//! The flat-dispatch bytecode execution loop.
+//!
+//! `Machine::run_bc` is the bytecode twin of `Machine::step`'s tree-walk
+//! match, structured as a two-level loop. The inner **fast path** splits
+//! the machine into its disjoint fields once per burst, destructures the
+//! current frame into locals (`pc` mirror, register slice), and then
+//! executes straight-line instructions without re-walking the thread
+//! table — fetch, decode, register access, and pc update are all local
+//! loads/stores, and step/label accounting lives in locals written back
+//! once per burst. Any instruction that crosses an invocation or monitor
+//! boundary (or fails) exits to the **slow path**, which delegates to the
+//! exact helpers the tree-walker uses (`push_callee_frame`, `do_return`,
+//! `release_monitor`, `thread_fail`), so the two engines cannot drift on
+//! frame, lock, or event semantics — only the dispatch mechanics differ.
+//!
+//! Event emission is cheap by construction: the label counter always
+//! advances (so a run is trace-identical no matter when a sink is
+//! attached), but the `Event` value itself — and even the source-span
+//! load it needs — only happens when the sink wants one
+//! ([`EventSink::wants_events`] — false for `NullSink`), which removes
+//! all tracing cost from untraced runs.
+
+use super::{BcProgram, Op};
+use crate::error::{VmError, VmErrorKind};
+use crate::event::{CopySrc, Event, EventKind, EventSink, FieldKey, Label, ThreadId};
+use crate::machine::{eval_binary, Frame, Machine, ThreadStatus};
+use crate::value::Value;
+use narada_lang::ast::UnOp;
+use narada_lang::mir::BodyId;
+
+/// Why the fast path stopped. `Pause` is budget exhaustion (fuel or the
+/// step-limit boundary — disambiguated by the caller); the other arms
+/// carry the instruction's pc so the slow path can recover its span.
+enum Exit {
+    Pause,
+    Boundary(Op, usize),
+    Fail(VmErrorKind, usize),
+}
+
+impl Machine<'_> {
+    /// Executes up to `fuel` instructions of `tid` from compiled bytecode,
+    /// stopping early when the thread leaves the `Runnable` state (return
+    /// to an empty stack, monitor block, failure). Returns the number of
+    /// scheduling steps consumed.
+    ///
+    /// With `fuel == 1` this is exactly one [`Machine::step`]; with
+    /// unbounded fuel it is the sequential fast path (`run_test`,
+    /// `invoke`), where hoisting the per-step dispatch overhead out of the
+    /// scheduler round-trip is worth several multiples of throughput.
+    pub(crate) fn run_bc(
+        &mut self,
+        code: &BcProgram,
+        tid: ThreadId,
+        sink: &mut dyn EventSink,
+        fuel: u64,
+    ) -> u64 {
+        // Monomorphize the dispatch loop on whether the sink listens:
+        // the untraced instance contains no event-construction code at
+        // all (labels still advance), which is most of the per-op win on
+        // the generation/exploration hot paths.
+        if sink.wants_events() {
+            self.run_bc_inner::<true>(code, tid, sink, fuel)
+        } else {
+            self.run_bc_inner::<false>(code, tid, sink, fuel)
+        }
+    }
+
+    // `inline(never)` keeps the two monomorphizations as separate
+    // functions — inlined into one caller, LLVM tail-merges them back
+    // into a single loop with a runtime `wants` test, undoing the
+    // specialization.
+    #[inline(never)]
+    fn run_bc_inner<const WANTS: bool>(
+        &mut self,
+        code: &BcProgram,
+        tid: ThreadId,
+        sink: &mut dyn EventSink,
+        fuel: u64,
+    ) -> u64 {
+        let t = tid.index();
+        let mut used = 0u64;
+
+        'bursts: while used < fuel {
+            if self.threads[t].status != ThreadStatus::Runnable {
+                break;
+            }
+            // The two non-instruction outcomes consume a step, exactly as
+            // one tree-walk iteration would: limit check first, then the
+            // empty-stack Finished transition.
+            if self.threads[t].steps >= self.opts.max_steps {
+                used += 1;
+                self.threads[t].steps += 1;
+                let span = self.current_span(tid);
+                self.thread_fail(tid, VmError::new(VmErrorKind::StepLimit, span), sink);
+                break;
+            }
+            if self.threads[t].frames.is_empty() {
+                used += 1;
+                self.threads[t].steps += 1;
+                self.threads[t].status = ThreadStatus::Finished;
+                break;
+            }
+
+            let body_id = self.threads[t].frames.last().expect("frame").body;
+            let body = &code.bodies[code.body_index(body_id)];
+            debug_assert_eq!(body.id, body_id, "dense body index out of sync");
+
+            // Instructions this burst may execute before fuel runs out or
+            // the per-thread step limit fires (`until_limit >= 1` — the
+            // preamble already handled an exhausted budget).
+            let until_limit = self.opts.max_steps - self.threads[t].steps;
+            let op_budget = (fuel - used).min(until_limit);
+            let mut label = self.next_label;
+            let mut stepped = 0u64;
+
+            let exit = 'fast: {
+                let Machine {
+                    program,
+                    heap,
+                    threads,
+                    rng,
+                    ..
+                } = &mut *self;
+                let thread = &mut threads[t];
+                let Frame {
+                    pc: frame_pc,
+                    regs,
+                    held,
+                    inv,
+                    ..
+                } = thread.frames.last_mut().expect("frame");
+                let inv = *inv;
+                let regs: &mut [Value] = regs;
+                let ops: &[Op] = &body.ops;
+                let mut pc = *frame_pc;
+
+                // Allocates the label for one event and builds/sends it
+                // only when the sink listens.
+                macro_rules! emit_ev {
+                    ($pc:expr, $kind:expr) => {{
+                        let l = Label(label);
+                        label += 1;
+                        if WANTS {
+                            sink.event(&Event {
+                                label: l,
+                                tid,
+                                span: body.spans[$pc],
+                                kind: $kind,
+                            });
+                        }
+                    }};
+                }
+                // Syncs the pc mirror back into the frame and leaves the
+                // fast path (`pc` still points at the current op: breaks
+                // happen before the arm advances it).
+                macro_rules! exit_fast {
+                    ($exit:expr) => {{
+                        *frame_pc = pc;
+                        break 'fast $exit;
+                    }};
+                }
+                // Dereferences a register that must hold an object.
+                macro_rules! obj_of {
+                    ($v:expr) => {
+                        match regs[$v.index()].as_obj() {
+                            Some(o) => o,
+                            None => exit_fast!(Exit::Fail(VmErrorKind::NullDeref, pc)),
+                        }
+                    };
+                }
+                // Straight-line op segments, shared between the plain
+                // arms and the fused superinstruction arms so the two
+                // cannot drift. Each executes one instruction at `pc`
+                // and advances it.
+                macro_rules! seg_const {
+                    ($dst:expr, $val:expr) => {{
+                        regs[$dst.index()] = $val;
+                        emit_ev!(
+                            pc,
+                            EventKind::Copy {
+                                inv,
+                                dst: $dst,
+                                src: CopySrc::Opaque,
+                                value: $val,
+                            }
+                        );
+                        pc += 1;
+                    }};
+                }
+                macro_rules! seg_copy {
+                    ($dst:expr, $src:expr) => {{
+                        let value = regs[$src.index()];
+                        regs[$dst.index()] = value;
+                        emit_ev!(
+                            pc,
+                            EventKind::Copy {
+                                inv,
+                                dst: $dst,
+                                src: CopySrc::Var($src),
+                                value,
+                            }
+                        );
+                        pc += 1;
+                    }};
+                }
+                macro_rules! seg_binary {
+                    ($dst:expr, $op:expr, $l:expr, $r:expr) => {{
+                        let value = match eval_binary($op, regs[$l.index()], regs[$r.index()]) {
+                            Ok(v) => v,
+                            Err(kind) => exit_fast!(Exit::Fail(kind, pc)),
+                        };
+                        regs[$dst.index()] = value;
+                        emit_ev!(
+                            pc,
+                            EventKind::Copy {
+                                inv,
+                                dst: $dst,
+                                src: CopySrc::Opaque,
+                                value,
+                            }
+                        );
+                        pc += 1;
+                    }};
+                }
+                macro_rules! seg_read {
+                    ($dst:expr, $obj:expr, $field:expr, $slot:expr) => {{
+                        let o = obj_of!($obj);
+                        let value = heap.get_slot(o, $slot);
+                        regs[$dst.index()] = value;
+                        emit_ev!(
+                            pc,
+                            EventKind::Read {
+                                inv,
+                                dst: $dst,
+                                obj_var: $obj,
+                                obj: o,
+                                field: FieldKey::Field($field),
+                                value,
+                            }
+                        );
+                        pc += 1;
+                    }};
+                }
+                macro_rules! seg_write {
+                    ($obj:expr, $field:expr, $src:expr, $slot:expr) => {{
+                        let o = obj_of!($obj);
+                        let value = regs[$src.index()];
+                        heap.set_slot(o, $slot, value);
+                        emit_ev!(
+                            pc,
+                            EventKind::Write {
+                                inv,
+                                obj_var: $obj,
+                                obj: o,
+                                field: FieldKey::Field($field),
+                                src_var: $src,
+                                value,
+                            }
+                        );
+                        pc += 1;
+                    }};
+                }
+                macro_rules! seg_branch {
+                    ($cond:expr, $then_t:expr, $else_t:expr) => {{
+                        let Some(b) = regs[$cond.index()].as_bool() else {
+                            exit_fast!(Exit::Fail(
+                                VmErrorKind::Internal("branch on non-bool".into()),
+                                pc
+                            ))
+                        };
+                        pc = if b {
+                            $then_t as usize
+                        } else {
+                            $else_t as usize
+                        };
+                    }};
+                }
+                // Budget gate between the halves of a fused op —
+                // identical to the gate at the top of the dispatch loop,
+                // so a fused group is step-for-step the two or three ops
+                // it replaced (a pause here resumes on the original,
+                // unfused continuation op).
+                macro_rules! gate {
+                    () => {{
+                        if stepped == op_budget {
+                            exit_fast!(Exit::Pause);
+                        }
+                        stepped += 1;
+                    }};
+                }
+                // Inline continuations: the stream op at `pc`, whose kind
+                // the fused tag pinned down at compile time.
+                macro_rules! next_binary {
+                    () => {{
+                        let Op::Binary { dst, op, l, r } = ops[pc] else {
+                            unreachable!("fused tag promised Binary")
+                        };
+                        seg_binary!(dst, op, l, r);
+                    }};
+                }
+                macro_rules! next_write {
+                    () => {{
+                        let Op::WriteField {
+                            obj,
+                            field,
+                            src,
+                            slot,
+                        } = ops[pc]
+                        else {
+                            unreachable!("fused tag promised WriteField")
+                        };
+                        seg_write!(obj, field, src, slot);
+                    }};
+                }
+                macro_rules! next_copy {
+                    () => {{
+                        let Op::Copy { dst, src } = ops[pc] else {
+                            unreachable!("fused tag promised Copy")
+                        };
+                        seg_copy!(dst, src);
+                    }};
+                }
+                macro_rules! next_branch {
+                    () => {{
+                        let Op::Branch {
+                            cond,
+                            then_t,
+                            else_t,
+                        } = ops[pc]
+                        else {
+                            unreachable!("fused tag promised Branch")
+                        };
+                        seg_branch!(cond, then_t, else_t);
+                    }};
+                }
+
+                loop {
+                    if stepped == op_budget {
+                        exit_fast!(Exit::Pause);
+                    }
+                    stepped += 1;
+                    debug_assert!(pc < ops.len(), "pc past end of body");
+                    let op = ops[pc];
+
+                    match op {
+                        Op::Const { dst, val } => seg_const!(dst, val),
+                        Op::Copy { dst, src } => seg_copy!(dst, src),
+                        Op::Rand { dst } => {
+                            let value = Value::Int(rng.gen_range(0..1_000_000));
+                            regs[dst.index()] = value;
+                            emit_ev!(
+                                pc,
+                                EventKind::Copy {
+                                    inv,
+                                    dst,
+                                    src: CopySrc::Opaque,
+                                    value,
+                                }
+                            );
+                            pc += 1;
+                        }
+                        Op::Binary { dst, op, l, r } => seg_binary!(dst, op, l, r),
+                        Op::Unary { dst, op, v } => {
+                            let value = match (op, regs[v.index()]) {
+                                (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                                (UnOp::Neg, Value::Int(n)) => Value::Int(n.wrapping_neg()),
+                                _ => exit_fast!(Exit::Fail(
+                                    VmErrorKind::Internal("unary type mismatch".into()),
+                                    pc
+                                )),
+                            };
+                            regs[dst.index()] = value;
+                            emit_ev!(
+                                pc,
+                                EventKind::Copy {
+                                    inv,
+                                    dst,
+                                    src: CopySrc::Opaque,
+                                    value,
+                                }
+                            );
+                            pc += 1;
+                        }
+                        Op::ReadField {
+                            dst,
+                            obj,
+                            field,
+                            slot,
+                        } => seg_read!(dst, obj, field, slot),
+                        Op::WriteField {
+                            obj,
+                            field,
+                            src,
+                            slot,
+                        } => seg_write!(obj, field, src, slot),
+                        Op::ReadIndex { dst, arr, idx } => {
+                            let o = obj_of!(arr);
+                            let i = regs[idx.index()].as_int().unwrap_or(0);
+                            let Some(value) = heap.get_elem(o, i) else {
+                                exit_fast!(Exit::Fail(
+                                    VmErrorKind::IndexOutOfBounds {
+                                        idx: i,
+                                        len: heap.array_len(o),
+                                    },
+                                    pc
+                                ));
+                            };
+                            regs[dst.index()] = value;
+                            emit_ev!(
+                                pc,
+                                EventKind::Read {
+                                    inv,
+                                    dst,
+                                    obj_var: arr,
+                                    obj: o,
+                                    field: FieldKey::Elem(i),
+                                    value,
+                                }
+                            );
+                            pc += 1;
+                        }
+                        Op::WriteIndex { arr, idx, src } => {
+                            let o = obj_of!(arr);
+                            let i = regs[idx.index()].as_int().unwrap_or(0);
+                            let value = regs[src.index()];
+                            if !heap.set_elem(o, i, value) {
+                                exit_fast!(Exit::Fail(
+                                    VmErrorKind::IndexOutOfBounds {
+                                        idx: i,
+                                        len: heap.array_len(o),
+                                    },
+                                    pc
+                                ));
+                            }
+                            emit_ev!(
+                                pc,
+                                EventKind::Write {
+                                    inv,
+                                    obj_var: arr,
+                                    obj: o,
+                                    field: FieldKey::Elem(i),
+                                    src_var: src,
+                                    value,
+                                }
+                            );
+                            pc += 1;
+                        }
+                        Op::ArrayLen { dst, arr } => {
+                            let o = obj_of!(arr);
+                            let value = Value::Int(heap.array_len(o) as i64);
+                            regs[dst.index()] = value;
+                            emit_ev!(
+                                pc,
+                                EventKind::Copy {
+                                    inv,
+                                    dst,
+                                    src: CopySrc::Opaque,
+                                    value,
+                                }
+                            );
+                            pc += 1;
+                        }
+                        Op::AllocObj { dst, class } => {
+                            let obj = heap.alloc_instance(program, class);
+                            regs[dst.index()] = Value::Ref(obj);
+                            emit_ev!(
+                                pc,
+                                EventKind::Alloc {
+                                    inv,
+                                    dst,
+                                    obj,
+                                    class: Some(class),
+                                }
+                            );
+                            pc += 1;
+                        }
+                        Op::NewArray { dst, elem, len } => {
+                            let n = regs[len.index()].as_int().unwrap_or(0);
+                            if n < 0 {
+                                exit_fast!(Exit::Fail(VmErrorKind::NegativeArrayLength(n), pc));
+                            }
+                            let obj =
+                                heap.alloc_array(code.elem_pool[elem as usize].clone(), n as usize);
+                            regs[dst.index()] = Value::Ref(obj);
+                            emit_ev!(
+                                pc,
+                                EventKind::Alloc {
+                                    inv,
+                                    dst,
+                                    obj,
+                                    class: None,
+                                }
+                            );
+                            pc += 1;
+                        }
+                        Op::MonitorEnter { var } => {
+                            let o = obj_of!(var);
+                            match heap.object(o).lock_owner {
+                                None => {
+                                    let objm = heap.object_mut(o);
+                                    objm.lock_owner = Some(tid.0);
+                                    objm.lock_count = 1;
+                                    held.push(o);
+                                    emit_ev!(
+                                        pc,
+                                        EventKind::Lock {
+                                            inv,
+                                            var: Some(var),
+                                            obj: o,
+                                        }
+                                    );
+                                    pc += 1;
+                                }
+                                Some(owner) if owner == tid.0 => {
+                                    heap.object_mut(o).lock_count += 1;
+                                    held.push(o);
+                                    pc += 1;
+                                }
+                                // Contended: blocking needs the thread
+                                // status, which the pinned frame borrow
+                                // shadows — defer to the slow path.
+                                Some(_) => exit_fast!(Exit::Boundary(op, pc)),
+                            }
+                        }
+                        Op::Jump { target } => {
+                            pc = target as usize;
+                        }
+                        Op::Branch {
+                            cond,
+                            then_t,
+                            else_t,
+                        } => seg_branch!(cond, then_t, else_t),
+                        Op::ConstBin { dst, val } => {
+                            seg_const!(dst, val);
+                            gate!();
+                            next_binary!();
+                        }
+                        Op::ConstBinWrite { dst, val } => {
+                            seg_const!(dst, val);
+                            gate!();
+                            next_binary!();
+                            gate!();
+                            next_write!();
+                        }
+                        Op::ConstBinCopy { dst, val } => {
+                            seg_const!(dst, val);
+                            gate!();
+                            next_binary!();
+                            gate!();
+                            next_copy!();
+                        }
+                        Op::ReadBin {
+                            dst,
+                            obj,
+                            field,
+                            slot,
+                        } => {
+                            seg_read!(dst, obj, field, slot);
+                            gate!();
+                            next_binary!();
+                        }
+                        Op::ReadBinWrite {
+                            dst,
+                            obj,
+                            field,
+                            slot,
+                        } => {
+                            seg_read!(dst, obj, field, slot);
+                            gate!();
+                            next_binary!();
+                            gate!();
+                            next_write!();
+                        }
+                        Op::BinWrite { dst, op, l, r } => {
+                            seg_binary!(dst, op, l, r);
+                            gate!();
+                            next_write!();
+                        }
+                        Op::BinBranch { dst, op, l, r } => {
+                            seg_binary!(dst, op, l, r);
+                            gate!();
+                            next_branch!();
+                        }
+                        Op::Assert { cond } => {
+                            if regs[cond.index()] != Value::Bool(true) {
+                                exit_fast!(Exit::Fail(VmErrorKind::AssertFailed, pc));
+                            }
+                            pc += 1;
+                        }
+                        Op::MissingReturn => {
+                            exit_fast!(Exit::Fail(VmErrorKind::MissingReturn, pc));
+                        }
+                        // Everything that pushes or pops a frame.
+                        Op::CallInit { .. }
+                        | Op::Call { .. }
+                        | Op::CallExact { .. }
+                        | Op::CallStatic { .. }
+                        | Op::Return { .. }
+                        | Op::MonitorExit { .. } => exit_fast!(Exit::Boundary(op, pc)),
+                    }
+                }
+            };
+
+            used += stepped;
+            self.threads[t].steps += stepped;
+            self.next_label = label;
+
+            // Fails the thread with `kind` at `span` and re-enters the
+            // burst loop (whose status check then stops the run).
+            macro_rules! fail {
+                ($kind:expr, $span:expr) => {{
+                    self.thread_fail(tid, VmError::new($kind, $span), sink);
+                    continue 'bursts;
+                }};
+            }
+
+            match exit {
+                Exit::Pause => {
+                    if used < fuel && stepped == until_limit {
+                        // The next iteration would exceed the per-thread
+                        // budget: it consumes a step, then fails — same
+                        // accounting as the tree-walk.
+                        used += 1;
+                        self.threads[t].steps += 1;
+                        let span = self.current_span(tid);
+                        self.thread_fail(tid, VmError::new(VmErrorKind::StepLimit, span), sink);
+                        break;
+                    }
+                    // Plain fuel exhaustion: the while condition exits.
+                }
+                Exit::Fail(kind, pc) => fail!(kind, body.spans[pc]),
+                Exit::Boundary(op, pc) => {
+                    let span = body.spans[pc];
+                    // Dereferences a receiver register in the slow path
+                    // (re-checked here: the fast path breaks out *before*
+                    // dereferencing boundary-op receivers).
+                    macro_rules! obj_of {
+                        ($frame:expr, $v:expr) => {
+                            match $frame.regs[$v.index()].as_obj() {
+                                Some(o) => o,
+                                None => fail!(VmErrorKind::NullDeref, span),
+                            }
+                        };
+                    }
+                    match op {
+                        Op::CallInit { obj, field } => {
+                            let frame = self.threads[t].frames.last_mut().expect("frame");
+                            let o = obj_of!(frame, obj);
+                            frame.pc = pc + 1;
+                            self.push_callee_frame(
+                                tid,
+                                BodyId::FieldInit(field),
+                                Some(Value::Ref(o)),
+                                Vec::new(),
+                                None,
+                                Some(obj),
+                                Vec::new(),
+                                span,
+                                sink,
+                            );
+                        }
+                        Op::Call {
+                            dst,
+                            recv,
+                            name,
+                            args,
+                        } => {
+                            let frame = self.threads[t].frames.last().expect("frame");
+                            let o = obj_of!(frame, recv);
+                            let Some(class) = self.heap.class_of(o) else {
+                                fail!(VmErrorKind::Internal("method call on array".into()), span);
+                            };
+                            let Some(target) = code.dispatch(class, name) else {
+                                fail!(
+                                    VmErrorKind::Internal(format!(
+                                        "no method {} on {class}",
+                                        code.names[name as usize]
+                                    )),
+                                    span
+                                );
+                            };
+                            let frame = self.threads[t].frames.last_mut().expect("frame");
+                            let arg_vars = code.args(args).to_vec();
+                            let arg_vals: Vec<Value> =
+                                arg_vars.iter().map(|a| frame.regs[a.index()]).collect();
+                            frame.pc = pc + 1;
+                            self.push_callee_frame(
+                                tid,
+                                BodyId::Method(target),
+                                Some(Value::Ref(o)),
+                                arg_vals,
+                                dst,
+                                Some(recv),
+                                arg_vars,
+                                span,
+                                sink,
+                            );
+                        }
+                        Op::CallExact {
+                            dst,
+                            recv,
+                            method,
+                            args,
+                        } => {
+                            let frame = self.threads[t].frames.last_mut().expect("frame");
+                            let o = obj_of!(frame, recv);
+                            let arg_vars = code.args(args).to_vec();
+                            let arg_vals: Vec<Value> =
+                                arg_vars.iter().map(|a| frame.regs[a.index()]).collect();
+                            frame.pc = pc + 1;
+                            self.push_callee_frame(
+                                tid,
+                                BodyId::Method(method),
+                                Some(Value::Ref(o)),
+                                arg_vals,
+                                dst,
+                                Some(recv),
+                                arg_vars,
+                                span,
+                                sink,
+                            );
+                        }
+                        Op::CallStatic { dst, method, args } => {
+                            let frame = self.threads[t].frames.last_mut().expect("frame");
+                            let arg_vars = code.args(args).to_vec();
+                            let arg_vals: Vec<Value> =
+                                arg_vars.iter().map(|a| frame.regs[a.index()]).collect();
+                            frame.pc = pc + 1;
+                            self.push_callee_frame(
+                                tid,
+                                BodyId::Method(method),
+                                None,
+                                arg_vals,
+                                dst,
+                                None,
+                                arg_vars,
+                                span,
+                                sink,
+                            );
+                        }
+                        Op::Return { val } => {
+                            let frame = self.threads[t].frames.last().expect("frame");
+                            let value = val.map(|v| frame.regs[v.index()]);
+                            self.do_return(tid, val, value, span, sink);
+                        }
+                        Op::MonitorEnter { var } => {
+                            let frame = self.threads[t].frames.last().expect("frame");
+                            let o = obj_of!(frame, var);
+                            self.threads[t].status = ThreadStatus::Blocked(o);
+                        }
+                        Op::MonitorExit { var } => {
+                            let frame = self.threads[t].frames.last().expect("frame");
+                            let o = obj_of!(frame, var);
+                            self.release_monitor(tid, o, span, sink);
+                            let frame = self.threads[t].frames.last_mut().expect("frame");
+                            if let Some(pos) = frame.held.iter().rposition(|&h| h == o) {
+                                frame.held.remove(pos);
+                            }
+                            frame.pc = pc + 1;
+                        }
+                        _ => unreachable!("non-boundary op in slow path"),
+                    }
+                }
+            }
+        }
+        used
+    }
+}

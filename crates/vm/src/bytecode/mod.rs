@@ -1,0 +1,345 @@
+//! Compiled register bytecode for the MJ virtual machine.
+//!
+//! The tree-walking interpreter in [`crate::machine`] pays a fixed tax on
+//! every executed instruction: a `clone()` of the MIR instruction (which
+//! heap-allocates the argument vector of every call), a `HashMap` lookup
+//! for field-initializer bodies, and repeated frame re-fetches through the
+//! register-access macros. None of that work depends on the instruction
+//! actually being executed, so it compiles away.
+//!
+//! [`BcProgram::compile`] lowers a whole [`MirProgram`] once, up front:
+//!
+//! * all bodies (methods, tests, field initializers) land in one dense
+//!   array indexed by [`BcProgram::body_index`], eliminating the
+//!   per-step `HashMap` lookup for `BodyId::FieldInit`;
+//! * every instruction becomes a compact `Copy` [`Op`] — constants are
+//!   pre-converted to [`Value`]s, call argument lists are (start, len)
+//!   ranges into one shared pool, array element types live in a side pool;
+//! * method names are interned and virtual dispatch becomes a flat
+//!   `classes × names` table probe instead of a per-call string-keyed
+//!   vtable walk.
+//!
+//! The execution loop itself lives in `exec.rs` as
+//! `Machine::run_bc` — a flat `loop { match op }` over the compiled body
+//! that shares the tree-walker's frame, monitor, and event plumbing
+//! (`push_callee_frame`, `do_return`, `release_monitor`, `thread_fail`),
+//! so invocation and locking semantics are identical by construction and
+//! the per-instruction semantics are proven identical by the differential
+//! harness (`tests/engine_differential.rs` and the workspace property
+//! suite).
+
+mod compile;
+mod exec;
+
+use crate::value::Value;
+use narada_lang::ast::{BinOp, UnOp};
+use narada_lang::hir::{ClassId, FieldId, MethodId, Program, Ty};
+use narada_lang::mir::{BodyId, MirProgram, VarId};
+use narada_lang::Span;
+
+/// Which execution engine a [`Machine`](crate::Machine) uses.
+///
+/// Both engines implement the same observable semantics — byte-identical
+/// trace-event streams, heap outcomes, and error behavior — which the
+/// differential harness asserts across the corpus, the replay fixtures,
+/// and the generated difftest lattice. `TreeWalk` stays the default;
+/// `Bytecode` compiles the MIR once and runs a flat-dispatch loop that is
+/// several times faster on interpreter-bound workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Interpret the MIR instruction tree directly (the reference engine).
+    #[default]
+    TreeWalk,
+    /// Execute compiled register bytecode with interned ids and a flat
+    /// `loop { match opcode }` dispatch loop.
+    Bytecode,
+}
+
+impl Engine {
+    /// Parses a CLI spelling: `tree` / `treewalk` / `tree-walk` or
+    /// `bytecode` / `bc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the accepted spellings.
+    pub fn parse(s: &str) -> Result<Engine, String> {
+        match s {
+            "tree" | "treewalk" | "tree-walk" => Ok(Engine::TreeWalk),
+            "bytecode" | "bc" => Ok(Engine::Bytecode),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'tree' or 'bytecode')"
+            )),
+        }
+    }
+
+    /// Canonical name, also accepted by [`Engine::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::TreeWalk => "tree",
+            Engine::Bytecode => "bytecode",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Engine::parse(s)
+    }
+}
+
+/// A (start, len) range into [`BcProgram`]'s shared call-argument pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ArgRange {
+    pub start: u32,
+    pub len: u32,
+}
+
+/// One compiled instruction. `Copy`, fixed-size, with every id interned:
+/// fetching one is an array index, never an allocation.
+///
+/// Ops map 1:1 onto [`narada_lang::mir::InstrKind`] (same pc numbering, so
+/// jump targets and the scheduler-facing `(body, pc)` frame state carry
+/// over unchanged); the differences are purely representational — see the
+/// module docs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    Const {
+        dst: VarId,
+        val: Value,
+    },
+    Copy {
+        dst: VarId,
+        src: VarId,
+    },
+    Rand {
+        dst: VarId,
+    },
+    Binary {
+        dst: VarId,
+        op: BinOp,
+        l: VarId,
+        r: VarId,
+    },
+    Unary {
+        dst: VarId,
+        op: UnOp,
+        v: VarId,
+    },
+    /// `slot` is the field's statically-resolved layout index (layouts
+    /// are parent-prefix, so a field's slot is the same in its owner and
+    /// every subclass) — the engine indexes object storage directly
+    /// instead of probing the per-class layout map; `field` is kept for
+    /// the trace event.
+    ReadField {
+        dst: VarId,
+        obj: VarId,
+        field: FieldId,
+        slot: u32,
+    },
+    WriteField {
+        obj: VarId,
+        field: FieldId,
+        src: VarId,
+        slot: u32,
+    },
+    ReadIndex {
+        dst: VarId,
+        arr: VarId,
+        idx: VarId,
+    },
+    WriteIndex {
+        arr: VarId,
+        idx: VarId,
+        src: VarId,
+    },
+    ArrayLen {
+        dst: VarId,
+        arr: VarId,
+    },
+    AllocObj {
+        dst: VarId,
+        class: ClassId,
+    },
+    NewArray {
+        dst: VarId,
+        elem: u32,
+        len: VarId,
+    },
+    CallInit {
+        obj: VarId,
+        field: FieldId,
+    },
+    Call {
+        dst: Option<VarId>,
+        recv: VarId,
+        name: u32,
+        args: ArgRange,
+    },
+    CallExact {
+        dst: Option<VarId>,
+        recv: VarId,
+        method: MethodId,
+        args: ArgRange,
+    },
+    CallStatic {
+        dst: Option<VarId>,
+        method: MethodId,
+        args: ArgRange,
+    },
+    Jump {
+        target: u32,
+    },
+    Branch {
+        cond: VarId,
+        then_t: u32,
+        else_t: u32,
+    },
+    MonitorEnter {
+        var: VarId,
+    },
+    MonitorExit {
+        var: VarId,
+    },
+    Return {
+        val: Option<VarId>,
+    },
+    Assert {
+        cond: VarId,
+    },
+    MissingReturn,
+
+    // Fused superinstructions. The tag names the statically-known kinds
+    // of this op and the one or two ops that follow it in the stream; the
+    // payload is the *first* op's, and the continuation ops keep their
+    // original slots, so the fused arm destructures them directly instead
+    // of re-dispatching. Control flow can only enter a group at its head
+    // (compile.rs refuses interior jump targets), and a pause between
+    // halves resumes on the untouched original op, so fusion is invisible
+    // to every observable: steps, labels, events, spans, schedules.
+    /// `Const`; `Binary`.
+    ConstBin {
+        dst: VarId,
+        val: Value,
+    },
+    /// `Const`; `Binary`; `WriteField`.
+    ConstBinWrite {
+        dst: VarId,
+        val: Value,
+    },
+    /// `Const`; `Binary`; `Copy`.
+    ConstBinCopy {
+        dst: VarId,
+        val: Value,
+    },
+    /// `ReadField`; `Binary`.
+    ReadBin {
+        dst: VarId,
+        obj: VarId,
+        field: FieldId,
+        slot: u32,
+    },
+    /// `ReadField`; `Binary`; `WriteField`.
+    ReadBinWrite {
+        dst: VarId,
+        obj: VarId,
+        field: FieldId,
+        slot: u32,
+    },
+    /// `Binary`; `WriteField`.
+    BinWrite {
+        dst: VarId,
+        op: BinOp,
+        l: VarId,
+        r: VarId,
+    },
+    /// `Binary`; `Branch`.
+    BinBranch {
+        dst: VarId,
+        op: BinOp,
+        l: VarId,
+        r: VarId,
+    },
+}
+
+/// One compiled body: ops and their source spans in parallel arrays
+/// (same pc numbering as the MIR body it was lowered from).
+#[derive(Debug)]
+pub(crate) struct BcBody {
+    /// The MIR body this was compiled from (frames keep storing `BodyId`,
+    /// so previews and schedulers stay engine-independent).
+    pub id: BodyId,
+    pub ops: Vec<Op>,
+    pub spans: Vec<Span>,
+}
+
+/// A whole MJ program compiled to register bytecode. Immutable once
+/// built; share one across machines with `Arc` (see
+/// [`Machine::with_code`](crate::Machine::with_code)).
+#[derive(Debug)]
+pub struct BcProgram {
+    /// Methods first, then tests, then field initializers — see
+    /// [`BcProgram::body_index`].
+    pub(crate) bodies: Vec<BcBody>,
+    pub(crate) n_methods: usize,
+    /// `FieldId` → dense body index (`u32::MAX` when the field has no
+    /// initializer body).
+    pub(crate) init_index: Vec<u32>,
+    /// Shared pool of call-argument registers, addressed by [`ArgRange`].
+    pub(crate) args_pool: Vec<VarId>,
+    /// Array element types referenced by `Op::NewArray`.
+    pub(crate) elem_pool: Vec<Ty>,
+    /// Interned method names (for dispatch-failure messages).
+    pub(crate) names: Vec<String>,
+    /// Flat dispatch table: `class.index() * names.len() + name` →
+    /// `MethodId` index, `u32::MAX` on a miss. Precomputed from the
+    /// per-class vtables, so a virtual call is one array probe.
+    pub(crate) dispatch: Vec<u32>,
+}
+
+impl BcProgram {
+    /// Dense index of a body in [`BcProgram::bodies`].
+    #[inline]
+    pub(crate) fn body_index(&self, id: BodyId) -> usize {
+        match id {
+            BodyId::Method(m) => m.index(),
+            BodyId::Test(t) => self.n_methods + t.index(),
+            BodyId::FieldInit(f) => self.init_index[f.index()] as usize,
+        }
+    }
+
+    /// Vtable probe: the method `class` dispatches `name` to, if any.
+    #[inline]
+    pub(crate) fn dispatch(&self, class: ClassId, name: u32) -> Option<MethodId> {
+        let raw = self.dispatch[class.index() * self.names.len() + name as usize];
+        (raw != u32::MAX).then_some(MethodId(raw))
+    }
+
+    /// The argument registers of a call op.
+    #[inline]
+    pub(crate) fn args(&self, r: ArgRange) -> &[VarId] {
+        &self.args_pool[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Number of compiled bodies (methods + tests + field initializers).
+    pub fn body_count(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Total compiled ops across all bodies.
+    pub fn op_count(&self) -> usize {
+        self.bodies.iter().map(|b| b.ops.len()).sum()
+    }
+
+    /// Compiles a whole program. Cost is linear in the MIR; a `Machine`
+    /// built with [`Engine::Bytecode`] does this once in its constructor.
+    pub fn compile(program: &Program, mir: &MirProgram) -> BcProgram {
+        compile::compile(program, mir)
+    }
+}

@@ -255,6 +255,15 @@ pub fn trace_digest(events: &[Event]) -> u64 {
 pub trait EventSink {
     /// Called for every event, in trace order.
     fn event(&mut self, ev: &Event);
+
+    /// Whether this sink actually consumes events. The bytecode engine
+    /// skips *constructing* events for sinks that return `false` (label
+    /// counters still advance, so the trace is unchanged if a listening
+    /// sink is attached mid-run). Defaults to `true`; only sinks that
+    /// provably discard everything should override.
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
 /// Sink that discards everything.
@@ -263,6 +272,10 @@ pub struct NullSink;
 
 impl EventSink for NullSink {
     fn event(&mut self, _ev: &Event) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// Sink that records the whole trace in memory.
@@ -298,6 +311,10 @@ impl<A: EventSink + ?Sized, B: EventSink + ?Sized> EventSink for TeeSink<'_, A, 
     fn event(&mut self, ev: &Event) {
         self.a.event(ev);
         self.b.event(ev);
+    }
+
+    fn wants_events(&self) -> bool {
+        self.a.wants_events() || self.b.wants_events()
     }
 }
 

@@ -37,6 +37,7 @@ pub enum Value {
 
 impl Value {
     /// The referenced object, if this is a non-null reference.
+    #[inline]
     pub fn as_obj(self) -> Option<ObjId> {
         match self {
             Value::Ref(o) => Some(o),
@@ -45,6 +46,7 @@ impl Value {
     }
 
     /// The integer payload, if any.
+    #[inline]
     pub fn as_int(self) -> Option<i64> {
         match self {
             Value::Int(n) => Some(n),
@@ -53,6 +55,7 @@ impl Value {
     }
 
     /// The boolean payload, if any.
+    #[inline]
     pub fn as_bool(self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(b),

@@ -1,0 +1,307 @@
+//! Differential interpreter-vs-bytecode harness (engine half).
+//!
+//! The bytecode engine is only allowed to exist because it is provably
+//! the same machine: every test here runs identical workloads under
+//! `Engine::TreeWalk` and `Engine::Bytecode` and asserts byte-identical
+//! observable behavior — the full trace-event stream (labels, invocation
+//! ids, spans, values), the trace digest, heap shape, per-thread
+//! statuses, and run outcomes. The workspace-level suite extends the same
+//! oracle across the synthesis pipeline, the committed replay fixtures,
+//! and the generated difftest lattice.
+
+use narada_corpus::all;
+use narada_lang::hir::Program;
+use narada_lang::lower::lower_program;
+use narada_lang::mir::MirProgram;
+use narada_vm::{
+    trace_digest, Engine, Event, Machine, MachineOptions, NullSink, PctScheduler, RandomScheduler,
+    RoundRobin, RunOutcome, Scheduler, ThreadId, ThreadStatus, Value, VecSink,
+};
+
+fn build(src: &str) -> (Program, MirProgram) {
+    let prog = narada_lang::compile(src).unwrap_or_else(|e| panic!("compile failed:\n{e}"));
+    let mir = lower_program(&prog);
+    (prog, mir)
+}
+
+fn opts(engine: Engine, seed: u64) -> MachineOptions {
+    MachineOptions {
+        seed,
+        engine,
+        ..MachineOptions::default()
+    }
+}
+
+/// Runs every seed test of a program sequentially on one machine,
+/// returning the full trace, per-test results, and a heap summary.
+fn run_seed_suite(
+    prog: &Program,
+    mir: &MirProgram,
+    engine: Engine,
+) -> (Vec<Event>, Vec<Result<(), String>>, usize) {
+    let mut machine = Machine::new(prog, mir, opts(engine, 0xd1ff_5eed));
+    let mut sink = VecSink::new();
+    let mut results = Vec::new();
+    for t in &prog.tests {
+        results.push(machine.run_test(t.id, &mut sink).map_err(|e| e.to_string()));
+    }
+    (sink.events, results, machine.heap.len())
+}
+
+/// Asserts two traces are byte-identical, pointing at the first
+/// divergence instead of dumping both streams.
+fn assert_same_trace(label: &str, tree: &[Event], bc: &[Event]) {
+    if let Some(i) = (0..tree.len().min(bc.len())).find(|&i| tree[i] != bc[i]) {
+        panic!(
+            "{label}: traces diverge at event {i}:\n  tree: {:?}\n  bc:   {:?}",
+            tree[i], bc[i]
+        );
+    }
+    assert_eq!(
+        tree.len(),
+        bc.len(),
+        "{label}: trace lengths differ (tree {} vs bytecode {})",
+        tree.len(),
+        bc.len()
+    );
+    assert_eq!(
+        trace_digest(tree),
+        trace_digest(bc),
+        "{label}: digests differ on equal traces (digest bug)"
+    );
+}
+
+/// All nine corpus classes: full seed suites, event-for-event.
+#[test]
+fn corpus_seed_suites_byte_identical() {
+    for entry in all() {
+        let prog = entry.compile().expect("corpus entry compiles");
+        let mir = lower_program(&prog);
+        let (tree_ev, tree_res, tree_heap) = run_seed_suite(&prog, &mir, Engine::TreeWalk);
+        let (bc_ev, bc_res, bc_heap) = run_seed_suite(&prog, &mir, Engine::Bytecode);
+        assert_same_trace(entry.id, &tree_ev, &bc_ev);
+        assert_eq!(tree_res, bc_res, "{}: per-test results differ", entry.id);
+        assert_eq!(tree_heap, bc_heap, "{}: heap sizes differ", entry.id);
+        assert!(!tree_ev.is_empty(), "{}: vacuous comparison", entry.id);
+    }
+}
+
+/// Sharing one compiled program across machines (`Machine::with_code`)
+/// is trace-identical to compiling per machine.
+#[test]
+fn shared_compilation_is_equivalent() {
+    let entry = &all()[0];
+    let prog = entry.compile().unwrap();
+    let mir = lower_program(&prog);
+    let (per_machine, ..) = run_seed_suite(&prog, &mir, Engine::Bytecode);
+
+    let code = std::sync::Arc::new(narada_vm::BcProgram::compile(&prog, &mir));
+    let mut machine = Machine::with_code(&prog, &mir, opts(Engine::TreeWalk, 0xd1ff_5eed), code);
+    assert_eq!(
+        machine.engine(),
+        Engine::Bytecode,
+        "with_code forces engine"
+    );
+    let mut sink = VecSink::new();
+    for t in &prog.tests {
+        let _ = machine.run_test(t.id, &mut sink);
+    }
+    assert_same_trace("shared-code", &per_machine, &sink.events);
+}
+
+/// Concurrent workload: racy increments plus monitor contention, driven
+/// by three different scheduler families. A scheduler only observes the
+/// machine through `preview`/`runnable_threads`, so identical machine
+/// behavior must produce identical decision sequences, traces, outcomes,
+/// and final heaps on both engines.
+#[test]
+fn concurrent_runs_byte_identical_under_schedulers() {
+    let src = r#"
+        class Counter {
+            int count;
+            int guarded;
+            void inc() { this.count = this.count + 1; }
+            sync void sinc() { this.guarded = this.guarded + 1; }
+            int mix(int n) {
+                var i = 0;
+                while (i < n) {
+                    this.inc();
+                    this.sinc();
+                    i = i + 1;
+                }
+                return this.count + this.guarded;
+            }
+        }
+        test seed { var c = new Counter(); c.mix(2); }
+    "#;
+    let (prog, mir) = build(src);
+    let cid = prog.class_by_name("Counter").unwrap();
+    let mix = prog.dispatch(cid, "mix").unwrap();
+
+    type MakeScheduler = Box<dyn Fn() -> Box<dyn Scheduler>>;
+    let schedulers: Vec<(&str, MakeScheduler)> = vec![
+        ("round-robin", Box::new(|| Box::new(RoundRobin::default()))),
+        ("random", Box::new(|| Box::new(RandomScheduler::new(7)))),
+        (
+            "pct",
+            Box::new(|| Box::new(PctScheduler::new(1234, 3, 1000))),
+        ),
+    ];
+
+    for (name, make) in schedulers {
+        let run = |engine: Engine| {
+            let mut m = Machine::new(&prog, &mir, opts(engine, 99));
+            let mut sink = VecSink::new();
+            m.run_test(prog.tests[0].id, &mut sink).unwrap();
+            let obj = Value::Ref(narada_vm::ObjId(0));
+            let t1 = m
+                .spawn_invoke(mix, Some(obj), vec![Value::Int(25)], &mut sink)
+                .unwrap();
+            let t2 = m
+                .spawn_invoke(mix, Some(obj), vec![Value::Int(25)], &mut sink)
+                .unwrap();
+            let mut sched = make();
+            let out = m.run_threads(sched.as_mut(), &mut sink, 1_000_000);
+            let statuses: Vec<ThreadStatus> = [ThreadId::MAIN, t1, t2]
+                .iter()
+                .map(|&t| m.thread_status(t).clone())
+                .collect();
+            (sink.events, out, statuses, m.heap.len())
+        };
+        let (tree_ev, tree_out, tree_st, tree_heap) = run(Engine::TreeWalk);
+        let (bc_ev, bc_out, bc_st, bc_heap) = run(Engine::Bytecode);
+        assert_same_trace(name, &tree_ev, &bc_ev);
+        assert_eq!(tree_out, bc_out, "{name}: run outcomes differ");
+        assert_eq!(tree_st, bc_st, "{name}: thread statuses differ");
+        assert_eq!(tree_heap, bc_heap, "{name}: heap sizes differ");
+        assert_eq!(tree_out, RunOutcome::Completed);
+    }
+}
+
+/// The seed-test suspension protocol (object collection) behaves
+/// identically: same captured call site, same trace prefix.
+#[test]
+fn run_test_until_call_captures_identically() {
+    let src = r#"
+        class Box {
+            int v;
+            void set(int x) { this.v = x; }
+            int get() { return this.v; }
+        }
+        test seed {
+            var b = new Box();
+            b.set(41);
+            b.set(42);
+            var r = b.get();
+        }
+    "#;
+    let (prog, mir) = build(src);
+    let run = |engine: Engine| {
+        let mut m = Machine::new(&prog, &mir, opts(engine, 5));
+        let mut sink = VecSink::new();
+        let mut seen = 0;
+        let site = m
+            .run_test_until_call(prog.tests[0].id, &mut sink, &mut |s| {
+                let is_set = prog.method(s.method).name == "set";
+                if is_set {
+                    seen += 1;
+                }
+                is_set && seen == 2
+            })
+            .unwrap()
+            .expect("second set() captured");
+        (
+            sink.events,
+            prog.method(site.method).name.clone(),
+            site.recv,
+            site.args,
+        )
+    };
+    let tree = run(Engine::TreeWalk);
+    let bc = run(Engine::Bytecode);
+    assert_same_trace("until-call", &tree.0, &bc.0);
+    assert_eq!((tree.1, tree.2, tree.3), (bc.1, bc.2, bc.3));
+}
+
+/// `invoke_partial` (park after a chosen write, outside all monitors)
+/// lands both engines in the same parked state.
+#[test]
+fn invoke_partial_parks_identically() {
+    let src = r#"
+        class Pair {
+            int a;
+            int b;
+            sync void setBoth(int x) {
+                this.a = x;
+                this.b = x + 1;
+            }
+        }
+        test seed { var p = new Pair(); p.setBoth(1); }
+    "#;
+    let (prog, mir) = build(src);
+    let cid = prog.class_by_name("Pair").unwrap();
+    let set_both = prog.dispatch(cid, "setBoth").unwrap();
+    // The span of the `this.a = x` write, discovered from a traced run.
+    let find_stop = || {
+        let mut m = Machine::with_defaults(&prog, &mir);
+        let mut sink = VecSink::new();
+        m.run_test(prog.tests[0].id, &mut sink).unwrap();
+        sink.events
+            .iter()
+            .find_map(|e| match &e.kind {
+                narada_vm::EventKind::Write { .. } => Some(e.span),
+                _ => None,
+            })
+            .expect("a write in setBoth")
+    };
+    let stop = find_stop();
+    let run = |engine: Engine| {
+        let mut m = Machine::new(&prog, &mir, opts(engine, 5));
+        let mut sink = VecSink::new();
+        m.run_test(prog.tests[0].id, &mut sink).unwrap();
+        let obj = Value::Ref(narada_vm::ObjId(0));
+        let tid = m
+            .invoke_partial(set_both, Some(obj), vec![Value::Int(9)], stop, &mut sink)
+            .unwrap();
+        (
+            sink.events,
+            m.thread_status(tid).clone(),
+            m.held_locks(tid),
+            m.heap
+                .get_field(narada_vm::ObjId(0), prog.field_by_name(cid, "a").unwrap()),
+        )
+    };
+    let tree = run(Engine::TreeWalk);
+    let bc = run(Engine::Bytecode);
+    assert_same_trace("invoke-partial", &tree.0, &bc.0);
+    assert_eq!(tree.1, bc.1, "parked status differs");
+    assert_eq!(tree.2, bc.2, "held locks differ");
+    assert_eq!(tree.3, bc.3, "partial write visibility differs");
+    assert_eq!(tree.1, ThreadStatus::Parked);
+}
+
+/// Label counters advance identically even when the sink discards events
+/// (the bytecode engine skips event construction for `NullSink`): a
+/// traced run after an untraced prefix continues with the same labels on
+/// both engines.
+#[test]
+fn null_sink_prefix_keeps_labels_aligned() {
+    let entry = &all()[0];
+    let prog = entry.compile().unwrap();
+    let mir = lower_program(&prog);
+    let run = |engine: Engine| {
+        let mut m = Machine::new(&prog, &mir, opts(engine, 3));
+        // Untraced prefix: first seed test into a NullSink.
+        m.run_test(prog.tests[0].id, &mut NullSink).unwrap();
+        // Traced suffix must start at the same label on both engines.
+        let mut sink = VecSink::new();
+        for t in &prog.tests[1..] {
+            let _ = m.run_test(t.id, &mut sink);
+        }
+        sink.events
+    };
+    let tree = run(Engine::TreeWalk);
+    let bc = run(Engine::Bytecode);
+    assert!(!tree.is_empty());
+    assert_same_trace("null-prefix", &tree, &bc);
+}

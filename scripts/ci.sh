@@ -21,6 +21,12 @@ NARADA_AGREEMENT_FULL=1 cargo test -q --release --test properties screener_agree
 echo "==> replay regression suite (release)"
 cargo test -q --release --test replay_fixtures
 
+echo "==> engine differential suite (release, full 64-class lattice)"
+# Tree-walk vs bytecode: byte-identical trace digests, heap outcomes,
+# and race reports across the corpus, the replay fixtures, and the
+# seeded difftest lattice at threads 1/2/8.
+NARADA_ENGINE_FULL=1 cargo test -q --release -p narada-vm --test engine_differential
+
 echo "==> detector_shootout example smoke test"
 cargo run -q --release --example detector_shootout > /dev/null
 
@@ -43,12 +49,18 @@ DIFF_DIR="$(mktemp -d)"
 for t in 1 2 8; do
     cargo run -q --release --bin narada -- difftest --seed 53759 --count 64 \
         --threads "$t" > "$DIFF_DIR/t$t.out"
+    cargo run -q --release --bin narada -- difftest --seed 53759 --count 64 \
+        --threads "$t" --engine bytecode > "$DIFF_DIR/bc-t$t.out"
 done
 cmp "$DIFF_DIR/t1.out" "$DIFF_DIR/t2.out" && cmp "$DIFF_DIR/t1.out" "$DIFF_DIR/t8.out" \
     || { echo "difftest output differs across --threads 1/2/8" >&2; exit 1; }
+cmp "$DIFF_DIR/bc-t1.out" "$DIFF_DIR/bc-t2.out" && cmp "$DIFF_DIR/bc-t1.out" "$DIFF_DIR/bc-t8.out" \
+    || { echo "difftest --engine bytecode output differs across --threads 1/2/8" >&2; exit 1; }
+cmp "$DIFF_DIR/t1.out" "$DIFF_DIR/bc-t1.out" \
+    || { echo "difftest output differs between engines" >&2; exit 1; }
 rm -rf "$DIFF_DIR"
 
-echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen / BENCH_difftest)"
+echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen / BENCH_difftest / BENCH_vm)"
 # Each bench bin must emit a run manifest; `narada report` re-parses it
 # and fails on any missing required field (schema, git_rev, metrics, ...).
 MANIFEST_DIR="$(mktemp -d)"
@@ -63,7 +75,9 @@ NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_GEN_BUDGET=256 \
     cargo run -q --release -p narada-bench --bin gen > /dev/null
 NARADA_MANIFEST_DIR="$MANIFEST_DIR" \
     cargo run -q --release -p narada-bench --bin difftest > /dev/null
-for name in synth explore screen gen difftest; do
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_BENCH_REPS=2 \
+    cargo run -q --release -p narada-bench --bin vm > /dev/null
+for name in synth explore screen gen difftest vm; do
     manifest="$MANIFEST_DIR/BENCH_$name.json"
     [ -f "$manifest" ] || { echo "missing $manifest" >&2; exit 1; }
     cargo run -q --release --bin narada -- report "$manifest" > /dev/null

@@ -24,7 +24,8 @@ use narada::lang::mir::MirProgram;
 use narada::lang::SourceMap;
 use narada::obs::Json;
 use narada::vm::{
-    render_schedule_summary, Machine, Schedule, ScheduleStrategy, TraceRenderer, VecSink,
+    render_schedule_summary, Engine, Machine, MachineOptions, Schedule, ScheduleStrategy,
+    TraceRenderer, VecSink,
 };
 use narada::{synthesize, Obs, RunManifest, SynthesisOptions};
 use std::path::Path;
@@ -67,36 +68,41 @@ const USAGE: &str = "\
 narada — synthesizing racy tests (PLDI 2015 reproduction)
 
 USAGE:
-    narada run <file.mj> [--test NAME] [--trace]
+    narada run <file.mj> [--test NAME] [--trace] [--engine E]
     narada mir <file.mj> [--method Class.m]
     narada synth <file.mj> [--render] [--strict-unprotected]
                            [--no-prefix-fallback] [--no-lockset-aware]
                            [--static-filter] [--static-rank]
-                           [--threads N] [--timings]
+                           [--threads N] [--timings] [--engine E]
                            [--strategy S] [--depth N]
                            [--record DIR] [--replay FILE.sched]
                            [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
                             [--static-filter] [--static-rank]
-                            [--threads N] [--timings]
+                            [--threads N] [--timings] [--engine E]
                             [--strategy S] [--depth N]
                             [--record DIR] [--replay FILE.sched]
                             [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada gen <file.mj|C1..C9> [--budget N] [--seed N] [--threads N]
-                                [--max-len N] [--full-api]
+                                [--max-len N] [--full-api] [--engine E]
                                 [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada pairs <file.mj|C1..C9> [--may-race-only] [--threads N] [--json]
     narada corpus [C1..C9] [--threads N] [--timings] [--detect]
                            [--schedules N] [--confirms N] [--seed N]
-                           [--static-filter] [--static-rank]
+                           [--static-filter] [--static-rank] [--engine E]
                            [--strategy S] [--depth N] [--record DIR]
                            [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada difftest [--seed N] [--count N] [--threads N] [--shrink]
                     [--fixtures DIR] [--schedules N] [--confirms N]
-                    [--inject-unsound] [--verbose]
+                    [--inject-unsound] [--verbose] [--engine E]
                     [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada report <manifest.json>... [--diff OLD.json NEW.json]
 
+`--engine E` picks the execution engine: tree (the reference
+tree-walking interpreter, default) or bytecode (compiled dispatch,
+several times faster). Both produce byte-identical traces, schedules,
+and reports — the differential suite enforces it — so every command
+accepts either engine with identical output.
 `--strategy S` picks the exploration scheduler: pct[:DEPTH], random,
 sticky[:PERCENT], or rr; `--depth N` overrides the PCT depth.
 `--record DIR` writes replayable .sched logs: synth records one
@@ -147,6 +153,15 @@ fn opt<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Parses the shared `--engine` flag (`tree` by default).
+fn engine_opt(rest: &[String]) -> Result<Engine, String> {
+    match opt(rest, "--engine") {
+        None if flag(rest, "--engine") => Err("--engine expects 'tree' or 'bytecode'".into()),
+        None => Ok(Engine::TreeWalk),
+        Some(s) => Engine::parse(s),
+    }
+}
+
 fn opt_usize(rest: &[String], name: &str, default: usize) -> Result<usize, String> {
     match opt(rest, name) {
         None if flag(rest, name) => Err(format!("{name} expects a number")),
@@ -183,7 +198,14 @@ fn cmd_run(rest: &[String]) -> Result<(), String> {
     if tests.is_empty() {
         return Err("the program declares no tests".into());
     }
-    let mut machine = Machine::with_defaults(&prog, &mir);
+    let mut machine = Machine::new(
+        &prog,
+        &mir,
+        MachineOptions {
+            engine: engine_opt(rest)?,
+            ..MachineOptions::default()
+        },
+    );
     for t in tests {
         let mut sink = VecSink::new();
         let name = prog.test(t).name.clone();
@@ -235,6 +257,7 @@ fn synth_opts(rest: &[String]) -> Result<SynthesisOptions, String> {
         static_filter: flag(rest, "--static-filter"),
         static_rank: flag(rest, "--static-rank"),
         threads: opt_usize(rest, "--threads", 0)?,
+        engine: engine_opt(rest)?,
         ..Default::default()
     })
 }
@@ -283,6 +306,7 @@ fn gen_opts(rest: &[String], seed_flag: &str) -> Result<narada::gen::GenOptions,
         seed: opt_usize(rest, seed_flag, 0x67656e)? as u64,
         threads: opt_usize(rest, "--threads", 0)?,
         max_len: opt_usize(rest, "--max-len", 10)?,
+        engine: engine_opt(rest)?,
         ..narada::gen::GenOptions::default()
     })
 }
@@ -363,6 +387,7 @@ fn replay_file(
     out: &SynthesisOutput,
     path: &str,
     budget: u64,
+    engine: Engine,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let schedule = Schedule::parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -387,7 +412,7 @@ fn replay_file(
         }
     }
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
-    let outcome = replay_schedule(prog, mir, &seeds, &test.plan, budget, &schedule)?;
+    let outcome = replay_schedule(prog, mir, &seeds, &test.plan, budget, &schedule, engine)?;
     println!(
         "replayed plan {index}: {} race key(s), {} divergence(s), trace digest {:#018x}",
         outcome.keys.len(),
@@ -464,12 +489,17 @@ fn record_fixtures(
             );
             schedule.set_meta("sched-seed", format!("{:#x}", confirmed.sched_seed));
             schedule.set_meta("strategy", cfg.strategy.label());
+            // Provenance only — replay verifies byte-identity on *both*
+            // engines regardless of which one recorded the fixture.
+            schedule.set_meta("engine", cfg.engine.label());
             if let Some(v) = &confirmed.static_verdict {
                 schedule.set_meta("static-verdict", v.to_string());
             }
             // Stamp the byte-identity oracle: replay once and record the
             // digest the regression suite must reproduce.
-            let replay = replay_schedule(prog, mir, &seeds, &test.plan, cfg.budget, &schedule)?;
+            let replay = replay_schedule(
+                prog, mir, &seeds, &test.plan, cfg.budget, &schedule, cfg.engine,
+            )?;
             if replay.divergences > 0 || !replay.manifests(&confirmed.key) {
                 println!(
                     "warning: plan {} race {} does not replay cleanly, skipping fixture",
@@ -519,13 +549,14 @@ fn cmd_synth(rest: &[String]) -> Result<(), String> {
         }
     }
     if let Some(file) = opt(rest, "--replay") {
-        replay_file(&prog, &mir, &out, file, 2_000_000)?;
+        replay_file(&prog, &mir, &out, file, 2_000_000, engine_opt(rest)?)?;
     }
     if let Some(dir) = opt(rest, "--record") {
         let explore = ExploreOptions {
             strategy: strategy_opts(rest)?,
             seed: opt_usize(rest, "--seed", 0xdecaf)? as u64,
             threads: opt_usize(rest, "--threads", 0)?,
+            engine: engine_opt(rest)?,
             ..ExploreOptions::default()
         };
         let dir = Path::new(dir);
@@ -569,10 +600,11 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
         budget: 2_000_000,
         threads: opt_usize(rest, "--threads", 0)?,
         strategy: strategy_opts(rest)?,
+        engine: engine_opt(rest)?,
         ..DetectConfig::default()
     };
     if let Some(file) = opt(rest, "--replay") {
-        return replay_file(&prog, &mir, &out, file, cfg.budget);
+        return replay_file(&prog, &mir, &out, file, cfg.budget, cfg.engine);
     }
     if let Some(dir) = opt(rest, "--record") {
         let n = record_fixtures(&prog, &mir, &out, &cfg, Path::new(dir), "detect")?;
@@ -605,6 +637,7 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
             ("confirms", cfg.confirm_trials.to_string()),
             ("seed", cfg.seed.to_string()),
             ("strategy", cfg.strategy.label().to_string()),
+            ("engine", cfg.engine.label().to_string()),
         ],
     )
 }
@@ -688,10 +721,10 @@ fn cmd_gen(rest: &[String]) -> Result<(), String> {
     let api = if flag(rest, "--full-api") || prog.tests.is_empty() {
         narada::gen::ApiSurface::for_program(&prog)
     } else {
-        narada::gen::ApiSurface::from_tests(&prog, &mir)
+        narada::gen::ApiSurface::from_tests_on(&prog, &mir, opts.engine)
     };
     let basis = (!flag(rest, "--full-api") && !prog.tests.is_empty())
-        .then(|| narada::gen::FactBasis::from_tests(&prog, &mir));
+        .then(|| narada::gen::FactBasis::from_tests_on(&prog, &mir, opts.engine));
     let out = narada::gen::generate(&prog, &mir, &api, basis.as_ref(), &opts, &obs);
     let stats = out.stats;
     let mut gen_prog = prog.clone();
@@ -820,6 +853,7 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
                 seed: opt_usize(rest, "--seed", 42)? as u64,
                 threads: opt_usize(rest, "--threads", 0)?,
                 strategy: strategy_opts(rest)?,
+                engine: engine_opt(rest)?,
                 ..DetectConfig::default()
             };
             if let Some(dir) = opt(rest, "--record") {
@@ -877,6 +911,7 @@ fn run_difftest(rest: &[String]) -> Result<usize, String> {
         schedule_trials: opt_usize(rest, "--schedules", 6)?,
         confirm_trials: opt_usize(rest, "--confirms", 4)?,
         inject_unsound: flag(rest, "--inject-unsound"),
+        engine: engine_opt(rest)?,
         ..DiffConfig::default()
     };
     let obs = obs_for(rest);
@@ -941,6 +976,7 @@ fn run_difftest(rest: &[String]) -> Result<usize, String> {
         &[
             ("seed", format!("{:#x}", cfg.seed)),
             ("count", cfg.count.to_string()),
+            ("engine", cfg.engine.label().to_string()),
             (
                 "generator-version",
                 narada::difftest::GENERATOR_VERSION.to_string(),
