@@ -254,7 +254,7 @@ fn main() {
                 static_rank: true,
                 ..SynthesisOptions::default()
             };
-            let ranked = synthesize_with(&prog, &mir, &ranked_opts, Some(screen_pairs));
+            let ranked = synthesize_with(&prog, &mir, &ranked_opts, Some(&screen_pairs));
             let plain = walk_suite(&prog, &mir, &out);
             let rank = walk_suite(&prog, &mir, &ranked);
             if let (Some(p), Some(r)) = (plain.all_keys, rank.all_keys) {

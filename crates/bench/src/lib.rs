@@ -51,7 +51,7 @@ impl ClassRun {
             .compile()
             .unwrap_or_else(|e| panic!("{} failed to compile:\n{e}", entry.id));
         let mir = lower_program(&prog);
-        let out = synthesize_observed(&prog, &mir, opts, Some(narada_screen::screen_pairs), obs);
+        let out = synthesize_observed(&prog, &mir, opts, Some(&narada_screen::screen_pairs), obs);
         ClassRun {
             entry,
             prog,

@@ -57,6 +57,7 @@ pub mod absheap;
 pub mod access;
 pub mod analyze;
 pub mod context;
+pub mod digest;
 pub mod options;
 pub mod pairs;
 pub mod parallel;
@@ -68,6 +69,7 @@ pub mod synth;
 pub use access::{AccessRecord, Analysis, RaceKey, ReturnSummary, SetterSummary};
 pub use analyze::analyze;
 pub use context::{derive_plan, lock_collision, CaptureSpec, ObjRef, PlanCall, Slot, TestPlan};
+pub use digest::Fnv1a;
 pub use options::{ExploreOptions, SynthesisOptions};
 pub use pairs::{generate_pairs, PairSet, RacePair};
 pub use parallel::{available_threads, effective_threads, parallel_map, StageTimings};

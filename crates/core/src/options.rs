@@ -1,7 +1,8 @@
 //! Tuning knobs for the synthesis pipeline, including the ablation flags
 //! called out in DESIGN.md.
 
-use narada_vm::{Engine, ScheduleStrategy};
+use narada_vm::{BcProgram, Engine, ScheduleStrategy};
+use std::sync::Arc;
 
 /// Options controlling pair generation, context derivation, and synthesis.
 #[derive(Debug, Clone)]
@@ -46,6 +47,16 @@ pub struct SynthesisOptions {
     /// — see the engine differential suite — so this is purely a
     /// throughput knob (the CLI's `--engine`).
     pub engine: Engine,
+    /// Pre-compiled bytecode for the `(Program, MirProgram)` the
+    /// pipeline will run — an artifact-cache hand-off (`narada serve`):
+    /// when set and `engine` is [`Engine::Bytecode`], every machine the
+    /// pipeline builds shares this compilation instead of recompiling.
+    /// Must have been compiled from exactly the program passed alongside;
+    /// [`crate::pipeline::synthesize_generated`] drops it because it
+    /// rewrites the MIR. Ignored under [`Engine::TreeWalk`]. Purely a
+    /// throughput knob — compilation is deterministic, so output is
+    /// byte-identical with or without it.
+    pub code: Option<Arc<BcProgram>>,
 }
 
 impl Default for SynthesisOptions {
@@ -61,6 +72,7 @@ impl Default for SynthesisOptions {
             static_rank: false,
             generate_seeds: false,
             engine: Engine::TreeWalk,
+            code: None,
         }
     }
 }

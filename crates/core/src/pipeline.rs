@@ -103,7 +103,7 @@ pub fn synthesize_with(
     prog: &Program,
     mir: &MirProgram,
     opts: &SynthesisOptions,
-    screener: Option<ScreenerFn>,
+    screener: Option<ScreenerFn<'_>>,
 ) -> SynthesisOutput {
     synthesize_observed(prog, mir, opts, screener, &Obs::new())
 }
@@ -136,7 +136,7 @@ pub fn synthesize_observed(
     prog: &Program,
     mir: &MirProgram,
     opts: &SynthesisOptions,
-    screener: Option<ScreenerFn>,
+    screener: Option<ScreenerFn<'_>>,
     obs: &Obs,
 ) -> SynthesisOutput {
     let start = Instant::now();
@@ -151,14 +151,18 @@ pub fn synthesize_observed(
     let mut seed_failures = Vec::new();
     {
         let _s = span!(obs.tracer, "stage.trace");
-        let mut machine = Machine::new(
-            prog,
-            mir,
-            MachineOptions {
-                engine: opts.engine,
-                ..MachineOptions::default()
-            },
-        );
+        let mopts = MachineOptions {
+            engine: opts.engine,
+            ..MachineOptions::default()
+        };
+        // Share the cache-provided compilation when one was handed over
+        // (`SynthesisOptions::code`); otherwise compile as usual.
+        let mut machine = match &opts.code {
+            Some(code) if opts.engine == narada_vm::Engine::Bytecode => {
+                Machine::with_code(prog, mir, mopts, std::sync::Arc::clone(code))
+            }
+            _ => Machine::new(prog, mir, mopts),
+        };
         for t in &prog.tests {
             let _run = span!(obs.tracer, "seed.run", test = t.name);
             if let Err(e) = machine.run_test(t.id, &mut sink) {
@@ -401,9 +405,15 @@ pub fn synthesize_generated(
     mir: &MirProgram,
     opts: &SynthesisOptions,
     generator: SeedGenFn<'_>,
-    screener: Option<ScreenerFn>,
+    screener: Option<ScreenerFn<'_>>,
     obs: &Obs,
 ) -> (Program, MirProgram, SynthesisOutput) {
+    // Any handed-over compilation was built from the *original* MIR; the
+    // generated suite rewrites the test bodies, so it must not be shared.
+    let opts = &SynthesisOptions {
+        code: None,
+        ..opts.clone()
+    };
     let generated = generator(prog, mir);
     let mut gen_prog = prog.clone();
     gen_prog.tests = generated

@@ -84,7 +84,14 @@ impl fmt::Display for StaticVerdict {
 
 /// A static pre-screener: one verdict per pair of the given
 /// [`crate::pairs::PairSet`], in pair order.
-pub type ScreenerFn = fn(&MirProgram, &crate::pairs::PairSet) -> Vec<StaticVerdict>;
+///
+/// A `&dyn Fn` rather than a plain `fn` pointer so callers can close
+/// over pre-built analysis state — the serve cache passes a closure
+/// capturing its memoized whole-program summaries
+/// (`narada_screen::screen_pairs_with`), while plain functions like
+/// `narada_screen::screen_pairs` still coerce at every call site.
+pub type ScreenerFn<'a> =
+    &'a (dyn Fn(&MirProgram, &crate::pairs::PairSet) -> Vec<StaticVerdict> + Sync);
 
 #[cfg(test)]
 mod tests {

@@ -34,7 +34,7 @@ pub use race::{
 };
 pub use racefuzzer::{ConfirmedRace, RaceFuzzerScheduler, DEFAULT_POSTPONE_BUDGET};
 pub use report::{
-    evaluate_suite, evaluate_suite_observed, evaluate_test, evaluate_test_indexed,
-    evaluate_test_observed, ClassDetection, DetectConfig, TestReport,
+    evaluate_suite, evaluate_suite_full, evaluate_suite_observed, evaluate_test,
+    evaluate_test_indexed, evaluate_test_observed, ClassDetection, DetectConfig, TestReport,
 };
 pub use vclock::{Epoch, VectorClock};

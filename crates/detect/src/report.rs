@@ -79,6 +79,15 @@ pub struct DetectConfig {
     /// differential suite), so detection output is byte-identical across
     /// engines; this is purely a throughput knob (the CLI's `--engine`).
     pub engine: Engine,
+    /// Pre-compiled bytecode for the program under test — an
+    /// artifact-cache hand-off (`narada serve`): when set and `engine`
+    /// is [`Engine::Bytecode`], every trial and confirmation machine
+    /// shares this compilation instead of recompiling per trial. Must
+    /// have been compiled from exactly the `(Program, MirProgram)`
+    /// passed to the evaluation entry points. Ignored under
+    /// [`Engine::TreeWalk`]; purely a throughput knob (compilation is
+    /// deterministic, so output is byte-identical either way).
+    pub code: Option<std::sync::Arc<narada_vm::BcProgram>>,
 }
 
 impl Default for DetectConfig {
@@ -93,7 +102,29 @@ impl Default for DetectConfig {
             pct_horizon: 1_000,
             minimize: false,
             engine: Engine::TreeWalk,
+            code: None,
         }
+    }
+}
+
+/// Builds one trial machine, sharing the pre-compiled bytecode when the
+/// config carries it (see [`DetectConfig::code`]).
+fn trial_machine<'p>(
+    prog: &'p Program,
+    mir: &'p MirProgram,
+    cfg: &DetectConfig,
+    seed: u64,
+) -> Machine<'p> {
+    let opts = MachineOptions {
+        seed,
+        engine: cfg.engine,
+        ..MachineOptions::default()
+    };
+    match &cfg.code {
+        Some(code) if cfg.engine == Engine::Bytecode => {
+            Machine::with_code(prog, mir, opts, std::sync::Arc::clone(code))
+        }
+        _ => Machine::new(prog, mir, opts),
     }
 }
 
@@ -138,15 +169,7 @@ fn detection_trial(
 ) -> Result<Vec<RaceReport>, String> {
     let machine_seed = derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, trial]);
     let sched_seed = derive_seed(cfg.seed, &[STAGE_DETECT_SCHED, test_idx, trial]);
-    let mut machine = Machine::new(
-        prog,
-        mir,
-        MachineOptions {
-            seed: machine_seed,
-            engine: cfg.engine,
-            ..MachineOptions::default()
-        },
-    );
+    let mut machine = trial_machine(prog, mir, cfg, machine_seed);
     let mut lockset = LocksetDetector::new();
     let mut hb = FastTrackDetector::new();
     let mut sink = TeeSink {
@@ -197,15 +220,7 @@ fn confirm_race(
         for trial in 0..cfg.confirm_trials as u64 {
             attempts += 1;
             let machine_seed = derive_seed(cfg.seed, &[STAGE_CONFIRM_MACHINE, test_idx, trial]);
-            let mut machine = Machine::new(
-                prog,
-                mir,
-                MachineOptions {
-                    seed: machine_seed,
-                    engine: cfg.engine,
-                    ..MachineOptions::default()
-                },
-            );
+            let mut machine = trial_machine(prog, mir, cfg, machine_seed);
             let mut sched = RaceFuzzerScheduler::new(
                 *fine,
                 derive_seed(cfg.seed, &[STAGE_CONFIRM_SCHED, test_idx, trial]),
@@ -407,6 +422,22 @@ pub fn evaluate_suite_observed(
     cfg: &DetectConfig,
     obs: &Obs,
 ) -> ClassDetection {
+    evaluate_suite_full(prog, mir, seeds, plans, cfg, obs).1
+}
+
+/// [`evaluate_suite_observed`] that also hands back the per-test
+/// [`TestReport`]s the aggregation consumed — the raw material for
+/// canonical report rendering (`narada detect --report-out`, `narada
+/// serve`). The aggregate is computed from exactly these reports, so the
+/// two views can never disagree.
+pub fn evaluate_suite_full(
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plans: &[&TestPlan],
+    cfg: &DetectConfig,
+    obs: &Obs,
+) -> (Vec<TestReport>, ClassDetection) {
     let start = Instant::now();
     let stage_span = span!(obs.tracer, "stage.detect", plans = plans.len());
     // Outer fan-out over plans; inner trial runner forced sequential so
@@ -446,7 +477,7 @@ pub fn evaluate_suite_observed(
     obs.metrics
         .gauge("stage.detect.wall_ns")
         .set_duration(start.elapsed());
-    ClassDetection {
+    let agg = ClassDetection {
         races_detected: all_detected.len(),
         harmful,
         benign,
@@ -454,5 +485,6 @@ pub fn evaluate_suite_observed(
         per_test_races: per_test,
         elapsed: start.elapsed(),
         jobs,
-    }
+    };
+    (reports, agg)
 }

@@ -240,6 +240,7 @@ fn detect_cfg_base(cfg: &DiffConfig) -> DetectConfig {
         pct_horizon: 1_000,
         minimize: false,
         engine: cfg.engine,
+        code: None,
     }
 }
 
@@ -274,9 +275,9 @@ pub fn check_agreement(
 ) -> AgreementCheck {
     let mir = lower_program(prog);
     let screener: ScreenerFn = if cfg.inject_unsound {
-        screen_pairs_inject_unsound
+        &screen_pairs_inject_unsound
     } else {
-        narada_screen::screen_pairs
+        &narada_screen::screen_pairs
     };
     let out: SynthesisOutput = synthesize_with(prog, &mir, &synth_opts(cfg.engine), Some(screener));
     let verdicts = out.verdicts.as_deref().unwrap_or(&[]);
@@ -381,15 +382,11 @@ pub fn run_sweep(cfg: &DiffConfig, obs: &Obs) -> SweepReport {
     SweepReport { reports, digest }
 }
 
-/// FNV-1a fold over per-class results in index order.
+/// FNV-1a fold over per-class results in index order (the workspace's
+/// shared hasher, `narada_core::digest::Fnv1a`).
 fn digest_reports(reports: &[ClassReport]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
+    let mut h = narada_core::digest::Fnv1a::new();
+    let mut eat = |bytes: &[u8]| h.write(bytes);
     for r in reports {
         eat(r.spec.label().as_bytes());
         eat(r.source.as_bytes());
@@ -409,7 +406,7 @@ fn digest_reports(reports: &[ClassReport]) -> u64 {
             }
         }
     }
-    h
+    h.finish()
 }
 
 #[cfg(test)]

@@ -1,0 +1,569 @@
+//! Content-digest hooks over the HIR: what the incremental cache keys on.
+//!
+//! [`class_unit`] feeds a byte stream into a caller-supplied
+//! [`DigestSink`] that covers **everything [`crate::lower`] reads to
+//! produce one class's bodies** — its methods (constructor included) and
+//! its own fields' initializers:
+//!
+//! * the class's own declarations in full: names, resolved ids, modifier
+//!   flags, types, locals, and every statement and expression of every
+//!   body, **including source spans** (spans are byte offsets into the
+//!   submitted source and flow into MIR instructions, trace events, and
+//!   race keys — reusing a body whose spans drifted would corrupt
+//!   downstream reports, so span changes must miss the cache);
+//! * the *interface* of every externally referenced symbol: method
+//!   signatures, field signatures, and — because `new C(…)` lowers one
+//!   `CallInit` per initialized field of `C` — the referenced class's
+//!   full field layout with per-field initializer presence.
+//!
+//! Referenced bodies are deliberately *not* covered: lowering a call
+//! emits only the callee's resolved id, so an edit inside another
+//! class's method body leaves this unit's digest (and its cached MIR)
+//! valid. That is exactly the "dirty cone" contract the serve cache
+//! tests assert: a body-only edit re-lowers one class; a signature or
+//! layout change also invalidates every referencing class; and because
+//! resolved ids and spans are covered, id-shifting or offset-shifting
+//! edits conservatively widen the cone rather than ever reusing a stale
+//! body.
+//!
+//! The sink abstraction keeps this crate hasher-agnostic: the concrete
+//! FNV-1a hasher lives in `narada-core` (`digest::Fnv1a`), which depends
+//! on this crate and implements [`DigestSink`] for it.
+
+use crate::ast::{BinOp, UnOp};
+use crate::hir::{Block, Class, ClassId, Expr, FieldId, MethodId, Place, Program, Stmt, Ty};
+use crate::span::Span;
+use std::collections::BTreeSet;
+
+/// A byte sink for content digests (implemented by `narada-core`'s
+/// `Fnv1a`; any collision-reasonable 64-bit fold works).
+pub trait DigestSink {
+    /// Folds raw bytes into the digest state.
+    fn write(&mut self, bytes: &[u8]);
+
+    /// Folds a little-endian `u64`.
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a string, length-prefixed to keep field boundaries
+    /// unambiguous.
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+}
+
+/// Feeds the digest of one class unit into `sink` — see the module docs
+/// for the exact coverage contract.
+pub fn class_unit(prog: &Program, class: ClassId, sink: &mut dyn DigestSink) {
+    let mut w = Walker {
+        prog,
+        sink,
+        classes: BTreeSet::new(),
+        methods: BTreeSet::new(),
+        fields: BTreeSet::new(),
+    };
+    w.class_decl(prog.class(class));
+    w.references();
+}
+
+struct Walker<'p, 's> {
+    prog: &'p Program,
+    sink: &'s mut dyn DigestSink,
+    /// Classes referenced from the unit's own declarations.
+    classes: BTreeSet<ClassId>,
+    /// Methods referenced (call targets, constructors).
+    methods: BTreeSet<MethodId>,
+    /// Fields referenced (reads and writes).
+    fields: BTreeSet<FieldId>,
+}
+
+impl Walker<'_, '_> {
+    fn u64(&mut self, v: u64) {
+        self.sink.write_u64(v);
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.sink.write(&[t]);
+    }
+
+    fn str(&mut self, s: &str) {
+        self.sink.write_str(s);
+    }
+
+    fn span(&mut self, s: Span) {
+        self.u64(s.start as u64);
+        self.u64(s.end as u64);
+    }
+
+    /// The unit's own declarations, in full.
+    fn class_decl(&mut self, c: &Class) {
+        self.str("class");
+        self.u64(c.id.0 as u64);
+        self.str(&c.name);
+        match c.parent {
+            Some(p) => {
+                self.tag(1);
+                self.u64(p.0 as u64);
+                self.classes.insert(p);
+            }
+            None => self.tag(0),
+        }
+        self.span(c.span);
+        self.u64(c.own_fields.len() as u64);
+        for &f in &c.own_fields {
+            self.field_decl(f);
+        }
+        // Constructor first (it is not in `own_methods`), then methods.
+        self.u64(c.ctor.map_or(0, |m| m.0 as u64 + 1));
+        if let Some(ctor) = c.ctor {
+            self.method_decl(ctor);
+        }
+        self.u64(c.own_methods.len() as u64);
+        for &m in &c.own_methods {
+            self.method_decl(m);
+        }
+    }
+
+    fn field_decl(&mut self, id: FieldId) {
+        let f = self.prog.field(id);
+        self.str("field");
+        self.u64(f.id.0 as u64);
+        self.str(&f.name);
+        self.ty(&f.ty);
+        self.u64(f.owner.0 as u64);
+        self.span(f.span);
+        match &f.init {
+            Some(e) => {
+                self.tag(1);
+                self.expr(e);
+            }
+            None => self.tag(0),
+        }
+    }
+
+    fn method_decl(&mut self, id: MethodId) {
+        let m = self.prog.method(id);
+        self.str("method");
+        self.u64(m.id.0 as u64);
+        self.str(&m.name);
+        self.u64(m.owner.0 as u64);
+        self.tag(m.is_static as u8);
+        self.tag(m.is_sync as u8);
+        self.tag(m.is_ctor as u8);
+        self.ty(&m.ret);
+        self.u64(m.num_params as u64);
+        self.u64(m.locals.len() as u64);
+        for l in &m.locals {
+            self.str(&l.name);
+            self.ty(&l.ty);
+        }
+        self.span(m.span);
+        self.block(&m.body);
+    }
+
+    fn ty(&mut self, t: &Ty) {
+        match t {
+            Ty::Int => self.tag(1),
+            Ty::Bool => self.tag(2),
+            Ty::Void => self.tag(3),
+            Ty::Null => self.tag(4),
+            Ty::Class(c) => {
+                self.tag(5);
+                self.u64(c.0 as u64);
+                self.classes.insert(*c);
+            }
+            Ty::Array(e) => {
+                self.tag(6);
+                self.ty(e);
+            }
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.u64(b.stmts.len() as u64);
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let { local, init, span } => {
+                self.tag(10);
+                self.u64(local.0 as u64);
+                self.expr(init);
+                self.span(*span);
+            }
+            Stmt::Assign { place, value, span } => {
+                self.tag(11);
+                self.place(place);
+                self.expr(value);
+                self.span(*span);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                self.tag(12);
+                self.expr(cond);
+                self.block(then_blk);
+                match else_blk {
+                    Some(b) => {
+                        self.tag(1);
+                        self.block(b);
+                    }
+                    None => self.tag(0),
+                }
+                self.span(*span);
+            }
+            Stmt::While { cond, body, span } => {
+                self.tag(13);
+                self.expr(cond);
+                self.block(body);
+                self.span(*span);
+            }
+            Stmt::Sync { lock, body, span } => {
+                self.tag(14);
+                self.expr(lock);
+                self.block(body);
+                self.span(*span);
+            }
+            Stmt::Return { value, span } => {
+                self.tag(15);
+                match value {
+                    Some(e) => {
+                        self.tag(1);
+                        self.expr(e);
+                    }
+                    None => self.tag(0),
+                }
+                self.span(*span);
+            }
+            Stmt::Assert { cond, span } => {
+                self.tag(16);
+                self.expr(cond);
+                self.span(*span);
+            }
+            Stmt::Expr(e) => {
+                self.tag(17);
+                self.expr(e);
+            }
+        }
+    }
+
+    fn place(&mut self, p: &Place) {
+        match p {
+            Place::Local(l) => {
+                self.tag(1);
+                self.u64(l.0 as u64);
+            }
+            Place::Field { obj, field } => {
+                self.tag(2);
+                self.expr(obj);
+                self.u64(field.0 as u64);
+                self.fields.insert(*field);
+            }
+            Place::Index { arr, idx } => {
+                self.tag(3);
+                self.expr(arr);
+                self.expr(idx);
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Int(n, s) => {
+                self.tag(30);
+                self.u64(*n as u64);
+                self.span(*s);
+            }
+            Expr::Bool(b, s) => {
+                self.tag(31);
+                self.tag(*b as u8);
+                self.span(*s);
+            }
+            Expr::Null(s) => {
+                self.tag(32);
+                self.span(*s);
+            }
+            Expr::Local(l, s) => {
+                self.tag(33);
+                self.u64(l.0 as u64);
+                self.span(*s);
+            }
+            Expr::GetField { obj, field, span } => {
+                self.tag(34);
+                self.expr(obj);
+                self.u64(field.0 as u64);
+                self.fields.insert(*field);
+                self.span(*span);
+            }
+            Expr::Index { arr, idx, span } => {
+                self.tag(35);
+                self.expr(arr);
+                self.expr(idx);
+                self.span(*span);
+            }
+            Expr::ArrayLen { arr, span } => {
+                self.tag(36);
+                self.expr(arr);
+                self.span(*span);
+            }
+            Expr::New {
+                class,
+                args,
+                ctor,
+                span,
+            } => {
+                self.tag(37);
+                self.u64(class.0 as u64);
+                self.classes.insert(*class);
+                self.u64(args.len() as u64);
+                for a in args {
+                    self.expr(a);
+                }
+                self.u64(ctor.map_or(0, |m| m.0 as u64 + 1));
+                if let Some(m) = ctor {
+                    self.methods.insert(*m);
+                }
+                self.span(*span);
+            }
+            Expr::NewArray { elem, len, span } => {
+                self.tag(38);
+                self.ty(elem);
+                self.expr(len);
+                self.span(*span);
+            }
+            Expr::Call {
+                recv,
+                method,
+                args,
+                span,
+            } => {
+                self.tag(39);
+                self.expr(recv);
+                self.u64(method.0 as u64);
+                self.methods.insert(*method);
+                self.u64(args.len() as u64);
+                for a in args {
+                    self.expr(a);
+                }
+                self.span(*span);
+            }
+            Expr::StaticCall { method, args, span } => {
+                self.tag(40);
+                self.u64(method.0 as u64);
+                self.methods.insert(*method);
+                self.u64(args.len() as u64);
+                for a in args {
+                    self.expr(a);
+                }
+                self.span(*span);
+            }
+            Expr::Rand(s) => {
+                self.tag(41);
+                self.span(*s);
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                self.tag(42);
+                self.tag(binop_tag(*op));
+                self.expr(lhs);
+                self.expr(rhs);
+                self.span(*span);
+            }
+            Expr::Unary { op, operand, span } => {
+                self.tag(43);
+                self.tag(match op {
+                    UnOp::Not => 1,
+                    UnOp::Neg => 2,
+                });
+                self.expr(operand);
+                self.span(*span);
+            }
+        }
+    }
+
+    /// Interface digests of everything referenced externally, in sorted
+    /// id order so the stream is deterministic.
+    fn references(&mut self) {
+        let classes = std::mem::take(&mut self.classes);
+        let methods = std::mem::take(&mut self.methods);
+        let fields = std::mem::take(&mut self.fields);
+        self.str("refs");
+        self.u64(classes.len() as u64);
+        for c in classes {
+            self.class_interface(c);
+        }
+        self.u64(methods.len() as u64);
+        for m in methods {
+            self.method_signature(m);
+        }
+        self.u64(fields.len() as u64);
+        for f in fields {
+            self.field_signature(f);
+        }
+    }
+
+    /// A referenced class's layout-relevant interface: identity, parent,
+    /// and the full `all_fields` order with per-field type and
+    /// initializer *presence* (`new C(…)` lowers one `CallInit` per
+    /// initialized field, parent-first — the initializer *bodies* belong
+    /// to their declaring class's unit).
+    fn class_interface(&mut self, id: ClassId) {
+        let c = self.prog.class(id);
+        self.str("iface");
+        self.u64(c.id.0 as u64);
+        self.str(&c.name);
+        self.u64(c.parent.map_or(0, |p| p.0 as u64 + 1));
+        self.u64(c.ctor.map_or(0, |m| m.0 as u64 + 1));
+        self.u64(c.all_fields.len() as u64);
+        for &f in &c.all_fields {
+            self.field_signature(f);
+        }
+    }
+
+    fn method_signature(&mut self, id: MethodId) {
+        let m = self.prog.method(id);
+        self.str("msig");
+        self.u64(m.id.0 as u64);
+        self.str(&m.name);
+        self.u64(m.owner.0 as u64);
+        self.tag(m.is_static as u8);
+        self.tag(m.is_sync as u8);
+        self.tag(m.is_ctor as u8);
+        let ret = m.ret.clone();
+        self.ty_sig(&ret);
+        self.u64(m.num_params as u64);
+        for t in m.param_tys() {
+            let t = t.clone();
+            self.ty_sig(&t);
+        }
+    }
+
+    fn field_signature(&mut self, id: FieldId) {
+        let f = self.prog.field(id);
+        self.str("fsig");
+        self.u64(f.id.0 as u64);
+        self.str(&f.name);
+        let ty = f.ty.clone();
+        self.ty_sig(&ty);
+        self.u64(f.owner.0 as u64);
+        self.tag(f.init.is_some() as u8);
+    }
+
+    /// Type digest for signatures: like [`Walker::ty`] but without
+    /// collecting further references (signatures close the ref walk —
+    /// transitive interfaces are reachable only through resolved ids,
+    /// which shift on any declaration reshuffle and are covered here).
+    fn ty_sig(&mut self, t: &Ty) {
+        match t {
+            Ty::Int => self.tag(1),
+            Ty::Bool => self.tag(2),
+            Ty::Void => self.tag(3),
+            Ty::Null => self.tag(4),
+            Ty::Class(c) => {
+                self.tag(5);
+                self.u64(c.0 as u64);
+            }
+            Ty::Array(e) => {
+                self.tag(6);
+                self.ty_sig(e);
+            }
+        }
+    }
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 1,
+        BinOp::Sub => 2,
+        BinOp::Mul => 3,
+        BinOp::Div => 4,
+        BinOp::Rem => 5,
+        BinOp::Eq => 6,
+        BinOp::Ne => 7,
+        BinOp::Lt => 8,
+        BinOp::Le => 9,
+        BinOp::Gt => 10,
+        BinOp::Ge => 11,
+        BinOp::And => 12,
+        BinOp::Or => 13,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    /// A sink good enough for unit tests: xor-rotate fold.
+    #[derive(Default)]
+    struct TestSink(u64);
+
+    impl DigestSink for TestSink {
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 = self.0.rotate_left(9) ^ b as u64;
+            }
+        }
+    }
+
+    fn unit_digest(src: &str, class: &str) -> u64 {
+        let prog = compile(src).expect("compiles");
+        let id = prog.class_by_name(class).expect("class exists");
+        let mut sink = TestSink::default();
+        class_unit(&prog, id, &mut sink);
+        sink.0
+    }
+
+    const TWO: &str = "
+        class A { int x; void bump() { this.x = this.x + 1; } }
+        class B { A a; void go() { this.a = new A(); this.a.bump(); } }
+        test t { var b = new B(); b.go(); }
+    ";
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(unit_digest(TWO, "A"), unit_digest(TWO, "A"));
+        assert_ne!(unit_digest(TWO, "A"), unit_digest(TWO, "B"));
+    }
+
+    #[test]
+    fn body_edit_dirties_only_its_class() {
+        // Same-length edit inside A's body: A's unit changes, B's does
+        // not (B references only A's interface).
+        let edited = TWO.replace("this.x + 1", "this.x + 2");
+        assert_ne!(unit_digest(TWO, "A"), unit_digest(&edited, "A"));
+        assert_eq!(unit_digest(TWO, "B"), unit_digest(&edited, "B"));
+    }
+
+    #[test]
+    fn signature_edit_dirties_referencing_class() {
+        // Renaming A's method changes A's interface; B calls it, so both
+        // units change. (Same byte length, so spans don't shift.)
+        let edited = TWO.replace("bump", "bumq");
+        assert_ne!(unit_digest(TWO, "A"), unit_digest(&edited, "A"));
+        assert_ne!(unit_digest(TWO, "B"), unit_digest(&edited, "B"));
+    }
+
+    #[test]
+    fn initializer_presence_dirties_new_sites() {
+        // Giving A's field an initializer changes what `new A()` lowers
+        // to inside B, so B's unit must change too.
+        let edited = TWO.replace("int x;", "int x=7;");
+        assert_ne!(unit_digest(TWO, "B"), unit_digest(&edited, "B"));
+    }
+
+    #[test]
+    fn span_shift_dirties_suffix_classes() {
+        // A length-changing edit before B shifts every span inside B;
+        // cached bodies would carry stale offsets, so B must miss.
+        let edited = TWO.replace("int x;", "int  x;");
+        assert_ne!(unit_digest(TWO, "B"), unit_digest(&edited, "B"));
+    }
+}

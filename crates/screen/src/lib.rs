@@ -55,14 +55,28 @@ const MAX_SETTER_DEPTH: usize = 4;
 /// order. This is the [`narada_core::screen::ScreenerFn`] the CLI plugs
 /// into `synthesize_with`.
 pub fn screen_pairs(mir: &MirProgram, pairs: &PairSet) -> Vec<StaticVerdict> {
-    let statics = summaries::analyze(mir);
-    let shapes = Shapes::collect(&statics);
-    let lock_ctx = LockCtx::new(mir, &statics);
+    screen_pairs_with(&summaries::analyze(mir), mir, pairs)
+}
+
+/// [`screen_pairs`] over a pre-built whole-program summary — the
+/// screener's artifact-cache entry point: [`summaries::analyze`] is the
+/// fixpoint that dominates screening cost and depends only on the MIR,
+/// so a warm cache (`narada serve`) computes it once per program digest
+/// and closes a [`narada_core::screen::ScreenerFn`] over it. `statics`
+/// must be `analyze(mir)` for this same `mir`; verdicts are then
+/// byte-identical to the cold path.
+pub fn screen_pairs_with(
+    statics: &Statics,
+    mir: &MirProgram,
+    pairs: &PairSet,
+) -> Vec<StaticVerdict> {
+    let shapes = Shapes::collect(statics);
+    let lock_ctx = LockCtx::new(mir, statics);
     // Per-access facts, computed once (pairs share accesses heavily).
     let facts: Vec<AccessFacts> = pairs
         .accesses
         .iter()
-        .map(|a| AccessFacts::compute(mir, &statics, &lock_ctx, a))
+        .map(|a| AccessFacts::compute(mir, statics, &lock_ctx, a))
         .collect();
     pairs
         .pairs

@@ -1,0 +1,485 @@
+//! The digest-keyed artifact store at the heart of `narada serve`.
+//!
+//! Every derived artifact the pipeline would otherwise rebuild from
+//! scratch per job — parsed+lowered programs, per-class MIR bodies,
+//! compiled bytecode, static screener summaries, generation API models —
+//! is cached under a content digest, so resubmitting an unchanged (or
+//! barely-changed) library re-derives only what actually changed:
+//!
+//! * **program** — FNV-1a of the raw source bytes → the fully compiled
+//!   [`CompiledLib`]. A hit skips parsing, type checking, and lowering
+//!   entirely.
+//! * **unit** — [`narada_lang::digest::class_unit`] digest of one class
+//!   (own declarations *plus* the interfaces of everything it references)
+//!   → that class's lowered [`ClassBodies`]. On a program miss the
+//!   compiler consults this family per class, so editing one method body
+//!   re-lowers exactly the classes in its dirty cone.
+//! * **code** — program digest → the shared [`BcProgram`] compilation
+//!   (bytecode engine only).
+//! * **statics** — program digest → the screener's interprocedural
+//!   [`Statics`] fixpoint.
+//! * **surface** — (program digest, engine label) → the seed-generation
+//!   [`ApiSurface`] model (engine-salted because the model is distilled
+//!   from seed-suite executions on a concrete engine).
+//!
+//! Whole-program artifacts are keyed by the program digest rather than
+//! participating in the unit cones: bytecode and the screener fixpoint
+//! genuinely depend on every body, so any source change must re-derive
+//! them. The unit family is where the cone is sharp — and where the
+//! service's incremental win on `edit one method, resubmit` comes from.
+//!
+//! Each family is a tick-stamped LRU bounded by
+//! [`ArtifactCache::with_capacity`]; hits, misses, and evictions are
+//! tallied in [`CacheStats`] and exported as `serve.cache.*` metrics so
+//! run manifests prove (not just claim) warm-path behavior.
+
+use narada_core::digest::Fnv1a;
+use narada_gen::ApiSurface;
+use narada_lang::digest::class_unit;
+use narada_lang::hir::{ClassId, Program};
+use narada_lang::lower::{lower_class, lower_test, ClassBodies};
+use narada_lang::mir::MirProgram;
+use narada_lang::Diagnostics;
+use narada_obs::Obs;
+use narada_screen::summaries::{analyze, Statics};
+use narada_vm::{BcProgram, Engine};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fully compiled library: the program-cache value.
+#[derive(Debug)]
+pub struct CompiledLib {
+    /// FNV-1a digest of the source bytes (the program-cache key).
+    pub digest: u64,
+    /// Parsed and type-checked HIR.
+    pub prog: Arc<Program>,
+    /// Lowered MIR, assembled from per-class cached bodies plus
+    /// freshly-lowered tests.
+    pub mir: Arc<MirProgram>,
+    /// Per-class unit digests, indexed by [`ClassId`]. Exposed so callers
+    /// (and tests) can observe the dirty cone of an edit directly.
+    pub unit_digests: Vec<u64>,
+}
+
+/// Hit/miss/eviction tallies, one pair per cache family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Program-level hits (whole compilation reused).
+    pub program_hits: u64,
+    /// Program-level misses (source never seen, or evicted).
+    pub program_misses: u64,
+    /// Class-unit hits (lowered bodies reused during a program miss).
+    pub unit_hits: u64,
+    /// Class-unit misses (bodies re-lowered: the dirty cone).
+    pub unit_misses: u64,
+    /// Bytecode hits.
+    pub code_hits: u64,
+    /// Bytecode misses.
+    pub code_misses: u64,
+    /// Screener-fixpoint hits.
+    pub statics_hits: u64,
+    /// Screener-fixpoint misses.
+    pub statics_misses: u64,
+    /// Generation-surface hits.
+    pub surface_hits: u64,
+    /// Generation-surface misses.
+    pub surface_misses: u64,
+    /// Entries dropped by LRU pressure, summed over all families.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total hits across every family.
+    pub fn hits(&self) -> u64 {
+        self.program_hits + self.unit_hits + self.code_hits + self.statics_hits + self.surface_hits
+    }
+
+    /// Total misses across every family.
+    pub fn misses(&self) -> u64 {
+        self.program_misses
+            + self.unit_misses
+            + self.code_misses
+            + self.statics_misses
+            + self.surface_misses
+    }
+
+    /// Records the tallies as `serve.cache.<family>.<hits|misses>`
+    /// counters (plus `serve.cache.evictions`) into `obs`, from where
+    /// they flow into run manifests.
+    pub fn record(&self, obs: &Obs) {
+        let m = &obs.metrics;
+        m.counter("serve.cache.program.hits").add(self.program_hits);
+        m.counter("serve.cache.program.misses")
+            .add(self.program_misses);
+        m.counter("serve.cache.unit.hits").add(self.unit_hits);
+        m.counter("serve.cache.unit.misses").add(self.unit_misses);
+        m.counter("serve.cache.code.hits").add(self.code_hits);
+        m.counter("serve.cache.code.misses").add(self.code_misses);
+        m.counter("serve.cache.statics.hits").add(self.statics_hits);
+        m.counter("serve.cache.statics.misses")
+            .add(self.statics_misses);
+        m.counter("serve.cache.surface.hits").add(self.surface_hits);
+        m.counter("serve.cache.surface.misses")
+            .add(self.surface_misses);
+        m.counter("serve.cache.evictions").add(self.evictions);
+    }
+
+    /// `self - base`, for per-job deltas against a long-lived cache.
+    pub fn delta(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            program_hits: self.program_hits - base.program_hits,
+            program_misses: self.program_misses - base.program_misses,
+            unit_hits: self.unit_hits - base.unit_hits,
+            unit_misses: self.unit_misses - base.unit_misses,
+            code_hits: self.code_hits - base.code_hits,
+            code_misses: self.code_misses - base.code_misses,
+            statics_hits: self.statics_hits - base.statics_hits,
+            statics_misses: self.statics_misses - base.statics_misses,
+            surface_hits: self.surface_hits - base.surface_hits,
+            surface_misses: self.surface_misses - base.surface_misses,
+            evictions: self.evictions - base.evictions,
+        }
+    }
+}
+
+/// One LRU slot: the artifact plus its last-touched tick.
+#[derive(Debug)]
+struct Slot<T> {
+    value: T,
+    last_used: u64,
+}
+
+/// A bounded, tick-stamped LRU map (one cache family).
+#[derive(Debug)]
+struct Family<K, T> {
+    slots: HashMap<K, Slot<T>>,
+    capacity: usize,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, T> Family<K, T> {
+    fn new(capacity: usize) -> Self {
+        Family {
+            slots: HashMap::new(),
+            capacity,
+        }
+    }
+
+    fn get(&mut self, key: &K, tick: u64) -> Option<&T> {
+        let slot = self.slots.get_mut(key)?;
+        slot.last_used = tick;
+        Some(&slot.value)
+    }
+
+    /// Inserts and evicts the least-recently-used entry if over
+    /// capacity; returns the number of evictions (0 or 1).
+    fn insert(&mut self, key: K, value: T, tick: u64) -> u64 {
+        self.slots.insert(
+            key,
+            Slot {
+                value,
+                last_used: tick,
+            },
+        );
+        if self.slots.len() <= self.capacity {
+            return 0;
+        }
+        if let Some(victim) = self
+            .slots
+            .iter()
+            .min_by_key(|(_, s)| s.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.slots.remove(&victim);
+        }
+        1
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// The content-addressed artifact store (see the module docs).
+#[derive(Debug)]
+pub struct ArtifactCache {
+    tick: u64,
+    programs: Family<u64, Arc<CompiledLib>>,
+    units: Family<u64, Arc<ClassBodies>>,
+    code: Family<u64, Arc<BcProgram>>,
+    statics: Family<u64, Arc<Statics>>,
+    surfaces: Family<(u64, &'static str), Arc<ApiSurface>>,
+    /// Running tallies; read them any time, or [`CacheStats::record`]
+    /// them into an [`Obs`].
+    pub stats: CacheStats,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::with_capacity(64)
+    }
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` entries *per family* (the unit
+    /// family gets `8 * capacity`: classes outnumber programs).
+    pub fn with_capacity(capacity: usize) -> ArtifactCache {
+        let capacity = capacity.max(1);
+        ArtifactCache {
+            tick: 0,
+            programs: Family::new(capacity),
+            units: Family::new(capacity * 8),
+            code: Family::new(capacity),
+            statics: Family::new(capacity),
+            surfaces: Family::new(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// The digest used as the program-cache key for `src`.
+    pub fn program_key(src: &str) -> u64 {
+        Fnv1a::digest(src.as_bytes())
+    }
+
+    /// Compiles `src` through the cache: a program hit returns the stored
+    /// [`CompiledLib`] untouched; a miss parses and type-checks, then
+    /// assembles the MIR from per-class unit lookups (re-lowering only
+    /// the classes whose unit digest is new) and freshly-lowered tests.
+    pub fn compile_source(&mut self, src: &str) -> Result<Arc<CompiledLib>, Diagnostics> {
+        let key = Self::program_key(src);
+        let tick = self.bump();
+        if let Some(lib) = self.programs.get(&key, tick) {
+            self.stats.program_hits += 1;
+            return Ok(Arc::clone(lib));
+        }
+        self.stats.program_misses += 1;
+
+        let prog = narada_lang::compile(src)?;
+        let unit_digests: Vec<u64> = (0..prog.classes.len() as u32)
+            .map(|c| {
+                let mut sink = Fnv1a::new();
+                class_unit(&prog, ClassId(c), &mut sink);
+                sink.finish()
+            })
+            .collect();
+
+        let mut mir = MirProgram::default();
+        let mut methods: Vec<Option<narada_lang::mir::Body>> = Vec::new();
+        methods.resize_with(prog.methods.len(), || None);
+        for (c, &digest) in unit_digests.iter().enumerate() {
+            let bodies = match self.units.get(&digest, tick) {
+                Some(b) => {
+                    self.stats.unit_hits += 1;
+                    Arc::clone(b)
+                }
+                None => {
+                    self.stats.unit_misses += 1;
+                    let fresh = Arc::new(lower_class(&prog, ClassId(c as u32)));
+                    self.stats.evictions += self.units.insert(digest, Arc::clone(&fresh), tick);
+                    fresh
+                }
+            };
+            for (m, body) in &bodies.methods {
+                methods[m.0 as usize] = Some(body.clone());
+            }
+            for (f, body) in &bodies.inits {
+                mir.field_inits.insert(*f, body.clone());
+            }
+        }
+        mir.methods = methods
+            .into_iter()
+            .map(|b| b.expect("every method is owned by exactly one class"))
+            .collect();
+        for t in &prog.tests {
+            mir.tests.push(lower_test(&prog, t));
+        }
+
+        let lib = Arc::new(CompiledLib {
+            digest: key,
+            prog: Arc::new(prog),
+            mir: Arc::new(mir),
+            unit_digests,
+        });
+        self.stats.evictions += self.programs.insert(key, Arc::clone(&lib), tick);
+        Ok(lib)
+    }
+
+    /// The shared bytecode compilation for `lib` (compiling on miss).
+    pub fn bytecode(&mut self, lib: &CompiledLib) -> Arc<BcProgram> {
+        let tick = self.bump();
+        if let Some(code) = self.code.get(&lib.digest, tick) {
+            self.stats.code_hits += 1;
+            return Arc::clone(code);
+        }
+        self.stats.code_misses += 1;
+        let code = Arc::new(BcProgram::compile(&lib.prog, &lib.mir));
+        self.stats.evictions += self.code.insert(lib.digest, Arc::clone(&code), tick);
+        code
+    }
+
+    /// The screener's interprocedural fixpoint for `lib` (analyzing on
+    /// miss).
+    pub fn statics(&mut self, lib: &CompiledLib) -> Arc<Statics> {
+        let tick = self.bump();
+        if let Some(s) = self.statics.get(&lib.digest, tick) {
+            self.stats.statics_hits += 1;
+            return Arc::clone(s);
+        }
+        self.stats.statics_misses += 1;
+        let s = Arc::new(analyze(&lib.mir));
+        self.stats.evictions += self.statics.insert(lib.digest, Arc::clone(&s), tick);
+        s
+    }
+
+    /// The seed-generation API model for `lib` on `engine` (distilling
+    /// on miss). Mirrors [`narada_gen::generate_suite`]'s choice: seeded
+    /// from the program's own tests when it has any, from declarations
+    /// otherwise.
+    pub fn surface(&mut self, lib: &CompiledLib, engine: Engine) -> Arc<ApiSurface> {
+        let key = (lib.digest, engine.label());
+        let tick = self.bump();
+        if let Some(s) = self.surfaces.get(&key, tick) {
+            self.stats.surface_hits += 1;
+            return Arc::clone(s);
+        }
+        self.stats.surface_misses += 1;
+        let s = Arc::new(if lib.prog.tests.is_empty() {
+            ApiSurface::for_program(&lib.prog)
+        } else {
+            ApiSurface::from_tests_on(&lib.prog, &lib.mir, engine)
+        });
+        self.stats.evictions += self.surfaces.insert(key, Arc::clone(&s), tick);
+        s
+    }
+
+    /// Live entry counts per family: `(programs, units, code, statics,
+    /// surfaces)`.
+    pub fn sizes(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.programs.len(),
+            self.units.len(),
+            self.code.len(),
+            self.statics.len(),
+            self.surfaces.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "
+        class A { int x; void bump() { this.x = this.x + 1; } }
+        class B { A a; void go() { this.a = new A(); this.a.bump(); } }
+        test t { var b = new B(); b.go(); }
+    ";
+
+    #[test]
+    fn program_hit_on_resubmit() {
+        let mut cache = ArtifactCache::default();
+        let first = cache.compile_source(LIB).unwrap();
+        let again = cache.compile_source(LIB).unwrap();
+        assert!(Arc::ptr_eq(&first, &again), "resubmit must reuse the Arc");
+        assert_eq!(cache.stats.program_hits, 1);
+        assert_eq!(cache.stats.program_misses, 1);
+        assert_eq!(cache.stats.unit_misses, 2, "two classes lowered once");
+        assert_eq!(cache.stats.unit_hits, 0, "program hit short-circuits units");
+    }
+
+    #[test]
+    fn compiled_mir_matches_batch_lowering() {
+        let mut cache = ArtifactCache::default();
+        let lib = cache.compile_source(LIB).unwrap();
+        let batch = narada_lang::lower::lower_program(&lib.prog);
+        assert_eq!(lib.mir.methods.len(), batch.methods.len());
+        for (i, body) in batch.methods.iter().enumerate() {
+            assert_eq!(lib.mir.methods[i].dump(), body.dump(), "method {i}");
+        }
+        assert_eq!(lib.mir.tests.len(), batch.tests.len());
+        for (i, body) in batch.tests.iter().enumerate() {
+            assert_eq!(lib.mir.tests[i].dump(), body.dump(), "test {i}");
+        }
+        assert_eq!(lib.mir.field_inits.len(), batch.field_inits.len());
+    }
+
+    #[test]
+    fn body_edit_misses_exactly_the_dirty_unit() {
+        // Same-length body edit in A: only A's unit digest changes, so a
+        // recompile re-lowers A and reuses B.
+        let edited = LIB.replace("this.x + 1", "this.x + 2");
+        assert_eq!(edited.len(), LIB.len(), "edit must preserve spans");
+        let mut cache = ArtifactCache::default();
+        let v1 = cache.compile_source(LIB).unwrap();
+        let v2 = cache.compile_source(&edited).unwrap();
+        assert_ne!(v1.digest, v2.digest);
+        assert_ne!(v1.unit_digests[0], v2.unit_digests[0], "A is dirty");
+        assert_eq!(v1.unit_digests[1], v2.unit_digests[1], "B is clean");
+        assert_eq!(cache.stats.program_misses, 2);
+        assert_eq!(cache.stats.unit_misses, 3, "A twice, B once");
+        assert_eq!(cache.stats.unit_hits, 1, "B reused on the recompile");
+    }
+
+    #[test]
+    fn whole_program_artifacts_hit_per_digest() {
+        let mut cache = ArtifactCache::default();
+        let lib = cache.compile_source(LIB).unwrap();
+        let c1 = cache.bytecode(&lib);
+        let c2 = cache.bytecode(&lib);
+        assert!(Arc::ptr_eq(&c1, &c2));
+        let s1 = cache.statics(&lib);
+        let s2 = cache.statics(&lib);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let a1 = cache.surface(&lib, Engine::TreeWalk);
+        let a2 = cache.surface(&lib, Engine::TreeWalk);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        // Engine-salted: the bytecode-engine surface is a distinct entry.
+        let _ = cache.surface(&lib, Engine::Bytecode);
+        assert_eq!(cache.stats.surface_misses, 2);
+        assert_eq!(
+            (
+                cache.stats.code_hits,
+                cache.stats.statics_hits,
+                cache.stats.surface_hits
+            ),
+            (1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_oldest_program() {
+        let mut cache = ArtifactCache::with_capacity(2);
+        let srcs: Vec<String> = (0..3)
+            .map(|i| format!("class C{i} {{ int x; void m() {{ this.x = {i}; }} }}"))
+            .collect();
+        for s in &srcs {
+            cache.compile_source(s).unwrap();
+        }
+        assert_eq!(cache.sizes().0, 2, "capacity 2 holds 2 programs");
+        assert!(cache.stats.evictions >= 1);
+        // The oldest (srcs[0]) was evicted; re-adding it misses.
+        let misses = cache.stats.program_misses;
+        cache.compile_source(&srcs[0]).unwrap();
+        assert_eq!(cache.stats.program_misses, misses + 1);
+        // The most recent (srcs[2]) survived both evictions.
+        let hits = cache.stats.program_hits;
+        cache.compile_source(&srcs[2]).unwrap();
+        assert_eq!(cache.stats.program_hits, hits + 1);
+    }
+
+    #[test]
+    fn stats_delta_is_per_job() {
+        let mut cache = ArtifactCache::default();
+        cache.compile_source(LIB).unwrap();
+        let base = cache.stats;
+        cache.compile_source(LIB).unwrap();
+        let d = cache.stats.delta(&base);
+        assert_eq!(d.program_hits, 1);
+        assert_eq!(d.program_misses, 0);
+        assert_eq!(d.hits(), 1);
+    }
+}

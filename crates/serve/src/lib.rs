@@ -1,0 +1,36 @@
+//! # narada-serve — race detection as a persistent service
+//!
+//! The batch CLI pays the full compile-and-analyze cost on every
+//! invocation. This crate keeps a daemon resident instead: clients
+//! submit `{library source, options}` jobs over a line-delimited JSON
+//! TCP protocol (`narada submit` / `jobs` / `fetch`), a worker pool runs
+//! the full pipeline — synthesis, schedule exploration, replay
+//! confirmation — and a **content-addressed artifact cache** makes
+//! repeat submissions incremental: parsed+lowered programs, per-class
+//! MIR bodies, compiled bytecode, screener fixpoints, and generation
+//! surfaces are all keyed by FNV-1a digests ([`cache`]), so editing one
+//! method re-derives only its dirty cone.
+//!
+//! Two invariants the test suite enforces:
+//!
+//! * **byte-identity** — a served verdict report equals the batch
+//!   `narada detect --report-out` document byte-for-byte, cold or warm,
+//!   at any server worker count ([`run::render_report`] is the single
+//!   renderer, and cached artifacts are proven equal to fresh ones);
+//! * **no lost results** — a finished job's report and manifest are
+//!   flushed to `--state-dir` at completion time, so a mid-queue
+//!   shutdown (graceful or SIGINT) loses nothing that had finished.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod run;
+pub mod server;
+
+pub use cache::{ArtifactCache, CacheStats, CompiledLib};
+pub use client::{wait_ready, Client};
+pub use proto::JobOptions;
+pub use run::{batch_report, render_report, run_job, JobResult};
+pub use server::{serve, ServeConfig};

@@ -1,0 +1,587 @@
+//! The daemon: a [`TcpListener`] accept loop, a worker pool draining a
+//! shared job queue, and a graceful-shutdown protocol.
+//!
+//! ## Lifecycle
+//!
+//! [`serve`] binds the address (writing the actual port to
+//! `--port-file`, so scripts can bind port 0), spawns `workers` job
+//! runners, and accepts connections until shutdown. Each connection gets
+//! its own handler thread (requests are short; only `fetch --wait`
+//! lingers, streaming progress frames).
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request — or SIGINT — closes intake: new `submit`s are
+//! refused, queued jobs keep running, and the requester's response is
+//! held back until the queue fully drains, then reports how many jobs
+//! completed. Every job's report and manifest were already flushed to
+//! `--state-dir` *at completion time*, not at shutdown, so a crash or
+//! kill between jobs loses nothing that had finished.
+//!
+//! ## Determinism
+//!
+//! The worker count shards *jobs*, never a job's internals: each job
+//! runs the deterministic batch pipeline with its own submitted
+//! `threads` knob. Served verdicts are therefore byte-identical across
+//! server worker counts — an acceptance-tested invariant.
+
+use crate::cache::ArtifactCache;
+use crate::proto::{error_frame, ok_frame, write_frame, JobOptions};
+use crate::run::{cache_json, run_job};
+use narada_obs::Json;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server configuration (the `narada serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size (concurrent jobs). Result-neutral.
+    pub workers: usize,
+    /// Directory receiving each finished job's `job-N.report` and
+    /// `job-N.manifest.json` as it completes.
+    pub state_dir: Option<PathBuf>,
+    /// File receiving the bound port number (ephemeral-port scripting).
+    pub port_file: Option<PathBuf>,
+    /// Artifact-cache capacity per family.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            state_dir: None,
+            port_file: None,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is running it.
+    Running,
+    /// Finished with a report.
+    Done,
+    /// Finished with an error.
+    Failed,
+}
+
+impl JobStatus {
+    fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+/// One submitted job.
+struct Job {
+    id: u64,
+    source: String,
+    options: JobOptions,
+    status: JobStatus,
+    /// Progress frames recorded so far (fetch streams them).
+    events: Vec<Json>,
+    /// Canonical report (done) or error text (failed).
+    report: Option<String>,
+    error: Option<String>,
+    summary: Option<String>,
+}
+
+/// Everything behind the state mutex.
+struct State {
+    jobs: Vec<Job>,
+    queue: VecDeque<u64>,
+    /// Intake closed: submits are refused, workers drain and exit.
+    draining: bool,
+}
+
+/// Shared server state: job table + cache + wakeups.
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled on every job-state or event change (fetch waiters,
+    /// workers, and the shutdown drainer all park here).
+    changed: Condvar,
+    cache: Mutex<ArtifactCache>,
+    /// Terminates the accept loop once drained.
+    stop: AtomicBool,
+    config: ServeConfig,
+}
+
+/// SIGINT flag → the accept loop turns it into a drain, exactly like a
+/// `shutdown` request.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint() {
+    extern "C" fn on_sigint(_: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint() {}
+
+/// Runs the daemon until a `shutdown` request (or SIGINT) drains it.
+/// Returns the number of jobs completed over the server's lifetime.
+pub fn serve(config: ServeConfig) -> Result<u64, String> {
+    install_sigint();
+    INTERRUPTED.store(false, Ordering::SeqCst);
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .port();
+    if let Some(path) = &config.port_file {
+        std::fs::write(path, format!("{port}\n"))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    if let Some(dir) = &config.state_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
+    eprintln!(
+        "narada serve: listening on 127.0.0.1:{port} ({} worker(s))",
+        config.workers.max(1)
+    );
+
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            jobs: Vec::new(),
+            queue: VecDeque::new(),
+            draining: false,
+        }),
+        changed: Condvar::new(),
+        cache: Mutex::new(ArtifactCache::with_capacity(config.cache_capacity)),
+        stop: AtomicBool::new(false),
+        config,
+    });
+
+    std::thread::scope(|scope| {
+        for _ in 0..shared.config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || worker_loop(&shared));
+        }
+
+        while !shared.stop.load(Ordering::SeqCst) {
+            if INTERRUPTED.swap(false, Ordering::SeqCst) {
+                eprintln!("narada serve: interrupt — draining");
+                begin_drain(&shared);
+                wait_drained(&shared);
+                shared.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let _ = handle_connection(stream, &shared);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("narada serve: accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        // Drain flag is set by now; wake any parked worker so it exits.
+        begin_drain(&shared);
+        shared.changed.notify_all();
+    });
+
+    let state = shared.state.lock().map_err(|_| "state poisoned")?;
+    Ok(state
+        .jobs
+        .iter()
+        .filter(|j| j.status == JobStatus::Done)
+        .count() as u64)
+}
+
+/// Closes intake and wakes everyone.
+fn begin_drain(shared: &Shared) {
+    if let Ok(mut state) = shared.state.lock() {
+        state.draining = true;
+    }
+    shared.changed.notify_all();
+}
+
+/// Blocks until no job is queued or running.
+fn wait_drained(shared: &Shared) {
+    let Ok(mut state) = shared.state.lock() else {
+        return;
+    };
+    while state.jobs.iter().any(|j| !j.status.terminal()) {
+        let (next, _) = shared
+            .changed
+            .wait_timeout(state, Duration::from_millis(200))
+            .unwrap();
+        state = next;
+    }
+}
+
+/// One worker: pop, run, publish, repeat; exit once draining and empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, source, options) = {
+            let Ok(mut state) = shared.state.lock() else {
+                return;
+            };
+            loop {
+                if let Some(id) = state.queue.pop_front() {
+                    let job = &mut state.jobs[id as usize];
+                    job.status = JobStatus::Running;
+                    let frame = Json::obj()
+                        .with("event", Json::Str("started".into()))
+                        .with("job", Json::Int(id as i64));
+                    job.events.push(frame);
+                    break (id, job.source.clone(), job.options.clone());
+                }
+                if state.draining || shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (next, _) = shared
+                    .changed
+                    .wait_timeout(state, Duration::from_millis(200))
+                    .unwrap();
+                state = next;
+            }
+        };
+        shared.changed.notify_all();
+
+        // Run outside the state lock; progress frames re-lock briefly.
+        let mut publish = |frame: Json| {
+            if let Ok(mut state) = shared.state.lock() {
+                state.jobs[id as usize].events.push(frame);
+            }
+            shared.changed.notify_all();
+        };
+        let result = run_job(&shared.cache, &source, &options, &mut publish);
+
+        let Ok(mut state) = shared.state.lock() else {
+            return;
+        };
+        let job = &mut state.jobs[id as usize];
+        match result {
+            Ok(done) => {
+                flush_job(&shared.config, id, &done);
+                job.status = JobStatus::Done;
+                job.events.push(
+                    Json::obj()
+                        .with("event", Json::Str("done".into()))
+                        .with("job", Json::Int(id as i64))
+                        .with("summary", Json::Str(done.summary.clone()))
+                        .with("cache", cache_json(&done.cache)),
+                );
+                job.summary = Some(done.summary);
+                job.report = Some(done.report);
+            }
+            Err(e) => {
+                job.status = JobStatus::Failed;
+                job.events.push(
+                    Json::obj()
+                        .with("event", Json::Str("failed".into()))
+                        .with("job", Json::Int(id as i64))
+                        .with("error", Json::Str(e.clone())),
+                );
+                job.error = Some(e);
+            }
+        }
+        drop(state);
+        shared.changed.notify_all();
+    }
+}
+
+/// Flushes a finished job's artifacts to the state directory — called at
+/// completion time so shutdown (or a crash) can never lose a finished
+/// result.
+fn flush_job(config: &ServeConfig, id: u64, done: &crate::run::JobResult) {
+    let Some(dir) = &config.state_dir else {
+        return;
+    };
+    let report = dir.join(format!("job-{id}.report"));
+    if let Err(e) = std::fs::write(&report, &done.report) {
+        eprintln!("narada serve: cannot write {}: {e}", report.display());
+    }
+    let manifest = dir.join(format!("job-{id}.manifest.json"));
+    if let Err(e) = std::fs::write(&manifest, done.manifest.to_pretty()) {
+        eprintln!("narada serve: cannot write {}: {e}", manifest.display());
+    }
+}
+
+/// Reads the next request off an idle connection without pinning the
+/// server open: the stream carries a short read timeout, and every
+/// timeout re-checks the stop flag. Without this, one idle client
+/// would block `thread::scope`'s join — and therefore shutdown —
+/// forever. Partial lines survive timeouts because the byte buffer
+/// persists across `read_until` retries.
+fn next_request(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<Option<Json>> {
+    use std::io::BufRead;
+    let mut bytes = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut bytes) {
+            Ok(0) => return Ok(None),
+            Ok(_) => {
+                let line = String::from_utf8_lossy(&bytes);
+                if line.trim().is_empty() {
+                    bytes.clear();
+                    continue;
+                }
+                return Json::parse(&line).map(Some).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                });
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves one client connection until EOF or shutdown-ack.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(req) = next_request(&mut reader, shared)? {
+        let cmd = req.get("cmd").and_then(|c| c.as_str()).unwrap_or("");
+        match cmd {
+            "ping" => {
+                let jobs = shared.state.lock().map(|s| s.jobs.len()).unwrap_or(0);
+                write_frame(
+                    &mut writer,
+                    &ok_frame()
+                        .with("service", Json::Str("narada-serve/1".into()))
+                        .with("jobs", Json::Int(jobs as i64)),
+                )?;
+            }
+            "submit" => {
+                let resp = handle_submit(&req, shared);
+                write_frame(&mut writer, &resp)?;
+                shared.changed.notify_all();
+            }
+            "jobs" => {
+                let resp = handle_jobs(shared);
+                write_frame(&mut writer, &resp)?;
+            }
+            "stats" => {
+                let resp = handle_stats(shared);
+                write_frame(&mut writer, &resp)?;
+            }
+            "fetch" => {
+                handle_fetch(&req, shared, &mut writer)?;
+            }
+            "shutdown" => {
+                begin_drain(shared);
+                wait_drained(shared);
+                let (done, failed) = shared
+                    .state
+                    .lock()
+                    .map(|s| {
+                        (
+                            s.jobs
+                                .iter()
+                                .filter(|j| j.status == JobStatus::Done)
+                                .count(),
+                            s.jobs
+                                .iter()
+                                .filter(|j| j.status == JobStatus::Failed)
+                                .count(),
+                        )
+                    })
+                    .unwrap_or((0, 0));
+                shared.stop.store(true, Ordering::SeqCst);
+                write_frame(
+                    &mut writer,
+                    &ok_frame()
+                        .with("drained", Json::Bool(true))
+                        .with("completed", Json::Int(done as i64))
+                        .with("failed", Json::Int(failed as i64)),
+                )?;
+                return Ok(());
+            }
+            other => {
+                write_frame(&mut writer, &error_frame(&format!("unknown cmd `{other}`")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn handle_submit(req: &Json, shared: &Shared) -> Json {
+    let Some(source) = req.get("source").and_then(|s| s.as_str()) else {
+        return error_frame("submit requires `source`");
+    };
+    let options = match req.get("options") {
+        Some(doc) => match JobOptions::from_json(doc) {
+            Ok(o) => o,
+            Err(e) => return error_frame(&e),
+        },
+        None => JobOptions::default(),
+    };
+    let Ok(mut state) = shared.state.lock() else {
+        return error_frame("state poisoned");
+    };
+    if state.draining {
+        return error_frame("server is shutting down; submission refused");
+    }
+    let id = state.jobs.len() as u64;
+    let mut job = Job {
+        id,
+        source: source.to_string(),
+        options,
+        status: JobStatus::Queued,
+        events: Vec::new(),
+        report: None,
+        error: None,
+        summary: None,
+    };
+    job.events.push(
+        Json::obj()
+            .with("event", Json::Str("queued".into()))
+            .with("job", Json::Int(id as i64)),
+    );
+    state.jobs.push(job);
+    state.queue.push_back(id);
+    ok_frame().with("job", Json::Int(id as i64))
+}
+
+fn job_row(job: &Job) -> Json {
+    let mut row = Json::obj()
+        .with("job", Json::Int(job.id as i64))
+        .with("status", Json::Str(job.status.label().into()))
+        .with(
+            "source_fnv",
+            Json::Str(format!("{:016x}", ArtifactCache::program_key(&job.source))),
+        );
+    if let Some(s) = &job.summary {
+        row.set("summary", Json::Str(s.clone()));
+    }
+    if let Some(e) = &job.error {
+        row.set("error", Json::Str(e.clone()));
+    }
+    row
+}
+
+fn handle_jobs(shared: &Shared) -> Json {
+    let Ok(state) = shared.state.lock() else {
+        return error_frame("state poisoned");
+    };
+    ok_frame().with("jobs", Json::Arr(state.jobs.iter().map(job_row).collect()))
+}
+
+fn handle_stats(shared: &Shared) -> Json {
+    let Ok(cache) = shared.cache.lock() else {
+        return error_frame("cache poisoned");
+    };
+    let (programs, units, code, statics, surfaces) = cache.sizes();
+    ok_frame().with("cache", cache_json(&cache.stats)).with(
+        "sizes",
+        Json::obj()
+            .with("programs", Json::Int(programs as i64))
+            .with("units", Json::Int(units as i64))
+            .with("code", Json::Int(code as i64))
+            .with("statics", Json::Int(statics as i64))
+            .with("surfaces", Json::Int(surfaces as i64)),
+    )
+}
+
+/// Streams a job's progress frames (when `wait`) and its final state.
+fn handle_fetch(req: &Json, shared: &Shared, writer: &mut TcpStream) -> std::io::Result<()> {
+    let Some(id) = req.get("job").and_then(|j| j.as_i64()) else {
+        return write_frame(writer, &error_frame("fetch requires `job`"));
+    };
+    let wait = matches!(req.get("wait"), Some(Json::Bool(true)));
+    let mut sent = 0usize;
+    loop {
+        let (frames, status, report, error, summary) = {
+            let Ok(state) = shared.state.lock() else {
+                return write_frame(writer, &error_frame("state poisoned"));
+            };
+            let Some(job) = state.jobs.get(id as usize) else {
+                return write_frame(writer, &error_frame(&format!("no such job {id}")));
+            };
+            (
+                job.events[sent..].to_vec(),
+                job.status,
+                job.report.clone(),
+                job.error.clone(),
+                job.summary.clone(),
+            )
+        };
+        if wait {
+            for frame in &frames {
+                write_frame(writer, frame)?;
+            }
+            sent += frames.len();
+        }
+        if status.terminal() || !wait {
+            let mut resp = ok_frame()
+                .with("job", Json::Int(id))
+                .with("status", Json::Str(status.label().into()));
+            if let Some(r) = report {
+                resp.set("report", Json::Str(r));
+            }
+            if let Some(s) = summary {
+                resp.set("summary", Json::Str(s));
+            }
+            if let Some(e) = error {
+                resp.set("error", Json::Str(e));
+            }
+            return write_frame(writer, &resp);
+        }
+        // Park until something changes, then re-check.
+        let Ok(state) = shared.state.lock() else {
+            return write_frame(writer, &error_frame("state poisoned"));
+        };
+        let _ = shared
+            .changed
+            .wait_timeout(state, Duration::from_millis(200))
+            .unwrap();
+    }
+}

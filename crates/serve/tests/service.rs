@@ -1,0 +1,308 @@
+//! End-to-end acceptance tests for the detection service: byte-identity
+//! with the batch pipeline (cold, warm, and across worker counts),
+//! dirty-cone cache invalidation over the wire, streamed progress
+//! events, and lossless mid-queue shutdown.
+
+use narada_detect::{evaluate_suite_full, DetectConfig};
+use narada_lang::lower::lower_program;
+use narada_obs::{Json, Obs, RunManifest};
+use narada_serve::{render_report, serve, wait_ready, Client, JobOptions, ServeConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cheap-but-real options: full pipeline, smaller trial counts.
+fn test_opts() -> JobOptions {
+    JobOptions {
+        schedules: 3,
+        confirms: 2,
+        ..JobOptions::default()
+    }
+}
+
+/// The cache-free reference: plain compile → synthesize → detect →
+/// render, no artifact store anywhere. What `narada detect
+/// --report-out` computes.
+fn reference_report(source: &str, opts: &JobOptions) -> String {
+    let obs = Obs::new();
+    let prog = narada_lang::compile(source).expect("reference compile");
+    let mir = lower_program(&prog);
+    let sopts = narada_core::SynthesisOptions {
+        threads: opts.threads,
+        static_filter: opts.static_filter,
+        static_rank: opts.static_rank,
+        engine: opts.engine,
+        ..narada_core::SynthesisOptions::default()
+    };
+    let out = narada_core::pipeline::synthesize_observed(
+        &prog,
+        &mir,
+        &sopts,
+        Some(&narada_screen::screen_pairs),
+        &obs,
+    );
+    let cfg = DetectConfig {
+        schedule_trials: opts.schedules,
+        confirm_trials: opts.confirms,
+        seed: opts.seed,
+        budget: opts.budget,
+        threads: opts.threads,
+        strategy: opts.strategy.clone(),
+        pct_horizon: opts.pct_horizon,
+        engine: opts.engine,
+        ..DetectConfig::default()
+    };
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
+    let (reports, agg) = evaluate_suite_full(&prog, &mir, &seeds, &plans, &cfg, &obs);
+    render_report(&prog, source, opts, &out, &reports, &agg)
+}
+
+static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let n = SCRATCH.fetch_add(1, Ordering::SeqCst);
+    let dir = std::env::temp_dir().join(format!(
+        "narada-serve-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+struct TestServer {
+    addr: String,
+    handle: JoinHandle<Result<u64, String>>,
+    dir: PathBuf,
+}
+
+impl TestServer {
+    fn start(workers: usize, state_dir: bool) -> TestServer {
+        let dir = scratch_dir("srv");
+        let port_file = dir.join("port");
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            state_dir: state_dir.then(|| dir.join("state")),
+            port_file: Some(port_file.clone()),
+            cache_capacity: 64,
+        };
+        let handle = std::thread::spawn(move || serve(config));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(port) = text.trim().parse::<u16>() {
+                    break port;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its port file"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let addr = format!("127.0.0.1:{port}");
+        wait_ready(&addr, Duration::from_secs(10)).expect("server ready");
+        TestServer { addr, handle, dir }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).expect("connect")
+    }
+
+    /// Submit + wait + return the report.
+    fn run(&self, source: &str, opts: &JobOptions) -> String {
+        let mut client = self.client();
+        let job = client.submit(source, opts).expect("submit");
+        let resp = client.fetch(job, true, &mut |_| {}).expect("fetch");
+        assert_eq!(
+            resp.get("status").and_then(|s| s.as_str()),
+            Some("done"),
+            "job failed: {resp:?}"
+        );
+        resp.get("report")
+            .and_then(|r| r.as_str())
+            .expect("report")
+            .to_string()
+    }
+
+    fn stop(self) -> u64 {
+        self.client().shutdown().expect("shutdown");
+        let completed = self.handle.join().expect("join").expect("serve");
+        std::fs::remove_dir_all(&self.dir).ok();
+        completed
+    }
+}
+
+#[test]
+fn served_reports_are_byte_identical_to_batch_cold_and_warm() {
+    let opts = test_opts();
+    let server = TestServer::start(2, false);
+    for id in ["C1", "C2", "C3", "C4", "C5"] {
+        let source = narada_corpus::by_id(id).expect("corpus id").source;
+        let reference = reference_report(source, &opts);
+        let cold = server.run(source, &opts);
+        assert_eq!(cold, reference, "{id}: cold served != batch");
+        let warm = server.run(source, &opts);
+        assert_eq!(warm, reference, "{id}: warm served != batch");
+    }
+    // Warm resubmissions hit the program cache: parse, lower, and
+    // screen were all skipped.
+    let stats = server.client().stats().expect("stats");
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("program_hits"))
+        .and_then(|h| h.as_i64())
+        .unwrap_or(0);
+    assert!(hits >= 5, "expected >=5 warm program hits, got {hits}");
+    assert_eq!(server.stop(), 10);
+}
+
+#[test]
+fn served_report_is_independent_of_worker_count() {
+    let opts = test_opts();
+    let source = narada_corpus::by_id("C1").expect("C1").source;
+    let mut reports = Vec::new();
+    for workers in [1, 2, 8] {
+        let server = TestServer::start(workers, false);
+        reports.push(server.run(source, &opts));
+        server.stop();
+    }
+    assert_eq!(reports[0], reports[1], "workers 1 vs 2");
+    assert_eq!(reports[0], reports[2], "workers 1 vs 8");
+}
+
+const TWO_CLASS: &str = "
+    class Counter { int n; void inc() { this.n = this.n + 1; } int get() { return this.n; } }
+    class Holder {
+        Counter c;
+        void attach(Counter x) { this.c = x; }
+        sync void tick() { this.c.inc(); }
+    }
+    test seed {
+        var c = new Counter();
+        var h = new Holder();
+        h.attach(c);
+        h.tick();
+        c.inc();
+    }
+";
+
+#[test]
+fn one_method_edit_invalidates_exactly_the_dirty_cone() {
+    // Same-length edit inside Counter.inc: Counter's unit digest moves,
+    // Holder's does not (it only references Counter's interface).
+    let edited = TWO_CLASS.replace("this.n + 1", "this.n + 2");
+    assert_eq!(edited.len(), TWO_CLASS.len());
+    let opts = test_opts();
+    let server = TestServer::start(1, false);
+
+    let before = server.run(TWO_CLASS, &opts);
+    let stats0 = server.client().stats().expect("stats");
+    let after = server.run(&edited, &opts);
+    let stats1 = server.client().stats().expect("stats");
+
+    // The report itself must track the edit (different program digest).
+    assert_ne!(before, after);
+
+    let delta = |field: &str| -> i64 {
+        let read = |s: &Json| {
+            s.get("cache")
+                .and_then(|c| c.get(field))
+                .and_then(|v| v.as_i64())
+                .unwrap_or(0)
+        };
+        read(&stats1) - read(&stats0)
+    };
+    assert_eq!(delta("program_misses"), 1, "edited source is a new program");
+    assert_eq!(delta("unit_misses"), 1, "only Counter re-lowers");
+    assert_eq!(delta("unit_hits"), 1, "Holder's bodies are reused");
+    // Whole-program artifacts are keyed by the program digest, so the
+    // screener fixpoint re-derives (the suite runs without --static-*,
+    // so no statics activity at all) and bytecode is untouched under
+    // the default tree-walk engine.
+    assert_eq!(delta("code_misses"), 0);
+    server.stop();
+}
+
+#[test]
+fn fetch_streams_manifest_backed_progress_events() {
+    let opts = test_opts();
+    let server = TestServer::start(1, false);
+    let source = narada_corpus::by_id("C1").expect("C1").source;
+    let mut client = server.client();
+    let job = client.submit(source, &opts).expect("submit");
+    let mut events: Vec<Json> = Vec::new();
+    let resp = client
+        .fetch(job, true, &mut |frame| events.push(frame.clone()))
+        .expect("fetch");
+    assert_eq!(resp.get("status").and_then(|s| s.as_str()), Some("done"));
+
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("event").and_then(|n| n.as_str()))
+        .collect();
+    assert!(names.contains(&"queued"), "events: {names:?}");
+    assert!(names.contains(&"started"), "events: {names:?}");
+    assert!(names.contains(&"done"), "events: {names:?}");
+    let stages: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("stage").and_then(|s| s.as_str()))
+        .collect();
+    assert_eq!(stages, ["compile", "synth", "detect"]);
+
+    // Every stage frame embeds a parseable narada-manifest/1 snapshot.
+    for event in events.iter().filter(|e| e.get("stage").is_some()) {
+        let doc = event.get("manifest").expect("manifest frame");
+        let manifest = RunManifest::from_json(doc).expect("valid manifest");
+        assert_eq!(manifest.name, "serve.job");
+    }
+    server.stop();
+}
+
+#[test]
+fn mid_queue_shutdown_loses_no_completed_results() {
+    // One worker, three queued jobs, shutdown issued while the queue is
+    // still full: the drain must complete all three, and each report
+    // must already be on disk (flushed at completion, not at exit).
+    let opts = test_opts();
+    let server = TestServer::start(1, true);
+    let state = server.dir.join("state");
+    let sources: Vec<&str> = ["C1", "C2", "C3"]
+        .iter()
+        .map(|id| narada_corpus::by_id(id).expect("corpus").source)
+        .collect();
+    let mut client = server.client();
+    for source in &sources {
+        client.submit(source, &opts).expect("submit");
+    }
+    // Immediately drain: jobs 1 and 2 are still queued behind job 0.
+    let resp = client.shutdown().expect("shutdown");
+    assert_eq!(resp.get("completed").and_then(|c| c.as_i64()), Some(3));
+    assert_eq!(server.handle.join().expect("join").expect("serve"), 3);
+
+    for (i, source) in sources.iter().enumerate() {
+        let report = std::fs::read_to_string(state.join(format!("job-{i}.report")))
+            .unwrap_or_else(|e| panic!("job-{i}.report missing: {e}"));
+        assert_eq!(report, reference_report(source, &opts), "job {i}");
+        let manifest = std::fs::read_to_string(state.join(format!("job-{i}.manifest.json")))
+            .unwrap_or_else(|e| panic!("job-{i}.manifest.json missing: {e}"));
+        RunManifest::parse(&manifest).expect("valid flushed manifest");
+    }
+    std::fs::remove_dir_all(&server.dir).ok();
+}
+
+#[test]
+fn submit_after_shutdown_is_refused() {
+    let server = TestServer::start(1, false);
+    let addr = server.addr.clone();
+    assert_eq!(server.stop(), 0);
+    // The server is gone: either the connection is refused outright or
+    // any in-flight submit errors.
+    let refused = match Client::connect(&addr) {
+        Err(_) => true,
+        Ok(mut c) => c.submit("class X { }", &JobOptions::default()).is_err(),
+    };
+    assert!(refused, "submission after shutdown must fail");
+}

@@ -60,7 +60,37 @@ cmp "$DIFF_DIR/t1.out" "$DIFF_DIR/bc-t1.out" \
     || { echo "difftest output differs between engines" >&2; exit 1; }
 rm -rf "$DIFF_DIR"
 
-echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen / BENCH_difftest / BENCH_vm)"
+echo "==> serve smoke (byte-identity with batch, warm cache, clean shutdown)"
+# A resident server must return the same bytes as `narada detect
+# --report-out`, hit the artifact cache on resubmission, and drain
+# cleanly on `narada shutdown`.
+SERVE_DIR="$(mktemp -d)"
+cargo run -q --release --bin narada -- serve --addr 127.0.0.1:0 --threads 2 \
+    --port-file "$SERVE_DIR/port" --state-dir "$SERVE_DIR/state" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SERVE_DIR/port" ] && break; sleep 0.1; done
+[ -s "$SERVE_DIR/port" ] || { echo "serve never wrote its port file" >&2; exit 1; }
+ADDR="127.0.0.1:$(cat "$SERVE_DIR/port")"
+cargo run -q --release --bin narada -- detect C1 --schedules 3 --confirms 2 \
+    --report-out "$SERVE_DIR/batch.report" > /dev/null
+for pass in cold warm; do
+    JOB="$(cargo run -q --release --bin narada -- submit C1 --addr "$ADDR" \
+        --schedules 3 --confirms 2 | awk '{print $2}')"
+    cargo run -q --release --bin narada -- fetch "$JOB" --addr "$ADDR" \
+        --wait --quiet --out "$SERVE_DIR/$pass.report" > /dev/null
+    cmp "$SERVE_DIR/batch.report" "$SERVE_DIR/$pass.report" \
+        || { echo "$pass served report differs from batch" >&2; exit 1; }
+done
+cargo run -q --release --bin narada -- jobs --addr "$ADDR" --stats \
+    | grep -q '"program_hits":[1-9]' \
+    || { echo "warm resubmission produced no program-cache hit" >&2; exit 1; }
+cargo run -q --release --bin narada -- shutdown --addr "$ADDR" > /dev/null
+wait "$SERVE_PID" || { echo "serve exited non-zero" >&2; exit 1; }
+cmp "$SERVE_DIR/batch.report" "$SERVE_DIR/state/job-0.report" \
+    || { echo "state-dir flushed report differs from batch" >&2; exit 1; }
+rm -rf "$SERVE_DIR"
+
+echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen / BENCH_difftest / BENCH_vm / BENCH_serve)"
 # Each bench bin must emit a run manifest; `narada report` re-parses it
 # and fails on any missing required field (schema, git_rev, metrics, ...).
 MANIFEST_DIR="$(mktemp -d)"
@@ -77,7 +107,10 @@ NARADA_MANIFEST_DIR="$MANIFEST_DIR" \
     cargo run -q --release -p narada-bench --bin difftest > /dev/null
 NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_BENCH_REPS=2 \
     cargo run -q --release -p narada-bench --bin vm > /dev/null
-for name in synth explore screen gen difftest vm; do
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_SERVE_REPS=1 NARADA_SERVE_CLIENTS=2 \
+    NARADA_SERVE_JOBS=1 NARADA_SERVE_SCHEDULES=3 NARADA_SERVE_CONFIRMS=2 \
+    cargo run -q --release -p narada-bench --bin serve > /dev/null
+for name in synth explore screen gen difftest vm serve; do
     manifest="$MANIFEST_DIR/BENCH_$name.json"
     [ -f "$manifest" ] || { echo "missing $manifest" >&2; exit 1; }
     cargo run -q --release --bin narada -- report "$manifest" > /dev/null

@@ -49,6 +49,11 @@ fn main() -> ExitCode {
         // bypasses the Ok/Err mapping below.
         "difftest" => return cmd_difftest(rest),
         "report" => cmd_report(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "jobs" => cmd_jobs(rest),
+        "fetch" => cmd_fetch(rest),
+        "shutdown" => cmd_shutdown(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -68,17 +73,18 @@ const USAGE: &str = "\
 narada — synthesizing racy tests (PLDI 2015 reproduction)
 
 USAGE:
-    narada run <file.mj> [--test NAME] [--trace] [--engine E]
-    narada mir <file.mj> [--method Class.m]
-    narada synth <file.mj> [--render] [--strict-unprotected]
+    narada run <file.mj|C1..C9> [--test NAME] [--trace] [--engine E]
+    narada mir <file.mj|C1..C9> [--method Class.m]
+    narada synth <file.mj|C1..C9> [--render] [--strict-unprotected]
                            [--no-prefix-fallback] [--no-lockset-aware]
                            [--static-filter] [--static-rank]
                            [--threads N] [--timings] [--engine E]
                            [--strategy S] [--depth N]
                            [--record DIR] [--replay FILE.sched]
                            [--trace-out FILE.jsonl] [--manifest FILE.json]
-    narada detect <file.mj> [--schedules N] [--confirms N] [--seed N]
+    narada detect <file.mj|C1..C9> [--schedules N] [--confirms N] [--seed N]
                             [--static-filter] [--static-rank]
+                            [--report-out FILE]
                             [--threads N] [--timings] [--engine E]
                             [--strategy S] [--depth N]
                             [--record DIR] [--replay FILE.sched]
@@ -97,6 +103,12 @@ USAGE:
                     [--inject-unsound] [--verbose] [--engine E]
                     [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada report <manifest.json>... [--diff OLD.json NEW.json]
+    narada serve [--addr HOST:PORT] [--threads N] [--state-dir DIR]
+                 [--port-file FILE] [--cache-capacity N]
+    narada submit <file.mj|C1..C9> [--addr HOST:PORT] [detect flags]
+    narada jobs [--addr HOST:PORT] [--stats]
+    narada fetch <JOB> [--addr HOST:PORT] [--wait] [--out FILE] [--quiet]
+    narada shutdown [--addr HOST:PORT]
 
 `--engine E` picks the execution engine: tree (the reference
 tree-walking interpreter, default) or bytecode (compiled dispatch,
@@ -140,7 +152,17 @@ pipeline stage as JSON Lines; `--manifest FILE` writes a run manifest
 (environment, config, stage timings, and every metric — the metric
 section is byte-identical at any --threads value). `narada report`
 renders manifests; with `--diff` it compares two stage by stage and
-metric by metric.";
+metric by metric.
+`narada serve` keeps a detection daemon resident: clients `submit`
+jobs (library source + the usual detect knobs), a worker pool runs the
+full pipeline, and a digest-keyed artifact cache makes resubmission of
+an unchanged or lightly-edited library incremental. `fetch --wait`
+streams manifest-backed progress events, then the canonical
+narada-report/1 document — byte-identical to what
+`narada detect --report-out` writes for the same source and options.
+`shutdown` drains the queue before stopping; every finished job's
+report was already flushed to `--state-dir` at completion time.
+`detect --report-out FILE` writes the batch twin of the served report.";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -176,8 +198,11 @@ fn load(rest: &[String]) -> Result<(String, narada::lang::hir::Program), String>
     let path = rest
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or_else(|| format!("expected an .mj file\n{USAGE}"))?;
-    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        .ok_or_else(|| format!("expected an .mj file or corpus id\n{USAGE}"))?;
+    let src = match narada::corpus::by_id(path) {
+        Some(entry) => entry.source.to_string(),
+        None => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+    };
     let prog = narada::compile(&src).map_err(|d| {
         let map = SourceMap::new(&src);
         format!("{path}: compilation failed\n{}", d.render(&map))
@@ -341,11 +366,11 @@ fn run_synthesis(
             mir,
             &opts,
             &generator,
-            Some(narada::screen_pairs),
+            Some(&narada::screen_pairs),
             obs,
         )
     } else {
-        let out = narada::synthesize_observed(prog, mir, &opts, Some(narada::screen_pairs), obs);
+        let out = narada::synthesize_observed(prog, mir, &opts, Some(&narada::screen_pairs), obs);
         (prog.clone(), mir.clone(), out)
     };
     if opts.static_filter || opts.static_rank {
@@ -613,7 +638,14 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
     }
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
-    let agg = evaluate_suite_observed(&prog, &mir, &seeds, &plans, &cfg, &obs);
+    let (reports, agg) =
+        narada::detect::evaluate_suite_full(&prog, &mir, &seeds, &plans, &cfg, &obs);
+    if let Some(path) = opt(rest, "--report-out") {
+        let jopts = job_opts(rest)?;
+        let doc = narada::serve::render_report(&prog, &_src, &jopts, &out, &reports, &agg);
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
     println!(
         "{} tests: {} races detected, {} reproduced ({} harmful, {} benign), {} unreproduced",
         plans.len(),
@@ -1013,5 +1045,148 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
     for f in files {
         print!("{}", load_manifest(f)?.render());
     }
+    Ok(())
+}
+
+/// Default service address (`--addr` overrides; `narada serve` can bind
+/// port 0 and publish the real port via `--port-file`).
+const DEFAULT_ADDR: &str = "127.0.0.1:7979";
+
+fn addr_opt(rest: &[String]) -> String {
+    opt(rest, "--addr").unwrap_or(DEFAULT_ADDR).to_string()
+}
+
+/// Builds wire-form job options from the same flags `cmd_detect` reads,
+/// so `narada submit <file> --seed 7 --static-rank` means exactly what
+/// `narada detect <file> --seed 7 --static-rank` means.
+fn job_opts(rest: &[String]) -> Result<narada::serve::JobOptions, String> {
+    Ok(narada::serve::JobOptions {
+        schedules: opt_usize(rest, "--schedules", 6)?,
+        confirms: opt_usize(rest, "--confirms", 4)?,
+        seed: opt_usize(rest, "--seed", 42)? as u64,
+        threads: opt_usize(rest, "--threads", 0)?,
+        strategy: strategy_opts(rest)?,
+        engine: engine_opt(rest)?,
+        static_filter: flag(rest, "--static-filter"),
+        static_rank: flag(rest, "--static-rank"),
+        generate_seeds: flag(rest, "--generate-seeds"),
+        gen_budget: opt_usize(rest, "--budget", 512)?,
+        gen_seed: opt_usize(rest, "--gen-seed", 0x67656e)? as u64,
+        ..narada::serve::JobOptions::default()
+    })
+}
+
+/// Reads a job's library source: an `.mj` path or a corpus id.
+fn source_arg(rest: &[String]) -> Result<String, String> {
+    let arg = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| format!("expected an .mj file or corpus id\n{USAGE}"))?;
+    if let Some(entry) = narada::corpus::by_id(arg) {
+        return Ok(entry.source.to_string());
+    }
+    std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let config = narada::serve::ServeConfig {
+        addr: opt(rest, "--addr").unwrap_or("127.0.0.1:7979").to_string(),
+        workers: opt_usize(rest, "--threads", 2)?.max(1),
+        state_dir: opt(rest, "--state-dir").map(std::path::PathBuf::from),
+        port_file: opt(rest, "--port-file").map(std::path::PathBuf::from),
+        cache_capacity: opt_usize(rest, "--cache-capacity", 64)?,
+    };
+    let completed = narada::serve::serve(config)?;
+    println!("narada serve: drained, {completed} job(s) completed");
+    Ok(())
+}
+
+fn cmd_submit(rest: &[String]) -> Result<(), String> {
+    let source = source_arg(rest)?;
+    let options = job_opts(rest)?;
+    let mut client = narada::serve::Client::connect(&addr_opt(rest))?;
+    let job = client.submit(&source, &options)?;
+    println!("job {job}");
+    Ok(())
+}
+
+fn cmd_jobs(rest: &[String]) -> Result<(), String> {
+    let addr = addr_opt(rest);
+    let mut client = narada::serve::Client::connect(&addr)?;
+    let resp = client.jobs()?;
+    let rows = resp.get("jobs").and_then(|j| j.as_arr()).unwrap_or(&[]);
+    if rows.is_empty() {
+        println!("no jobs");
+    }
+    for row in rows {
+        let id = row.get("job").and_then(|j| j.as_i64()).unwrap_or(-1);
+        let status = row.get("status").and_then(|s| s.as_str()).unwrap_or("?");
+        let fnv = row
+            .get("source_fnv")
+            .and_then(|s| s.as_str())
+            .unwrap_or("?");
+        match row.get("summary").and_then(|s| s.as_str()) {
+            Some(summary) => println!("job {id} [{status}] fnv={fnv}: {summary}"),
+            None => println!("job {id} [{status}] fnv={fnv}"),
+        }
+    }
+    if flag(rest, "--stats") {
+        let stats = client.stats()?;
+        println!(
+            "cache: {}",
+            stats.get("cache").map(Json::to_compact).unwrap_or_default()
+        );
+        println!(
+            "sizes: {}",
+            stats.get("sizes").map(Json::to_compact).unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_fetch(rest: &[String]) -> Result<(), String> {
+    let id: u64 = rest
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("expected a job id")?
+        .parse()
+        .map_err(|_| "job id must be a number".to_string())?;
+    let wait = flag(rest, "--wait");
+    let quiet = flag(rest, "--quiet");
+    let mut client = narada::serve::Client::connect(&addr_opt(rest))?;
+    let mut on_event = |frame: &Json| {
+        if quiet {
+            return;
+        }
+        let event = frame.get("event").and_then(|e| e.as_str()).unwrap_or("?");
+        match frame.get("stage").and_then(|s| s.as_str()) {
+            Some(stage) => eprintln!("job {id}: {event} {stage}"),
+            None => eprintln!("job {id}: {event}"),
+        }
+    };
+    let resp = client.fetch(id, wait, &mut on_event)?;
+    let status = resp.get("status").and_then(|s| s.as_str()).unwrap_or("?");
+    if let Some(err) = resp.get("error").and_then(|e| e.as_str()) {
+        return Err(format!("job {id} {status}: {err}"));
+    }
+    match resp.get("report").and_then(|r| r.as_str()) {
+        Some(report) => match opt(rest, "--out") {
+            Some(path) => {
+                std::fs::write(path, report).map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("wrote {path}");
+            }
+            None => print!("{report}"),
+        },
+        None => println!("job {id}: {status}"),
+    }
+    Ok(())
+}
+
+fn cmd_shutdown(rest: &[String]) -> Result<(), String> {
+    let mut client = narada::serve::Client::connect(&addr_opt(rest))?;
+    let resp = client.shutdown()?;
+    let done = resp.get("completed").and_then(|c| c.as_i64()).unwrap_or(0);
+    let failed = resp.get("failed").and_then(|c| c.as_i64()).unwrap_or(0);
+    println!("server drained: {done} completed, {failed} failed");
     Ok(())
 }

@@ -28,7 +28,11 @@
 //! * [`gen`] — feedback-directed sequential seed-test generation
 //!   (Randoop-style, novelty-scored by the access analyzer), removing the
 //!   need for hand-written seed suites (`narada gen`, `--generate-seeds`);
-//! * [`corpus`] — MJ ports of the paper's nine benchmark classes.
+//! * [`corpus`] — MJ ports of the paper's nine benchmark classes;
+//! * [`serve`] — the persistent detection service: a TCP daemon with a
+//!   job queue and a digest-keyed artifact cache, returning verdicts
+//!   byte-identical to the batch pipeline (`narada serve` / `submit` /
+//!   `jobs` / `fetch`).
 //!
 //! ## Quickstart
 //!
@@ -72,6 +76,7 @@ pub use narada_gen as gen;
 pub use narada_lang as lang;
 pub use narada_obs as obs;
 pub use narada_screen as screen;
+pub use narada_serve as serve;
 pub use narada_vm as vm;
 
 pub use narada_core::{

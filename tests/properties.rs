@@ -788,7 +788,7 @@ fn screener_agreement() {
             static_rank: true,
             ..narada::SynthesisOptions::default()
         };
-        let out = narada::synthesize_with(&prog, &mir, &opts, Some(narada::screen_pairs));
+        let out = narada::synthesize_with(&prog, &mir, &opts, Some(&narada::screen_pairs));
         let verdicts = out.verdicts.as_deref().expect("ranking stores verdicts");
         discharged += verdicts.iter().filter(|v| !v.may_race()).count();
         let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();

@@ -21,7 +21,7 @@ fn run_pipeline(threads: usize) -> Obs {
         threads,
         ..SynthesisOptions::default()
     };
-    let out = synthesize_observed(&prog, &mir, &opts, Some(screen_pairs), &obs);
+    let out = synthesize_observed(&prog, &mir, &opts, Some(&screen_pairs), &obs);
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
     let cfg = DetectConfig {
@@ -97,7 +97,7 @@ fn trace_spans_form_the_expected_tree() {
         static_filter: true,
         ..SynthesisOptions::default()
     };
-    synthesize_observed(&prog, &mir, &opts, Some(screen_pairs), &obs);
+    synthesize_observed(&prog, &mir, &opts, Some(&screen_pairs), &obs);
 
     let jsonl = obs.tracer.to_jsonl();
     let spans: Vec<Json> = jsonl
