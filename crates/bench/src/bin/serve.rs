@@ -57,6 +57,7 @@ fn main() {
         state_dir: None,
         port_file: Some(port_file.clone()),
         cache_capacity: 64,
+        ..ServeConfig::default()
     };
     let server = std::thread::spawn(move || serve(config));
     let addr = loop {

@@ -206,6 +206,8 @@ pub fn synthesize_observed(
         let vs = screener(mir, &pairs);
         debug_assert_eq!(vs.len(), pairs.pairs.len(), "one verdict per pair");
         record_verdict_metrics(obs, &vs);
+        // Coverage telemetry: every generated pair received a verdict.
+        m.counter("screen.pair_coverage").add(vs.len() as u64);
         if opts.static_filter {
             order.retain(|&i| vs[i].may_race());
             m.counter("pairs.pruned")

@@ -155,7 +155,9 @@ impl TestReport {
 
 /// One detection-pass trial: a fresh machine + detectors under a random
 /// schedule derived from `(base_seed, test, trial)`. Pure function of its
-/// arguments — the unit of work the parallel runner shards.
+/// arguments — the unit of work the parallel runner shards. Returns the
+/// trial's race reports plus the manifested schedule's digest (the
+/// novelty-telemetry input).
 #[allow(clippy::too_many_arguments)]
 fn detection_trial(
     prog: &Program,
@@ -166,7 +168,7 @@ fn detection_trial(
     test_idx: u64,
     trial: u64,
     obs: &Obs,
-) -> Result<Vec<RaceReport>, String> {
+) -> Result<(Vec<RaceReport>, u64), String> {
     let machine_seed = derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, trial]);
     let sched_seed = derive_seed(cfg.seed, &[STAGE_DETECT_SCHED, test_idx, trial]);
     let mut machine = trial_machine(prog, mir, cfg, machine_seed);
@@ -184,13 +186,21 @@ fn detection_trial(
     // Stamp every report with the manifesting run's identity so rendered
     // races name their replayable schedule.
     let schedule = sched.to_schedule(machine_seed);
+    // The recording/observing wrappers released the inner scheduler above
+    // (last use was `to_schedule`); directed strategies report how many
+    // priority-change points this run actually consumed. `add(0)` still
+    // registers the counter, so undirected runs surface an explicit 0.
+    obs.metrics
+        .counter("explore.change_points_probed")
+        .add(inner.change_points_probed());
+    let schedule_id = schedule.id();
     let provenance = SchedProvenance {
         scheduler: schedule.scheduler.clone(),
         machine_seed,
         sched_seed,
-        schedule_id: schedule.id(),
+        schedule_id,
     };
-    Ok(lockset
+    let races = lockset
         .races()
         .iter()
         .chain(hb.races())
@@ -199,7 +209,8 @@ fn detection_trial(
             r.provenance = Some(provenance.clone());
             r
         })
-        .collect())
+        .collect();
+    Ok((races, schedule_id))
 }
 
 /// One confirmation job: directed re-execution attempts targeting each
@@ -290,9 +301,12 @@ pub fn evaluate_test_indexed(
 /// `detect.confirmed`, `detect.setup_errors`, the
 /// `detect.trials_to_first_confirm` histogram, scheduler decision
 /// counters, and `racefuzzer.gave_up` (mirrored as `detect.gave_up` for
-/// stage-prefixed manifest consumers). Every count is a commutative sum
-/// over work whose extent is independent of the worker count, so
-/// snapshots are byte-identical at any `cfg.threads`.
+/// stage-prefixed manifest consumers). Exploration coverage lands here
+/// too: `explore.change_points_probed` (PCT change points actually
+/// consumed across trials) and `explore.schedule_novelty` (distinct
+/// manifested schedule digests, summed per test). Every count is a
+/// commutative sum over work whose extent is independent of the worker
+/// count, so snapshots are byte-identical at any `cfg.threads`.
 pub fn evaluate_test_observed(
     prog: &Program,
     mir: &MirProgram,
@@ -308,6 +322,9 @@ pub fn evaluate_test_observed(
     // targets).
     let mut detected: BTreeMap<CoarseRaceKey, Vec<StaticRaceKey>> = BTreeMap::new();
     let mut seen_fine: BTreeSet<StaticRaceKey> = BTreeSet::new();
+    // Distinct schedule digests this test's trials manifested — the
+    // exploration-diversity signal (`explore.schedule_novelty`).
+    let mut sched_ids: BTreeSet<u64> = BTreeSet::new();
 
     // Pass 1: random schedules with passive detectors, sharded per trial;
     // the merge below consumes results in trial order.
@@ -324,7 +341,8 @@ pub fn evaluate_test_observed(
         .add(trials.len() as u64);
     for result in trial_results {
         match result {
-            Ok(reports) => {
+            Ok((reports, schedule_id)) => {
+                sched_ids.insert(schedule_id);
                 for r in reports {
                     let fine = r.static_key();
                     if seen_fine.insert(fine) {
@@ -335,10 +353,19 @@ pub fn evaluate_test_observed(
             Err(e) => {
                 obs.metrics.counter("detect.setup_errors").inc();
                 report.setup_errors.push(e);
+                // Trials merged before the failure still count toward
+                // novelty (the merge order is trial order, so this is
+                // thread-invariant).
+                obs.metrics
+                    .counter("explore.schedule_novelty")
+                    .add(sched_ids.len() as u64);
                 return report;
             }
         }
     }
+    obs.metrics
+        .counter("explore.schedule_novelty")
+        .add(sched_ids.len() as u64);
 
     // Pass 2: directed confirmation, one job per coarse race, merged in
     // key order.

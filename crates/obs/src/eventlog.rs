@@ -1,0 +1,216 @@
+//! Size-rotated JSONL event log.
+//!
+//! The service appends one compact JSON object per line describing job
+//! lifecycle, cache traffic, and drain events. Rotation happens **before**
+//! a write that would push the active file past the size budget: the
+//! current file is renamed to `<base>.<N>.jsonl` (N increasing) and a
+//! fresh file is started, so no JSON line is ever split across a rotation
+//! boundary and every file on disk parses line-by-line.
+
+use crate::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+struct LogInner {
+    file: File,
+    written: u64,
+    rotations: u64,
+}
+
+/// Append-only JSONL writer with size-based rotation.
+#[derive(Debug)]
+pub struct EventLog {
+    dir: PathBuf,
+    base: String,
+    max_bytes: u64,
+    inner: Mutex<Option<LogInner>>,
+}
+
+impl std::fmt::Debug for LogInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogInner")
+            .field("written", &self.written)
+            .field("rotations", &self.rotations)
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// Opens (appending) `<dir>/<base>.jsonl`, rotating once it would
+    /// exceed `max_bytes`. Existing content counts toward the budget, so a
+    /// restarted server keeps honoring the same cap.
+    pub fn open(dir: &Path, base: &str, max_bytes: u64) -> Result<EventLog, String> {
+        let log = EventLog {
+            dir: dir.to_path_buf(),
+            base: base.to_string(),
+            max_bytes: max_bytes.max(1),
+            inner: Mutex::new(None),
+        };
+        let mut guard = log.inner.lock().unwrap();
+        *guard = Some(log.open_active()?);
+        drop(guard);
+        Ok(log)
+    }
+
+    /// Path of the active (unrotated) log file.
+    pub fn active_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.jsonl", self.base))
+    }
+
+    fn rotated_path(&self, n: u64) -> PathBuf {
+        self.dir.join(format!("{}.{n}.jsonl", self.base))
+    }
+
+    fn open_active(&self) -> Result<LogInner, String> {
+        let path = self.active_path();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        // Resume the rotation counter past any files left by a previous run.
+        let mut rotations = 0;
+        while self.rotated_path(rotations).exists() {
+            rotations += 1;
+        }
+        Ok(LogInner {
+            file,
+            written,
+            rotations,
+        })
+    }
+
+    /// Appends one event as a compact JSON line, rotating first if the
+    /// line would push the active file past the size budget. Errors are
+    /// returned, not panicked — telemetry must never take the server down.
+    pub fn append(&self, event: &Json) -> Result<(), String> {
+        let mut line = event.to_compact();
+        line.push('\n');
+        let mut guard = self.inner.lock().unwrap();
+        let inner = guard.as_mut().ok_or("event log closed")?;
+        if inner.written > 0 && inner.written + line.len() as u64 > self.max_bytes {
+            let n = inner.rotations;
+            std::fs::rename(self.active_path(), self.rotated_path(n))
+                .map_err(|e| format!("rotate event log: {e}"))?;
+            let mut fresh = self.open_active()?;
+            fresh.rotations = n + 1;
+            *inner = fresh;
+        }
+        inner
+            .file
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("append event log: {e}"))?;
+        inner.written += line.len() as u64;
+        Ok(())
+    }
+
+    /// Number of rotations performed (including files found at open).
+    pub fn rotations(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|i| i.rotations)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("narada-eventlog-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn event(i: usize) -> Json {
+        Json::obj()
+            .with("kind", Json::Str("test".into()))
+            .with("seq", Json::Int(i as i64))
+    }
+
+    #[test]
+    fn rotates_at_size_threshold_without_splitting_lines() {
+        let dir = scratch("rotate");
+        let log = EventLog::open(&dir, "events", 128).unwrap();
+        for i in 0..40 {
+            log.append(&event(i)).unwrap();
+        }
+        assert!(log.rotations() > 0, "expected at least one rotation");
+        // Every file — rotated and active — must consist of complete,
+        // parseable JSON lines, and the sequence numbers must cover 0..40
+        // in order with no loss or duplication across boundaries.
+        let mut files: Vec<PathBuf> = (0..log.rotations()).map(|n| log.rotated_path(n)).collect();
+        files.push(log.active_path());
+        let mut seqs = Vec::new();
+        for path in files {
+            let mut text = String::new();
+            File::open(&path)
+                .unwrap()
+                .read_to_string(&mut text)
+                .unwrap();
+            assert!(
+                text.len() as u64 <= 128,
+                "{} exceeds the size budget",
+                path.display()
+            );
+            assert!(
+                text.ends_with('\n'),
+                "{} has a partial line",
+                path.display()
+            );
+            for line in text.lines() {
+                let parsed = Json::parse(line).expect("rotated line parses");
+                seqs.push(parsed.get("seq").and_then(Json::as_i64).unwrap());
+            }
+        }
+        assert_eq!(seqs, (0..40).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn reopen_resumes_budget_and_rotation_counter() {
+        let dir = scratch("reopen");
+        {
+            let log = EventLog::open(&dir, "events", 96).unwrap();
+            for i in 0..10 {
+                log.append(&event(i)).unwrap();
+            }
+        }
+        let log = EventLog::open(&dir, "events", 96).unwrap();
+        let before = log.rotations();
+        for i in 10..20 {
+            log.append(&event(i)).unwrap();
+        }
+        assert!(log.rotations() >= before);
+        // Rotated names never collide: each rotation index appears once.
+        let mut n = 0;
+        while log.rotated_path(n).exists() {
+            n += 1;
+        }
+        assert_eq!(n, log.rotations());
+    }
+
+    #[test]
+    fn oversized_single_event_still_lands_whole() {
+        let dir = scratch("oversize");
+        let log = EventLog::open(&dir, "events", 8).unwrap();
+        log.append(&event(1)).unwrap();
+        log.append(&event(2)).unwrap();
+        let mut text = String::new();
+        File::open(log.active_path())
+            .unwrap()
+            .read_to_string(&mut text)
+            .unwrap();
+        // The active file holds exactly one complete line even though the
+        // line alone exceeds the budget.
+        assert_eq!(text.lines().count(), 1);
+        Json::parse(text.trim()).unwrap();
+    }
+}

@@ -31,15 +31,21 @@
 
 #![warn(missing_docs)]
 
+pub mod eventlog;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
+pub mod trend;
 
+pub use eventlog::EventLog;
 pub use json::{Json, JsonError};
 pub use manifest::{git_rev, host_cores, RunManifest, MANIFEST_SCHEMA, REQUIRED_FIELDS};
-pub use metrics::{Counter, Gauge, Histogram, MetricValue, Metrics, TRIAL_BUCKETS};
+pub use metrics::{
+    Counter, Gauge, Histogram, MetricValue, Metrics, LATENCY_BUCKETS_NS, TRIAL_BUCKETS,
+};
 pub use span::{thread_ordinal, SpanGuard, SpanRecord, Tracer};
+pub use trend::{is_wall_metric, TrendReport, TrendRow, TrendStatus};
 
 /// The telemetry bundle one run threads through the pipeline: a metrics
 /// registry plus a tracer. `Sync`, so sharded workers can record through

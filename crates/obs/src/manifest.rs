@@ -327,13 +327,28 @@ fn fmt_opt_secs(v: Option<&u64>) -> String {
 fn render_value(v: &MetricValue) -> String {
     match v {
         MetricValue::Counter(n) | MetricValue::Gauge(n) => n.to_string(),
-        MetricValue::Histogram(_, _, count, sum) => {
-            let mean = if *count > 0 {
-                format!("{:.2}", *sum as f64 / *count as f64)
-            } else {
-                "-".to_string()
-            };
-            format!("histogram(count={count}, sum={sum}, mean={mean})")
+        MetricValue::Histogram(bounds, counts, count, sum) => {
+            // Explicit `le`-style bound labels: bucket identity must not
+            // depend on position alone, or diffs of histograms with
+            // different bounds read as equal. Zero buckets are elided.
+            let mut buckets = String::new();
+            for (idx, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let label = bounds
+                    .get(idx)
+                    .map(|b| format!("le{b}"))
+                    .unwrap_or_else(|| "le_inf".to_string());
+                if !buckets.is_empty() {
+                    buckets.push(' ');
+                }
+                buckets.push_str(&format!("{label}={c}"));
+            }
+            if buckets.is_empty() {
+                buckets.push('-');
+            }
+            format!("histogram(count={count}, sum={sum}; {buckets})")
         }
     }
 }
@@ -442,5 +457,26 @@ mod tests {
         assert!(d.contains("65"), "{d}");
         assert!(d.contains("70"), "{d}");
         assert!(d.contains("metrics identical"), "{d}");
+    }
+
+    #[test]
+    fn histograms_render_explicit_bounds_in_diff() {
+        let a = sample();
+        let mut b = sample();
+        let slot = b
+            .metrics
+            .iter_mut()
+            .find(|(k, _)| k == "detect.trials_to_first_confirm")
+            .unwrap();
+        // Same positional counts as `a` but under different bounds plus an
+        // overflow sample: the diff must expose the bound labels so the
+        // two sides are visibly different, with count and sum alongside.
+        slot.1 = MetricValue::Histogram(vec![1, 3, 9], vec![0, 1, 0, 1], 2, 14);
+        let d = RunManifest::render_diff(&a, &b);
+        assert!(d.contains("histogram(count=1, sum=2; le2=1)"), "{d}");
+        assert!(
+            d.contains("histogram(count=2, sum=14; le3=1 le_inf=1)"),
+            "{d}"
+        );
     }
 }

@@ -88,6 +88,33 @@ pub struct Histogram(Arc<HistogramCore>);
 /// roughly geometric).
 pub const TRIAL_BUCKETS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
 
+/// Bucket bounds for wall-clock latency distributions, in nanoseconds:
+/// 100µs to 60s, roughly geometric. Used by the service's per-stage and
+/// per-job latency histograms (`serve.job.wall_ns.*`,
+/// `serve.stage.*.latency`), which live in the server-level registry and
+/// are exposed through `watch`/`health` frames — never in per-job
+/// manifests, whose metric section must stay run-invariant.
+pub const LATENCY_BUCKETS_NS: &[u64] = &[
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_500_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    30_000_000_000,
+    60_000_000_000,
+];
+
 impl Histogram {
     /// Records one sample.
     pub fn observe(&self, v: u64) {
@@ -102,6 +129,11 @@ impl Histogram {
         c.sum.fetch_add(v, Ordering::Relaxed);
     }
 
+    /// Records a duration sample in nanoseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos() as u64);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.0.total.load(Ordering::Relaxed)
@@ -111,6 +143,42 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.0.sum.load(Ordering::Relaxed)
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the current bucket
+    /// counts — see [`MetricValue::quantile`]. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let c = &self.0;
+        let counts: Vec<u64> = c.counts.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+        bucket_quantile(&c.bounds, &counts, self.count(), q)
+    }
+}
+
+/// Shared quantile estimator over fixed buckets: walks the cumulative
+/// counts to the target rank and interpolates linearly within the
+/// containing bucket. Samples in the overflow bucket are reported as the
+/// last finite bound (a deliberate under-estimate: the histogram carries
+/// no upper edge there).
+fn bucket_quantile(bounds: &[u64], counts: &[u64], total: u64, q: f64) -> Option<u64> {
+    if total == 0 {
+        return None;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0);
+    let mut cum = 0u64;
+    for (idx, &n) in counts.iter().enumerate() {
+        cum += n;
+        if (cum as f64) < rank {
+            continue;
+        }
+        if idx >= bounds.len() {
+            return Some(bounds.last().copied().unwrap_or(0));
+        }
+        let lo = if idx == 0 { 0 } else { bounds[idx - 1] };
+        let hi = bounds[idx];
+        let into = rank - (cum - n) as f64;
+        let frac = if n == 0 { 1.0 } else { into / n as f64 };
+        return Some(lo + ((hi - lo) as f64 * frac) as u64);
+    }
+    Some(bounds.last().copied().unwrap_or(0))
 }
 
 #[derive(Clone, Debug)]
@@ -201,6 +269,44 @@ impl MetricValue {
             _ => Err("metric value is neither an integer nor a histogram".into()),
         }
     }
+
+    /// Estimates the `q`-quantile of a histogram snapshot via cumulative
+    /// bucket walk with linear interpolation inside the containing bucket.
+    /// `None` for scalars or empty histograms.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        match self {
+            MetricValue::Histogram(bounds, counts, total, _) => {
+                bucket_quantile(bounds, counts, *total, q)
+            }
+            _ => None,
+        }
+    }
+
+    /// The change from `base` to `self`: counters subtract (saturating, so
+    /// a restarted registry reads as its own value), gauges keep their
+    /// current reading, histograms subtract bucket-wise when the bounds
+    /// match and fall back to the current snapshot when they don't.
+    pub fn delta(&self, base: &MetricValue) -> MetricValue {
+        match (self, base) {
+            (MetricValue::Counter(cur), MetricValue::Counter(old)) => {
+                MetricValue::Counter(cur.saturating_sub(*old))
+            }
+            (
+                MetricValue::Histogram(bounds, counts, total, sum),
+                MetricValue::Histogram(b0, c0, t0, s0),
+            ) if bounds == b0 && counts.len() == c0.len() => MetricValue::Histogram(
+                bounds.clone(),
+                counts
+                    .iter()
+                    .zip(c0)
+                    .map(|(c, o)| c.saturating_sub(*o))
+                    .collect(),
+                total.saturating_sub(*t0),
+                sum.saturating_sub(*s0),
+            ),
+            _ => self.clone(),
+        }
+    }
 }
 
 /// The registry. Shared by reference across a run; handles are registered
@@ -281,6 +387,25 @@ impl Metrics {
             .map(|(name, m)| (name.clone(), read(m)))
             .collect()
     }
+
+    /// Snapshots every metric as its change since `base` (an earlier
+    /// [`Metrics::snapshot`] of the same registry). Metrics absent from
+    /// `base` report their full current value. Cheap: one lock, one walk —
+    /// this is what the service's `watch` verb calls once per frame.
+    pub fn snapshot_delta(&self, base: &[(String, MetricValue)]) -> Vec<(String, MetricValue)> {
+        let prior: BTreeMap<&str, &MetricValue> =
+            base.iter().map(|(n, v)| (n.as_str(), v)).collect();
+        self.snapshot()
+            .into_iter()
+            .map(|(name, v)| {
+                let d = match prior.get(name.as_str()) {
+                    Some(old) => v.delta(old),
+                    None => v,
+                };
+                (name, d)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -353,5 +478,62 @@ mod tests {
         let m = Metrics::new();
         m.gauge("x");
         m.counter("x");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let m = Metrics::new();
+        let h = m.histogram("lat", &[10, 20, 40]);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [5, 5, 15, 15, 30, 30, 30, 30] {
+            h.observe(v);
+        }
+        // rank(0.25) = 2 → exactly exhausts bucket le=10.
+        assert_eq!(h.quantile(0.25), Some(10));
+        // rank(0.5) = 4 → exhausts bucket le=20.
+        assert_eq!(h.quantile(0.5), Some(20));
+        // rank(0.75) = 6 → 2 of 4 samples into bucket (20, 40].
+        assert_eq!(h.quantile(0.75), Some(30));
+        assert_eq!(h.quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn quantile_overflow_reports_last_bound() {
+        let m = Metrics::new();
+        let h = m.histogram("lat", &[10, 20]);
+        h.observe(1000);
+        assert_eq!(h.quantile(0.5), Some(20));
+        assert_eq!(h.quantile(0.99), Some(20));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms_keeps_gauges() {
+        let m = Metrics::new();
+        let c = m.counter("c");
+        let g = m.gauge("g");
+        let h = m.histogram("h", &[1, 2]);
+        c.add(3);
+        g.set(10);
+        h.observe(1);
+        let base = m.snapshot();
+        c.add(4);
+        g.set(99);
+        h.observe(2);
+        h.observe(50);
+        let delta = m.snapshot_delta(&base);
+        let get = |name: &str| delta.iter().find(|(n, _)| n == name).unwrap().1.clone();
+        assert_eq!(get("c"), MetricValue::Counter(4));
+        assert_eq!(get("g"), MetricValue::Gauge(99));
+        assert_eq!(
+            get("h"),
+            MetricValue::Histogram(vec![1, 2], vec![0, 1, 1], 2, 52)
+        );
+        // Metrics registered after the base snapshot report full values.
+        m.counter("new").add(7);
+        let d2 = m.snapshot_delta(&base);
+        assert_eq!(
+            d2.iter().find(|(n, _)| n == "new").unwrap().1,
+            MetricValue::Counter(7)
+        );
     }
 }

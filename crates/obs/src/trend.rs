@@ -1,0 +1,409 @@
+//! Trend comparison across run manifests — the core of `narada report
+//! --trend` and the CI perf-regression gate.
+//!
+//! Manifests are grouped by their `name` field in input order: the first
+//! manifest of each group is the committed baseline, the last is the
+//! current run (middle entries are ignored — they let CI pass a history
+//! directory verbatim). Within a group, metric keys are aligned by a
+//! name-sorted outer join and each pair is classified:
+//!
+//! * **Deterministic metrics** (everything whose name does not look
+//!   wall-derived) are gated: a relative change beyond `tolerance_pct`, a
+//!   metric present on only one side, or a config mismatch is a
+//!   **breach**.
+//! * **Wall-derived metrics** (names ending `_ns`, `_ms`, `_per_sec`,
+//!   `_pct`, and everything in the `timings` section) are informational by
+//!   default — host-dependent timings don't gate CI — unless an explicit
+//!   `wall_tolerance_pct` is supplied.
+//!
+//! Parsed manifests cannot distinguish counters from gauges (the scalar
+//! JSON encoding is identical), so the wall/deterministic split is by
+//! naming convention; the repo's metric naming scheme (see
+//! [`crate::metrics`]) routes every wall-clock quantity into one of the
+//! recognized suffixes.
+
+use crate::json::Json;
+use crate::manifest::RunManifest;
+use crate::metrics::MetricValue;
+
+/// True when `name` denotes a wall-derived (host-dependent) quantity that
+/// should not gate CI by default.
+pub fn is_wall_metric(name: &str) -> bool {
+    ["_ns", "_ms", "_per_sec", "_pct"]
+        .iter()
+        .any(|s| name.ends_with(s))
+}
+
+/// Severity of one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendStatus {
+    /// Within tolerance (or identical).
+    Pass,
+    /// Wall-derived metric with no gating tolerance — reported, not gated.
+    Info,
+    /// Outside tolerance, missing on one side, or config mismatch.
+    Breach,
+}
+
+/// One aligned metric comparison.
+#[derive(Debug, Clone)]
+pub struct TrendRow {
+    /// Manifest group (the manifest `name` field).
+    pub group: String,
+    /// Metric key, or `config.<key>` / `timings.<key>` for those sections.
+    pub key: String,
+    /// Rendered baseline value (`-` when absent).
+    pub base: String,
+    /// Rendered current value (`-` when absent).
+    pub cur: String,
+    /// Signed relative change in percent, when both sides are scalar.
+    pub delta_pct: Option<f64>,
+    /// Gate outcome for this row.
+    pub status: TrendStatus,
+}
+
+/// A full trend comparison: every aligned row, plus the breach count that
+/// decides the exit code.
+#[derive(Debug, Default)]
+pub struct TrendReport {
+    /// All compared rows, grouped by manifest name, section-ordered and
+    /// key-sorted within.
+    pub rows: Vec<TrendRow>,
+    /// Number of rows with [`TrendStatus::Breach`].
+    pub breaches: usize,
+}
+
+impl TrendReport {
+    /// True when no gated metric breached its tolerance band.
+    pub fn ok(&self) -> bool {
+        self.breaches == 0
+    }
+
+    /// Renders the comparison as an aligned text table — breaches flagged
+    /// `!!`, informational (ungated wall) rows `~`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut group = "";
+        for row in &self.rows {
+            if row.group != group {
+                group = &row.group;
+                out.push_str(&format!("== trend: {group} ==\n"));
+            }
+            let mark = match row.status {
+                TrendStatus::Breach => "!!",
+                TrendStatus::Info => " ~",
+                TrendStatus::Pass => "  ",
+            };
+            let delta = match row.delta_pct {
+                Some(d) if d != 0.0 => format!("  ({d:+.1}%)"),
+                Some(_) => String::new(),
+                None if row.status == TrendStatus::Breach => "  (unaligned)".to_string(),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{mark} {:<44} {:>16} -> {:<16}{delta}\n",
+                row.key, row.base, row.cur
+            ));
+        }
+        out.push_str(&format!(
+            "{} rows, {} breach(es)\n",
+            self.rows.len(),
+            self.breaches
+        ));
+        out
+    }
+}
+
+fn render_scalar(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(n) | MetricValue::Gauge(n) => n.to_string(),
+        MetricValue::Histogram(_, _, count, sum) => format!("hist(n={count},sum={sum})"),
+    }
+}
+
+fn scalar_of(v: &MetricValue) -> Option<u64> {
+    match v {
+        MetricValue::Counter(n) | MetricValue::Gauge(n) => Some(*n),
+        MetricValue::Histogram(..) => None,
+    }
+}
+
+/// Relative change in percent; `None` encodes "appeared from zero", which
+/// is infinite relative change and trips any finite tolerance.
+fn pct_change(base: u64, cur: u64) -> Option<f64> {
+    if base == cur {
+        return Some(0.0);
+    }
+    if base == 0 {
+        return None;
+    }
+    Some((cur as f64 - base as f64) / base as f64 * 100.0)
+}
+
+/// Compares one aligned metric pair under `tol` (percent; `None` =
+/// informational-only).
+fn judge(
+    base: Option<&MetricValue>,
+    cur: Option<&MetricValue>,
+    tol: Option<f64>,
+) -> (Option<f64>, TrendStatus) {
+    let gate = |breached: bool| match tol {
+        None => TrendStatus::Info,
+        Some(_) if breached => TrendStatus::Breach,
+        Some(_) => TrendStatus::Pass,
+    };
+    match (base, cur) {
+        (Some(b), Some(c)) => match (scalar_of(b), scalar_of(c)) {
+            (Some(bs), Some(cs)) => match pct_change(bs, cs) {
+                Some(d) => (Some(d), gate(d.abs() > tol.unwrap_or(f64::INFINITY))),
+                None => (None, gate(true)),
+            },
+            // Histograms (or mixed kinds): any structural difference —
+            // bounds, bucket counts, count, or sum — breaches under a gate.
+            _ => (None, gate(b != c)),
+        },
+        // Present on only one side: always a breach when gated.
+        _ => (None, gate(true)),
+    }
+}
+
+/// Compares parsed manifests grouped by `name`. `tolerance_pct` gates
+/// deterministic metrics (config entries gate at exact equality
+/// regardless); `wall_tolerance_pct` (usually `None`) optionally gates
+/// wall-derived metrics and timings.
+pub fn compare(
+    manifests: &[RunManifest],
+    tolerance_pct: f64,
+    wall_tolerance_pct: Option<f64>,
+) -> Result<TrendReport, String> {
+    let mut order: Vec<&str> = Vec::new();
+    for m in manifests {
+        if !order.contains(&m.name.as_str()) {
+            order.push(&m.name);
+        }
+    }
+    let mut report = TrendReport::default();
+    for name in order {
+        let group: Vec<&RunManifest> = manifests.iter().filter(|m| m.name == name).collect();
+        if group.len() < 2 {
+            return Err(format!(
+                "trend group `{name}` has only one manifest — need a baseline and a current run"
+            ));
+        }
+        compare_pair(
+            name,
+            group[0],
+            group[group.len() - 1],
+            tolerance_pct,
+            wall_tolerance_pct,
+            &mut report,
+        );
+    }
+    Ok(report)
+}
+
+fn compare_pair(
+    name: &str,
+    base: &RunManifest,
+    cur: &RunManifest,
+    tol: f64,
+    wall_tol: Option<f64>,
+    report: &mut TrendReport,
+) {
+    // Config entries: any key/value drift means the runs aren't comparable
+    // — exact-match gate, independent of the numeric tolerance.
+    for (key, b, c) in outer_join(&base.config, &cur.config) {
+        if b == c {
+            continue;
+        }
+        report.breaches += 1;
+        report.rows.push(TrendRow {
+            group: name.to_string(),
+            key: format!("config.{key}"),
+            base: b.cloned().unwrap_or_else(|| "-".into()),
+            cur: c.cloned().unwrap_or_else(|| "-".into()),
+            delta_pct: None,
+            status: TrendStatus::Breach,
+        });
+    }
+
+    let mut push = |key: String, b: Option<&MetricValue>, c: Option<&MetricValue>, t| {
+        let (delta_pct, status) = judge(b, c, t);
+        if status == TrendStatus::Breach {
+            report.breaches += 1;
+        }
+        report.rows.push(TrendRow {
+            group: name.to_string(),
+            key,
+            base: b.map(render_scalar).unwrap_or_else(|| "-".into()),
+            cur: c.map(render_scalar).unwrap_or_else(|| "-".into()),
+            delta_pct,
+            status,
+        });
+    };
+
+    // Metrics: deterministic keys gate at `tol`, wall-suffixed keys at
+    // `wall_tol` (informational when absent).
+    for (key, b, c) in outer_join(&base.metrics, &cur.metrics) {
+        let t = if is_wall_metric(key) {
+            wall_tol
+        } else {
+            Some(tol)
+        };
+        push(key.to_string(), b, c, t);
+    }
+
+    // Timings are wall-clock by construction.
+    for (key, b, c) in outer_join(&base.timings, &cur.timings) {
+        let b = b.copied().map(MetricValue::Gauge);
+        let c = c.copied().map(MetricValue::Gauge);
+        push(format!("timings.{key}"), b.as_ref(), c.as_ref(), wall_tol);
+    }
+}
+
+/// Name-sorted outer join over two name/value pair lists.
+fn outer_join<'a, V>(
+    a: &'a [(String, V)],
+    b: &'a [(String, V)],
+) -> Vec<(&'a str, Option<&'a V>, Option<&'a V>)> {
+    let mut names: Vec<&str> = a
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .chain(b.iter().map(|(k, _)| k.as_str()))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let find =
+        |list: &'a [(String, V)], name: &str| list.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    names
+        .into_iter()
+        .map(|name| (name, find(a, name), find(b, name)))
+        .collect()
+}
+
+/// Parses a manifest file for trend comparison.
+pub fn load_manifest(path: &std::path::Path) -> Result<RunManifest, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    RunManifest::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(name: &str, metrics: &[(&str, u64)]) -> RunManifest {
+        let mut m = RunManifest::new(name, 1);
+        m.set_config("seed", 42);
+        for (k, v) in metrics {
+            m.metrics.push((k.to_string(), MetricValue::Counter(*v)));
+        }
+        m.metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        m
+    }
+
+    #[test]
+    fn identical_runs_pass_at_zero_tolerance() {
+        let a = manifest("bench", &[("jobs", 10), ("cache.hits", 7)]);
+        let b = manifest("bench", &[("jobs", 10), ("cache.hits", 7)]);
+        let r = compare(&[a, b], 0.0, None).unwrap();
+        assert!(r.ok(), "{}", r.render());
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn count_drift_breaches_zero_tolerance() {
+        let a = manifest("bench", &[("jobs", 10)]);
+        let b = manifest("bench", &[("jobs", 11)]);
+        let r = compare(&[a, b], 0.0, None).unwrap();
+        assert_eq!(r.breaches, 1);
+        assert!(r.render().contains("!!"), "{}", r.render());
+    }
+
+    #[test]
+    fn drift_within_tolerance_band_passes() {
+        let a = manifest("bench", &[("jobs", 100)]);
+        let b = manifest("bench", &[("jobs", 104)]);
+        assert!(compare(&[a.clone(), b.clone()], 5.0, None).unwrap().ok());
+        assert!(!compare(&[a, b], 3.0, None).unwrap().ok());
+    }
+
+    #[test]
+    fn wall_metrics_are_informational_unless_gated() {
+        let a = manifest("bench", &[("warm_ns", 1_000), ("rate_per_sec", 50)]);
+        let b = manifest("bench", &[("warm_ns", 9_000), ("rate_per_sec", 10)]);
+        let r = compare(&[a.clone(), b.clone()], 0.0, None).unwrap();
+        assert!(r.ok(), "{}", r.render());
+        assert!(r.rows.iter().all(|x| x.status == TrendStatus::Info));
+        // ...but an explicit wall tolerance turns them into a gate.
+        assert!(!compare(&[a, b], 0.0, Some(50.0)).unwrap().ok());
+    }
+
+    #[test]
+    fn missing_and_appearing_metrics_breach() {
+        let a = manifest("bench", &[("old", 1)]);
+        let b = manifest("bench", &[("new", 1)]);
+        let r = compare(&[a, b], 100.0, None).unwrap();
+        assert_eq!(r.breaches, 2);
+    }
+
+    #[test]
+    fn appearance_from_zero_trips_any_tolerance() {
+        let a = manifest("bench", &[("evictions", 0)]);
+        let b = manifest("bench", &[("evictions", 3)]);
+        assert!(!compare(&[a, b], 1000.0, None).unwrap().ok());
+    }
+
+    #[test]
+    fn config_mismatch_breaches() {
+        let a = manifest("bench", &[("jobs", 1)]);
+        let mut b = manifest("bench", &[("jobs", 1)]);
+        b.set_config("seed", 43);
+        let r = compare(&[a, b], 0.0, None).unwrap();
+        assert_eq!(r.breaches, 1);
+        assert!(r.render().contains("config.seed"), "{}", r.render());
+    }
+
+    #[test]
+    fn histogram_drift_breaches() {
+        let mut a = manifest("bench", &[]);
+        let mut b = manifest("bench", &[]);
+        a.metrics.push((
+            "trials".into(),
+            MetricValue::Histogram(vec![1, 2], vec![1, 0, 0], 1, 1),
+        ));
+        b.metrics.push((
+            "trials".into(),
+            MetricValue::Histogram(vec![1, 2], vec![0, 1, 0], 1, 2),
+        ));
+        assert!(!compare(&[a, b], 0.0, None).unwrap().ok());
+    }
+
+    #[test]
+    fn groups_align_by_name_first_vs_last() {
+        let a = manifest("vm", &[("ops", 5)]);
+        let mid = manifest("vm", &[("ops", 9)]);
+        let b = manifest("vm", &[("ops", 5)]);
+        let other_base = manifest("serve", &[("jobs", 2)]);
+        let other_cur = manifest("serve", &[("jobs", 2)]);
+        let r = compare(&[a, other_base, mid, b, other_cur], 0.0, None).unwrap();
+        assert!(r.ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn singleton_group_is_an_error() {
+        let a = manifest("vm", &[("ops", 5)]);
+        assert!(compare(&[a], 0.0, None).unwrap_err().contains("vm"));
+    }
+
+    #[test]
+    fn wall_suffixes_are_recognized() {
+        for name in ["x.cold_ns", "x.lat_ms", "x.rate_per_sec", "x.speedup_pct"] {
+            assert!(is_wall_metric(name), "{name}");
+        }
+        for name in ["jobs", "cache.program_hits", "explore.schedule_novelty"] {
+            assert!(!is_wall_metric(name), "{name}");
+        }
+    }
+}

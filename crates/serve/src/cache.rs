@@ -171,8 +171,8 @@ impl<K: std::hash::Hash + Eq + Clone, T> Family<K, T> {
     }
 
     /// Inserts and evicts the least-recently-used entry if over
-    /// capacity; returns the number of evictions (0 or 1).
-    fn insert(&mut self, key: K, value: T, tick: u64) -> u64 {
+    /// capacity; returns the evicted key, if any.
+    fn insert(&mut self, key: K, value: T, tick: u64) -> Option<K> {
         self.slots.insert(
             key,
             Slot {
@@ -181,22 +181,34 @@ impl<K: std::hash::Hash + Eq + Clone, T> Family<K, T> {
             },
         );
         if self.slots.len() <= self.capacity {
-            return 0;
+            return None;
         }
-        if let Some(victim) = self
+        let victim = self
             .slots
             .iter()
             .min_by_key(|(_, s)| s.last_used)
-            .map(|(k, _)| k.clone())
-        {
-            self.slots.remove(&victim);
-        }
-        1
+            .map(|(k, _)| k.clone())?;
+        self.slots.remove(&victim);
+        Some(victim)
     }
 
     fn len(&self) -> usize {
         self.slots.len()
     }
+}
+
+/// One cache-traffic event: the service drains these per job into its
+/// JSONL event log, so cache behavior is auditable artifact-by-artifact
+/// (which digest hit, which got evicted) rather than only in aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEvent {
+    /// Cache family: `program`, `unit`, `code`, `statics`, `surface`.
+    pub family: &'static str,
+    /// `hit`, `miss`, or `evict`.
+    pub kind: &'static str,
+    /// The artifact digest, rendered `{:016x}` (surface keys append
+    /// `/<engine>`).
+    pub key: String,
 }
 
 /// The content-addressed artifact store (see the module docs).
@@ -211,6 +223,8 @@ pub struct ArtifactCache {
     /// Running tallies; read them any time, or [`CacheStats::record`]
     /// them into an [`Obs`].
     pub stats: CacheStats,
+    /// Per-artifact traffic since the last [`ArtifactCache::drain_events`].
+    events: Vec<CacheEvent>,
 }
 
 impl Default for ArtifactCache {
@@ -232,12 +246,28 @@ impl ArtifactCache {
             statics: Family::new(capacity),
             surfaces: Family::new(capacity),
             stats: CacheStats::default(),
+            events: Vec::new(),
         }
     }
 
     fn bump(&mut self) -> u64 {
         self.tick += 1;
         self.tick
+    }
+
+    fn event(&mut self, family: &'static str, kind: &'static str, key: u64) {
+        self.events.push(CacheEvent {
+            family,
+            kind,
+            key: format!("{key:016x}"),
+        });
+    }
+
+    /// Takes (and clears) the per-artifact traffic recorded since the
+    /// last drain. Jobs run their cache operations under one lock hold,
+    /// so the service drains right after to attribute events per job.
+    pub fn drain_events(&mut self) -> Vec<CacheEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// The digest used as the program-cache key for `src`.
@@ -252,11 +282,13 @@ impl ArtifactCache {
     pub fn compile_source(&mut self, src: &str) -> Result<Arc<CompiledLib>, Diagnostics> {
         let key = Self::program_key(src);
         let tick = self.bump();
-        if let Some(lib) = self.programs.get(&key, tick) {
+        if let Some(lib) = self.programs.get(&key, tick).map(Arc::clone) {
             self.stats.program_hits += 1;
-            return Ok(Arc::clone(lib));
+            self.event("program", "hit", key);
+            return Ok(lib);
         }
         self.stats.program_misses += 1;
+        self.event("program", "miss", key);
 
         let prog = narada_lang::compile(src)?;
         let unit_digests: Vec<u64> = (0..prog.classes.len() as u32)
@@ -271,15 +303,20 @@ impl ArtifactCache {
         let mut methods: Vec<Option<narada_lang::mir::Body>> = Vec::new();
         methods.resize_with(prog.methods.len(), || None);
         for (c, &digest) in unit_digests.iter().enumerate() {
-            let bodies = match self.units.get(&digest, tick) {
+            let bodies = match self.units.get(&digest, tick).map(Arc::clone) {
                 Some(b) => {
                     self.stats.unit_hits += 1;
-                    Arc::clone(b)
+                    self.event("unit", "hit", digest);
+                    b
                 }
                 None => {
                     self.stats.unit_misses += 1;
+                    self.event("unit", "miss", digest);
                     let fresh = Arc::new(lower_class(&prog, ClassId(c as u32)));
-                    self.stats.evictions += self.units.insert(digest, Arc::clone(&fresh), tick);
+                    if let Some(victim) = self.units.insert(digest, Arc::clone(&fresh), tick) {
+                        self.stats.evictions += 1;
+                        self.event("unit", "evict", victim);
+                    }
                     fresh
                 }
             };
@@ -304,20 +341,28 @@ impl ArtifactCache {
             mir: Arc::new(mir),
             unit_digests,
         });
-        self.stats.evictions += self.programs.insert(key, Arc::clone(&lib), tick);
+        if let Some(victim) = self.programs.insert(key, Arc::clone(&lib), tick) {
+            self.stats.evictions += 1;
+            self.event("program", "evict", victim);
+        }
         Ok(lib)
     }
 
     /// The shared bytecode compilation for `lib` (compiling on miss).
     pub fn bytecode(&mut self, lib: &CompiledLib) -> Arc<BcProgram> {
         let tick = self.bump();
-        if let Some(code) = self.code.get(&lib.digest, tick) {
+        if let Some(code) = self.code.get(&lib.digest, tick).map(Arc::clone) {
             self.stats.code_hits += 1;
-            return Arc::clone(code);
+            self.event("code", "hit", lib.digest);
+            return code;
         }
         self.stats.code_misses += 1;
+        self.event("code", "miss", lib.digest);
         let code = Arc::new(BcProgram::compile(&lib.prog, &lib.mir));
-        self.stats.evictions += self.code.insert(lib.digest, Arc::clone(&code), tick);
+        if let Some(victim) = self.code.insert(lib.digest, Arc::clone(&code), tick) {
+            self.stats.evictions += 1;
+            self.event("code", "evict", victim);
+        }
         code
     }
 
@@ -325,13 +370,18 @@ impl ArtifactCache {
     /// miss).
     pub fn statics(&mut self, lib: &CompiledLib) -> Arc<Statics> {
         let tick = self.bump();
-        if let Some(s) = self.statics.get(&lib.digest, tick) {
+        if let Some(s) = self.statics.get(&lib.digest, tick).map(Arc::clone) {
             self.stats.statics_hits += 1;
-            return Arc::clone(s);
+            self.event("statics", "hit", lib.digest);
+            return s;
         }
         self.stats.statics_misses += 1;
+        self.event("statics", "miss", lib.digest);
         let s = Arc::new(analyze(&lib.mir));
-        self.stats.evictions += self.statics.insert(lib.digest, Arc::clone(&s), tick);
+        if let Some(victim) = self.statics.insert(lib.digest, Arc::clone(&s), tick) {
+            self.stats.evictions += 1;
+            self.event("statics", "evict", victim);
+        }
         s
     }
 
@@ -342,17 +392,36 @@ impl ArtifactCache {
     pub fn surface(&mut self, lib: &CompiledLib, engine: Engine) -> Arc<ApiSurface> {
         let key = (lib.digest, engine.label());
         let tick = self.bump();
-        if let Some(s) = self.surfaces.get(&key, tick) {
+        let surface_key = |k: &(u64, &str)| format!("{:016x}/{}", k.0, k.1);
+        if let Some(s) = self.surfaces.get(&key, tick).map(Arc::clone) {
             self.stats.surface_hits += 1;
-            return Arc::clone(s);
+            let key = surface_key(&key);
+            self.events.push(CacheEvent {
+                family: "surface",
+                kind: "hit",
+                key,
+            });
+            return s;
         }
         self.stats.surface_misses += 1;
+        self.events.push(CacheEvent {
+            family: "surface",
+            kind: "miss",
+            key: surface_key(&key),
+        });
         let s = Arc::new(if lib.prog.tests.is_empty() {
             ApiSurface::for_program(&lib.prog)
         } else {
             ApiSurface::from_tests_on(&lib.prog, &lib.mir, engine)
         });
-        self.stats.evictions += self.surfaces.insert(key, Arc::clone(&s), tick);
+        if let Some(victim) = self.surfaces.insert(key, Arc::clone(&s), tick) {
+            self.stats.evictions += 1;
+            self.events.push(CacheEvent {
+                family: "surface",
+                kind: "evict",
+                key: surface_key(&victim),
+            });
+        }
         s
     }
 
@@ -365,6 +434,19 @@ impl ArtifactCache {
             self.code.len(),
             self.statics.len(),
             self.surfaces.len(),
+        )
+    }
+
+    /// Configured capacity per family, same order as
+    /// [`ArtifactCache::sizes`] — lets `stats`/`health` report occupancy
+    /// against its bound instead of a bare count.
+    pub fn capacities(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.programs.capacity,
+            self.units.capacity,
+            self.code.capacity,
+            self.statics.capacity,
+            self.surfaces.capacity,
         )
     }
 }
@@ -469,6 +551,55 @@ mod tests {
         let hits = cache.stats.program_hits;
         cache.compile_source(&srcs[2]).unwrap();
         assert_eq!(cache.stats.program_hits, hits + 1);
+    }
+
+    #[test]
+    fn cache_events_carry_digests_and_drain() {
+        let mut cache = ArtifactCache::with_capacity(2);
+        let lib = cache.compile_source(LIB).unwrap();
+        let events = cache.drain_events();
+        let key = format!("{:016x}", ArtifactCache::program_key(LIB));
+        assert!(events.contains(&CacheEvent {
+            family: "program",
+            kind: "miss",
+            key: key.clone(),
+        }));
+        assert_eq!(
+            events.iter().filter(|e| e.family == "unit").count(),
+            2,
+            "one unit event per class: {events:?}"
+        );
+        assert!(cache.drain_events().is_empty(), "drain clears the buffer");
+        cache.compile_source(LIB).unwrap();
+        let events = cache.drain_events();
+        assert_eq!(
+            events,
+            vec![CacheEvent {
+                family: "program",
+                kind: "hit",
+                key,
+            }]
+        );
+        // Overflowing the program family reports the evicted digest.
+        let _ = lib;
+        for i in 0..3 {
+            cache
+                .compile_source(&format!("class C{i} {{ int x; }}"))
+                .unwrap();
+        }
+        let events = cache.drain_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.family == "program" && e.kind == "evict"),
+            "{events:?}"
+        );
+    }
+
+    #[test]
+    fn capacities_mirror_construction() {
+        let cache = ArtifactCache::with_capacity(4);
+        assert_eq!(cache.capacities(), (4, 32, 4, 4, 4));
     }
 
     #[test]

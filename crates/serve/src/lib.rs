@@ -28,9 +28,11 @@ pub mod client;
 pub mod proto;
 pub mod run;
 pub mod server;
+pub mod telemetry;
 
-pub use cache::{ArtifactCache, CacheStats, CompiledLib};
+pub use cache::{ArtifactCache, CacheEvent, CacheStats, CompiledLib};
 pub use client::{wait_ready, Client};
 pub use proto::JobOptions;
 pub use run::{batch_report, render_report, run_job, JobResult};
 pub use server::{serve, ServeConfig};
+pub use telemetry::ServerTelemetry;

@@ -13,7 +13,9 @@
 //! | `submit`   | `source`, `options`            | `{ok, job}` |
 //! | `jobs`     | —                              | `{ok, jobs: [...]}` |
 //! | `fetch`    | `job`, `wait`                  | event lines, then `{ok, job, status, report, ...}` |
-//! | `stats`    | —                              | `{ok, cache: {...}, sizes: {...}}` |
+//! | `stats`    | —                              | `{ok, cache: {...}, sizes: {...}, capacity: {...}, uptime_ns}` |
+//! | `health`   | —                              | `{ok, status, jobs, latency, cache, workers, slow_jobs, ...}` |
+//! | `watch`    | `interval_ms`, `count`         | one `health`-shaped frame (plus `seq`, `delta`) per interval |
 //! | `shutdown` | —                              | `{ok, drained, completed}` (after the queue drains) |
 //!
 //! `fetch` with `wait: true` is the streaming endpoint: the server

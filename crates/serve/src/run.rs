@@ -12,8 +12,9 @@
 //! 3. both paths render through [`render_report`], which includes no
 //!    wall-clock, host, or worker-count facts.
 
-use crate::cache::{ArtifactCache, CacheStats};
+use crate::cache::{ArtifactCache, CacheEvent, CacheStats};
 use crate::proto::JobOptions;
+use crate::telemetry::ServerTelemetry;
 use narada_core::digest::Fnv1a;
 use narada_core::pipeline::SynthesisOutput;
 use narada_core::SynthesisOptions;
@@ -37,23 +38,41 @@ pub struct JobResult {
     /// The run manifest (telemetry; *not* part of the byte-identical
     /// surface — it carries wall-clock and host facts).
     pub manifest: RunManifest,
+    /// Per-artifact cache traffic attributed to this job — the service
+    /// writes these into its event log.
+    pub cache_events: Vec<CacheEvent>,
 }
 
 /// Runs one job through the cache-fed pipeline. `progress` receives one
 /// frame per stage (compile / synth / detect), each carrying a
 /// `narada-manifest/1` snapshot of the job's telemetry so far.
+/// `telemetry`, when present, receives per-stage and whole-job wall-clock
+/// observations into the *server-level* registry — never into the job's
+/// own manifest, which must stay run-invariant.
 pub fn run_job(
     cache: &Mutex<ArtifactCache>,
     source: &str,
     opts: &JobOptions,
     progress: &mut dyn FnMut(Json),
+    telemetry: Option<&ServerTelemetry>,
 ) -> Result<JobResult, String> {
     let obs = Obs::new();
+    let job_start = std::time::Instant::now();
+    let mut stage_start = job_start;
+    let mut stage_done = |stage: &str, now: std::time::Instant| {
+        if let Some(t) = telemetry {
+            t.stage_histogram(stage)
+                .observe_duration(now.duration_since(stage_start));
+        }
+        stage_start = now;
+    };
 
     // Stage 0: compile through the artifact store. The lock covers only
-    // artifact derivation, never pipeline execution.
-    let (lib, code, statics, surface, compile_delta) = {
+    // artifact derivation, never pipeline execution; the per-job event
+    // drain under the same hold is what makes attribution exact.
+    let (lib, code, statics, surface, compile_delta, cache_events) = {
         let mut cache = cache.lock().map_err(|_| "artifact cache poisoned")?;
+        cache.drain_events();
         let base = cache.stats;
         let lib = cache
             .compile_source(source)
@@ -67,8 +86,10 @@ pub fn run_job(
             .then(|| cache.surface(&lib, opts.engine));
         let delta = cache.stats.delta(&base);
         delta.record(&obs);
-        (lib, code, statics, surface, delta)
+        let events = cache.drain_events();
+        (lib, code, statics, surface, delta, events)
     };
+    stage_done("compile", std::time::Instant::now());
     progress(stage_frame("compile", opts, &obs).with("cache", cache_json(&compile_delta)));
 
     // Stage 1: synthesis, exactly `run_synthesis`'s shape. The generated
@@ -121,6 +142,7 @@ pub fn run_job(
         );
         ((*lib.prog).clone(), (*lib.mir).clone(), out)
     };
+    stage_done("synth", std::time::Instant::now());
     progress(
         stage_frame("synth", opts, &obs)
             .with("pairs", Json::Int(out.pair_count() as i64))
@@ -143,6 +165,14 @@ pub fn run_job(
     let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
     let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
     let (reports, agg) = evaluate_suite_full(&prog, &mir, &seeds, &plans, &cfg, &obs);
+    let now = std::time::Instant::now();
+    stage_done("detect", now);
+    if let Some(t) = telemetry {
+        // Warm iff the program compilation itself was reused: that is the
+        // cache temperature that dominates job latency.
+        t.job_histogram(compile_delta.program_hits > 0)
+            .observe_duration(now.duration_since(job_start));
+    }
     progress(
         stage_frame("detect", opts, &obs)
             .with("races", Json::Int(agg.races_detected as i64))
@@ -160,6 +190,7 @@ pub fn run_job(
         summary,
         cache: compile_delta,
         manifest,
+        cache_events,
     })
 }
 
@@ -299,7 +330,7 @@ pub fn render_report(
 /// cache-independent reference to compare the service against.
 pub fn batch_report(source: &str, opts: &JobOptions) -> Result<JobResult, String> {
     let cache = Mutex::new(ArtifactCache::with_capacity(1));
-    run_job(&cache, source, opts, &mut |_| {})
+    run_job(&cache, source, opts, &mut |_| {}, None)
 }
 
 /// Convenience used by tests: run a job against a shared cache wrapped
@@ -309,5 +340,5 @@ pub fn run_job_on(
     source: &str,
     opts: &JobOptions,
 ) -> Result<JobResult, String> {
-    run_job(cache, source, opts, &mut |_| {})
+    run_job(cache, source, opts, &mut |_| {}, None)
 }

@@ -28,7 +28,8 @@
 use crate::cache::ArtifactCache;
 use crate::proto::{error_frame, ok_frame, write_frame, JobOptions};
 use crate::run::{cache_json, run_job};
-use narada_obs::Json;
+use crate::telemetry::ServerTelemetry;
+use narada_obs::{EventLog, Json, MetricValue};
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
@@ -45,12 +46,17 @@ pub struct ServeConfig {
     /// Worker-pool size (concurrent jobs). Result-neutral.
     pub workers: usize,
     /// Directory receiving each finished job's `job-N.report` and
-    /// `job-N.manifest.json` as it completes.
+    /// `job-N.manifest.json` as it completes, plus the JSONL event log.
     pub state_dir: Option<PathBuf>,
     /// File receiving the bound port number (ephemeral-port scripting).
     pub port_file: Option<PathBuf>,
     /// Artifact-cache capacity per family.
     pub cache_capacity: usize,
+    /// Wall budget (milliseconds) past which a running job is flagged by
+    /// the slow-job watchdog in `watch`/`health` frames.
+    pub slow_job_ms: u64,
+    /// Size threshold for event-log rotation, in bytes.
+    pub event_log_max_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +67,8 @@ impl Default for ServeConfig {
             state_dir: None,
             port_file: None,
             cache_capacity: 64,
+            slow_job_ms: 60_000,
+            event_log_max_bytes: 1 << 20,
         }
     }
 }
@@ -105,6 +113,9 @@ struct Job {
     report: Option<String>,
     error: Option<String>,
     summary: Option<String>,
+    /// Uptime nanoseconds when a worker picked the job up — the slow-job
+    /// watchdog measures runtime from here.
+    started_at: Option<u64>,
 }
 
 /// Everything behind the state mutex.
@@ -115,7 +126,7 @@ struct State {
     draining: bool,
 }
 
-/// Shared server state: job table + cache + wakeups.
+/// Shared server state: job table + cache + wakeups + live telemetry.
 struct Shared {
     state: Mutex<State>,
     /// Signaled on every job-state or event change (fetch waiters,
@@ -125,6 +136,9 @@ struct Shared {
     /// Terminates the accept loop once drained.
     stop: AtomicBool,
     config: ServeConfig,
+    /// Server-level registry, heartbeats, event log — see
+    /// [`crate::telemetry`].
+    telemetry: ServerTelemetry,
 }
 
 /// SIGINT flag → the accept loop turns it into a drain, exactly like a
@@ -174,6 +188,28 @@ pub fn serve(config: ServeConfig) -> Result<u64, String> {
         config.workers.max(1)
     );
 
+    let event_log = match &config.state_dir {
+        Some(dir) => match EventLog::open(dir, "events", config.event_log_max_bytes) {
+            Ok(log) => Some(log),
+            Err(e) => {
+                eprintln!("narada serve: event log disabled: {e}");
+                None
+            }
+        },
+        None => None,
+    };
+    let telemetry = ServerTelemetry::new(
+        config.workers.max(1),
+        config.slow_job_ms.saturating_mul(1_000_000),
+        event_log,
+    );
+    telemetry.log_event(
+        "server.start",
+        Json::obj()
+            .with("port", Json::Int(port as i64))
+            .with("workers", Json::Int(config.workers.max(1) as i64)),
+    );
+
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             jobs: Vec::new(),
@@ -184,12 +220,13 @@ pub fn serve(config: ServeConfig) -> Result<u64, String> {
         cache: Mutex::new(ArtifactCache::with_capacity(config.cache_capacity)),
         stop: AtomicBool::new(false),
         config,
+        telemetry,
     });
 
     std::thread::scope(|scope| {
-        for _ in 0..shared.config.workers.max(1) {
+        for w in 0..shared.config.workers.max(1) {
             let shared = Arc::clone(&shared);
-            scope.spawn(move || worker_loop(&shared));
+            scope.spawn(move || worker_loop(&shared, w));
         }
 
         while !shared.stop.load(Ordering::SeqCst) {
@@ -232,7 +269,15 @@ pub fn serve(config: ServeConfig) -> Result<u64, String> {
 /// Closes intake and wakes everyone.
 fn begin_drain(shared: &Shared) {
     if let Ok(mut state) = shared.state.lock() {
-        state.draining = true;
+        if !state.draining {
+            state.draining = true;
+            let queued = state.queue.len();
+            drop(state);
+            shared.telemetry.log_event(
+                "server.drain",
+                Json::obj().with("queued", Json::Int(queued as i64)),
+            );
+        }
     }
     shared.changed.notify_all();
 }
@@ -252,8 +297,11 @@ fn wait_drained(shared: &Shared) {
 }
 
 /// One worker: pop, run, publish, repeat; exit once draining and empty.
-fn worker_loop(shared: &Shared) {
+/// Stamps its liveness heartbeat on every wakeup, so `health` can tell a
+/// parked worker (fresh beat, empty queue) from a wedged one.
+fn worker_loop(shared: &Shared, worker: usize) {
     loop {
+        shared.telemetry.beat(worker);
         let (id, source, options) = {
             let Ok(mut state) = shared.state.lock() else {
                 return;
@@ -262,6 +310,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(id) = state.queue.pop_front() {
                     let job = &mut state.jobs[id as usize];
                     job.status = JobStatus::Running;
+                    job.started_at = Some(shared.telemetry.uptime_ns());
                     let frame = Json::obj()
                         .with("event", Json::Str("started".into()))
                         .with("job", Json::Int(id as i64));
@@ -276,9 +325,16 @@ fn worker_loop(shared: &Shared) {
                     .wait_timeout(state, Duration::from_millis(200))
                     .unwrap();
                 state = next;
+                shared.telemetry.beat(worker);
             }
         };
         shared.changed.notify_all();
+        shared.telemetry.log_event(
+            "job.started",
+            Json::obj()
+                .with("job", Json::Int(id as i64))
+                .with("worker", Json::Int(worker as i64)),
+        );
 
         // Run outside the state lock; progress frames re-lock briefly.
         let mut publish = |frame: Json| {
@@ -287,7 +343,14 @@ fn worker_loop(shared: &Shared) {
             }
             shared.changed.notify_all();
         };
-        let result = run_job(&shared.cache, &source, &options, &mut publish);
+        let result = run_job(
+            &shared.cache,
+            &source,
+            &options,
+            &mut publish,
+            Some(&shared.telemetry),
+        );
+        shared.telemetry.beat(worker);
 
         let Ok(mut state) = shared.state.lock() else {
             return;
@@ -296,16 +359,39 @@ fn worker_loop(shared: &Shared) {
         match result {
             Ok(done) => {
                 flush_job(&shared.config, id, &done);
+                let summary = done.summary.clone();
                 job.status = JobStatus::Done;
                 job.events.push(
                     Json::obj()
                         .with("event", Json::Str("done".into()))
                         .with("job", Json::Int(id as i64))
-                        .with("summary", Json::Str(done.summary.clone()))
+                        .with("summary", Json::Str(summary.clone()))
                         .with("cache", cache_json(&done.cache)),
                 );
                 job.summary = Some(done.summary);
                 job.report = Some(done.report);
+                drop(state);
+                shared
+                    .telemetry
+                    .metrics
+                    .counter("serve.jobs.completed")
+                    .inc();
+                for ev in &done.cache_events {
+                    shared.telemetry.log_event(
+                        "cache",
+                        Json::obj()
+                            .with("job", Json::Int(id as i64))
+                            .with("family", Json::Str(ev.family.into()))
+                            .with("kind", Json::Str(ev.kind.into()))
+                            .with("key", Json::Str(ev.key.clone())),
+                    );
+                }
+                shared.telemetry.log_event(
+                    "job.done",
+                    Json::obj()
+                        .with("job", Json::Int(id as i64))
+                        .with("summary", Json::Str(summary)),
+                );
             }
             Err(e) => {
                 job.status = JobStatus::Failed;
@@ -315,10 +401,17 @@ fn worker_loop(shared: &Shared) {
                         .with("job", Json::Int(id as i64))
                         .with("error", Json::Str(e.clone())),
                 );
-                job.error = Some(e);
+                job.error = Some(e.clone());
+                drop(state);
+                shared.telemetry.metrics.counter("serve.jobs.failed").inc();
+                shared.telemetry.log_event(
+                    "job.failed",
+                    Json::obj()
+                        .with("job", Json::Int(id as i64))
+                        .with("error", Json::Str(e)),
+                );
             }
         }
-        drop(state);
         shared.changed.notify_all();
     }
 }
@@ -413,6 +506,13 @@ fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> 
                 let resp = handle_stats(shared);
                 write_frame(&mut writer, &resp)?;
             }
+            "health" => {
+                let resp = build_status(shared).with("type", Json::Str("health".into()));
+                write_frame(&mut writer, &resp)?;
+            }
+            "watch" => {
+                handle_watch(&req, shared, &mut writer)?;
+            }
             "fetch" => {
                 handle_fetch(&req, shared, &mut writer)?;
             }
@@ -480,14 +580,28 @@ fn handle_submit(req: &Json, shared: &Shared) -> Json {
         report: None,
         error: None,
         summary: None,
+        started_at: None,
     };
     job.events.push(
         Json::obj()
             .with("event", Json::Str("queued".into()))
             .with("job", Json::Int(id as i64)),
     );
+    let source_fnv = format!("{:016x}", ArtifactCache::program_key(&job.source));
     state.jobs.push(job);
     state.queue.push_back(id);
+    drop(state);
+    shared
+        .telemetry
+        .metrics
+        .counter("serve.jobs.submitted")
+        .inc();
+    shared.telemetry.log_event(
+        "job.queued",
+        Json::obj()
+            .with("job", Json::Int(id as i64))
+            .with("source_fnv", Json::Str(source_fnv)),
+    );
     ok_frame().with("job", Json::Int(id as i64))
 }
 
@@ -515,20 +629,139 @@ fn handle_jobs(shared: &Shared) -> Json {
     ok_frame().with("jobs", Json::Arr(state.jobs.iter().map(job_row).collect()))
 }
 
+fn family_counts(c: (usize, usize, usize, usize, usize)) -> Json {
+    Json::obj()
+        .with("programs", Json::Int(c.0 as i64))
+        .with("units", Json::Int(c.1 as i64))
+        .with("code", Json::Int(c.2 as i64))
+        .with("statics", Json::Int(c.3 as i64))
+        .with("surfaces", Json::Int(c.4 as i64))
+}
+
 fn handle_stats(shared: &Shared) -> Json {
     let Ok(cache) = shared.cache.lock() else {
         return error_frame("cache poisoned");
     };
-    let (programs, units, code, statics, surfaces) = cache.sizes();
-    ok_frame().with("cache", cache_json(&cache.stats)).with(
-        "sizes",
-        Json::obj()
-            .with("programs", Json::Int(programs as i64))
-            .with("units", Json::Int(units as i64))
-            .with("code", Json::Int(code as i64))
-            .with("statics", Json::Int(statics as i64))
-            .with("surfaces", Json::Int(surfaces as i64)),
-    )
+    ok_frame()
+        .with("cache", cache_json(&cache.stats))
+        .with("sizes", family_counts(cache.sizes()))
+        .with("capacity", family_counts(cache.capacities()))
+        .with("uptime_ns", Json::Int(shared.telemetry.uptime_ns() as i64))
+}
+
+/// The shared body of `watch` and `health` frames: readiness, queue and
+/// job-table summary, latency quantiles, cache occupancy vs capacity,
+/// worker heartbeats, and the slow-job watchdog's flags.
+fn build_status(shared: &Shared) -> Json {
+    let t = &shared.telemetry;
+    let now = t.uptime_ns();
+    let (jobs, slow, draining) = match shared.state.lock() {
+        Ok(state) => {
+            let count = |s: JobStatus| state.jobs.iter().filter(|j| j.status == s).count() as i64;
+            let mut rows = Vec::new();
+            let mut slow = Vec::new();
+            for job in &state.jobs {
+                let mut row = job_row(job);
+                if job.status == JobStatus::Running {
+                    let running_ns = now.saturating_sub(job.started_at.unwrap_or(now));
+                    row.set("running_ns", Json::Int(running_ns as i64));
+                    if running_ns > t.slow_job_ns() {
+                        slow.push(
+                            Json::obj()
+                                .with("job", Json::Int(job.id as i64))
+                                .with("running_ns", Json::Int(running_ns as i64)),
+                        );
+                    }
+                }
+                rows.push(row);
+            }
+            let jobs = Json::obj()
+                .with("total", Json::Int(state.jobs.len() as i64))
+                .with("queued", Json::Int(count(JobStatus::Queued)))
+                .with("running", Json::Int(count(JobStatus::Running)))
+                .with("done", Json::Int(count(JobStatus::Done)))
+                .with("failed", Json::Int(count(JobStatus::Failed)))
+                .with("table", Json::Arr(rows));
+            (jobs, slow, state.draining)
+        }
+        Err(_) => (Json::obj(), Vec::new(), false),
+    };
+    let cache = match shared.cache.lock() {
+        Ok(cache) => Json::obj()
+            .with("counters", cache_json(&cache.stats))
+            .with("sizes", family_counts(cache.sizes()))
+            .with("capacity", family_counts(cache.capacities())),
+        Err(_) => Json::obj(),
+    };
+    let heartbeats: Vec<Json> = t
+        .heartbeat_ages_ns()
+        .into_iter()
+        .map(|age| {
+            if age == u64::MAX {
+                Json::Null
+            } else {
+                Json::Int(age as i64)
+            }
+        })
+        .collect();
+    ok_frame()
+        .with(
+            "status",
+            Json::Str(if draining { "draining" } else { "ready" }.into()),
+        )
+        .with("uptime_ns", Json::Int(now as i64))
+        .with("jobs", jobs)
+        .with("latency", t.latency_json())
+        .with("cache", cache)
+        .with(
+            "workers",
+            Json::obj()
+                .with("count", Json::Int(heartbeats.len() as i64))
+                .with("heartbeat_ages_ns", Json::Arr(heartbeats)),
+        )
+        .with("slow_jobs", Json::Arr(slow))
+        .with("slow_job_budget_ns", Json::Int(t.slow_job_ns() as i64))
+}
+
+/// `watch`: periodic status frames until `count` frames were sent (0 =
+/// until the client disconnects or the server stops). Each frame adds a
+/// `delta` of the server-level scalar metrics since the previous frame.
+fn handle_watch(req: &Json, shared: &Shared, writer: &mut TcpStream) -> std::io::Result<()> {
+    let interval = req
+        .get("interval_ms")
+        .and_then(Json::as_i64)
+        .unwrap_or(1000)
+        .clamp(10, 60_000) as u64;
+    let count = req.get("count").and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+    let mut base = shared.telemetry.metrics.snapshot();
+    let mut seq = 0u64;
+    loop {
+        seq += 1;
+        let mut delta = Json::obj();
+        for (name, value) in shared.telemetry.metrics.snapshot_delta(&base) {
+            if let MetricValue::Counter(v) | MetricValue::Gauge(v) = value {
+                delta.set(&name, Json::Int(v as i64));
+            }
+        }
+        base = shared.telemetry.metrics.snapshot();
+        let frame = build_status(shared)
+            .with("type", Json::Str("watch".into()))
+            .with("seq", Json::Int(seq as i64))
+            .with("delta", delta);
+        write_frame(writer, &frame)?;
+        if count != 0 && seq >= count {
+            return Ok(());
+        }
+        // Sleep in short steps so shutdown isn't held hostage by a
+        // long-interval watcher.
+        let deadline = std::time::Instant::now() + Duration::from_millis(interval);
+        while std::time::Instant::now() < deadline {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
 }
 
 /// Streams a job's progress frames (when `wait`) and its final state.

@@ -87,6 +87,7 @@ impl TestServer {
             state_dir: state_dir.then(|| dir.join("state")),
             port_file: Some(port_file.clone()),
             cache_capacity: 64,
+            ..ServeConfig::default()
         };
         let handle = std::thread::spawn(move || serve(config));
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
@@ -291,6 +292,156 @@ fn mid_queue_shutdown_loses_no_completed_results() {
         RunManifest::parse(&manifest).expect("valid flushed manifest");
     }
     std::fs::remove_dir_all(&server.dir).ok();
+}
+
+#[test]
+fn health_and_watch_frames_are_well_shaped_under_concurrent_submits() {
+    let opts = test_opts();
+    for workers in [1usize, 2, 8] {
+        let server = TestServer::start(workers, false);
+        // Concurrent submissions from independent clients — one cold
+        // class each, plus one warm resubmission to light the warm
+        // latency histogram.
+        std::thread::scope(|scope| {
+            for id in ["C1", "C2"] {
+                scope.spawn(|| {
+                    let source = narada_corpus::by_id(id).expect("corpus id").source;
+                    server.run(source, &opts);
+                });
+            }
+        });
+        let c1 = narada_corpus::by_id("C1").expect("C1").source;
+        server.run(c1, &opts);
+
+        let health = server.client().health().expect("health");
+        assert_eq!(
+            health.get("type").and_then(|t| t.as_str()),
+            Some("health"),
+            "{health:?}"
+        );
+        assert_eq!(health.get("status").and_then(|s| s.as_str()), Some("ready"));
+        assert!(health.get("uptime_ns").and_then(Json::as_i64).unwrap_or(-1) >= 0);
+        let jobs = health.get("jobs").expect("jobs section");
+        for key in ["total", "queued", "running", "done", "failed"] {
+            assert!(jobs.get(key).and_then(Json::as_i64).is_some(), "jobs.{key}");
+        }
+        assert_eq!(jobs.get("done").and_then(Json::as_i64), Some(3));
+
+        // Latency quantiles: every key present, cold + warm counts cover
+        // all three completed jobs (C1 resubmission is the warm one).
+        let latency = health.get("latency").expect("latency section");
+        for side in ["cold", "warm"] {
+            let node = latency
+                .get(side)
+                .unwrap_or_else(|| panic!("latency.{side}"));
+            for key in ["count", "p50", "p90", "p99"] {
+                assert!(
+                    node.get(key).and_then(Json::as_i64).is_some(),
+                    "latency.{side}.{key}"
+                );
+            }
+        }
+        let count = |side: &str| {
+            latency
+                .get(side)
+                .and_then(|n| n.get("count"))
+                .and_then(Json::as_i64)
+                .unwrap_or(0)
+        };
+        assert_eq!(count("cold") + count("warm"), 3, "workers={workers}");
+        assert!(count("warm") >= 1, "resubmission must classify warm");
+        for stage in ["compile", "synth", "detect"] {
+            let node = latency
+                .get("stages")
+                .and_then(|s| s.get(stage))
+                .unwrap_or_else(|| panic!("latency.stages.{stage}"));
+            assert_eq!(node.get("count").and_then(Json::as_i64), Some(3));
+        }
+
+        // Cache occupancy is reported against capacity; the worker pool
+        // reports one heartbeat slot per worker, all beaten by now.
+        let cache = health.get("cache").expect("cache section");
+        for key in ["counters", "sizes", "capacity"] {
+            assert!(cache.get(key).is_some(), "cache.{key}");
+        }
+        let hb = health
+            .get("workers")
+            .and_then(|w| w.get("heartbeat_ages_ns"))
+            .and_then(|a| a.as_arr())
+            .expect("heartbeat ages");
+        assert_eq!(hb.len(), workers, "one heartbeat slot per worker");
+        assert!(
+            hb.iter().any(|age| age.as_i64().is_some()),
+            "at least one worker has beaten: {hb:?}"
+        );
+        assert!(health.get("slow_jobs").and_then(|s| s.as_arr()).is_some());
+
+        // The watch stream: monotone seq, health-shaped body, and a
+        // scalar-only delta section (empty between idle frames).
+        let mut seqs = Vec::new();
+        let last = server
+            .client()
+            .watch(10, 3, &mut |frame| {
+                seqs.push(frame.get("seq").and_then(Json::as_i64).unwrap_or(-1));
+                assert_eq!(frame.get("type").and_then(|t| t.as_str()), Some("watch"));
+                assert!(frame.get("delta").is_some(), "{frame:?}");
+                assert!(frame.get("latency").is_some(), "{frame:?}");
+                true
+            })
+            .expect("watch");
+        assert_eq!(seqs, [1, 2, 3]);
+        assert_eq!(last.get("seq").and_then(Json::as_i64), Some(3));
+        server.stop();
+    }
+}
+
+#[test]
+fn event_log_records_job_lifecycle_in_valid_jsonl() {
+    let opts = test_opts();
+    let server = TestServer::start(2, true);
+    let state = server.dir.join("state");
+    let c1 = narada_corpus::by_id("C1").expect("C1").source;
+    server.run(c1, &opts);
+    server.run(c1, &opts); // warm: cache-hit events
+
+    // Events are flushed per line at write time, so the log is complete
+    // for finished jobs while the server is still up.
+    let log = std::fs::read_to_string(state.join("events.jsonl")).expect("event log exists");
+    let mut kinds = Vec::new();
+    for line in log.lines() {
+        let event = Json::parse(line).expect("every event-log line is one valid JSON object");
+        assert!(
+            event.get("t_ns").and_then(Json::as_i64).is_some(),
+            "events carry uptime-relative timestamps: {line}"
+        );
+        kinds.push(
+            event
+                .get("event")
+                .and_then(|e| e.as_str())
+                .expect("event kind")
+                .to_string(),
+        );
+    }
+    for expected in [
+        "server.start",
+        "job.queued",
+        "job.started",
+        "job.done",
+        "cache",
+    ] {
+        assert!(
+            kinds.iter().any(|k| k == expected),
+            "missing `{expected}` in {kinds:?}"
+        );
+    }
+    // The warm resubmission must have logged at least one program-cache
+    // hit with its digest.
+    assert!(
+        log.lines()
+            .any(|l| l.contains("\"family\":\"program\"") && l.contains("\"kind\":\"hit\"")),
+        "warm job must log a program-cache hit"
+    );
+    server.stop();
 }
 
 #[test]

@@ -19,6 +19,14 @@ pub trait Scheduler {
     fn name(&self) -> &str {
         "scheduler"
     }
+
+    /// Priority-change points actually consumed so far. Only directed
+    /// strategies (PCT) spend change points; everything else reports 0,
+    /// which the exploration telemetry sums into
+    /// `explore.change_points_probed`.
+    fn change_points_probed(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for &mut S {
@@ -28,6 +36,10 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn change_points_probed(&self) -> u64 {
+        (**self).change_points_probed()
     }
 }
 
@@ -127,6 +139,8 @@ pub struct PctScheduler {
     priorities: Vec<u64>,
     /// Scheduling decisions taken so far.
     step: u64,
+    /// Change points consumed (popped at their decision index).
+    probed: u64,
     depth: usize,
     horizon: u64,
 }
@@ -153,6 +167,7 @@ impl PctScheduler {
             next_demotion: 0,
             priorities: Vec::new(),
             step: 0,
+            probed: 0,
             depth,
             horizon,
         }
@@ -199,6 +214,7 @@ impl Scheduler for PctScheduler {
         // `while`: coinciding change points each demote the current top.
         while self.change_points.last() == Some(&self.step) {
             self.change_points.pop();
+            self.probed += 1;
             // Demote the thread that *would* run now below every other.
             self.priorities[pick.index()] = self.next_demotion;
             self.next_demotion += 1;
@@ -210,6 +226,10 @@ impl Scheduler for PctScheduler {
 
     fn name(&self) -> &str {
         "pct"
+    }
+
+    fn change_points_probed(&self) -> u64 {
+        self.probed
     }
 }
 
@@ -278,6 +298,10 @@ impl<S: Scheduler> Scheduler for RecordingScheduler<S> {
     fn name(&self) -> &str {
         "recording"
     }
+
+    fn change_points_probed(&self) -> u64 {
+        self.inner.change_points_probed()
+    }
 }
 
 /// Wraps another scheduler, streaming every decision into the telemetry
@@ -325,6 +349,10 @@ impl<S: Scheduler> Scheduler for ObservedScheduler<S> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn change_points_probed(&self) -> u64 {
+        self.inner.change_points_probed()
     }
 }
 
@@ -605,6 +633,21 @@ mod tests {
         let choices = drive(&mut PctScheduler::new(3, 1, 256), 3);
         let sched = Schedule::new("pct", 3, choices);
         assert!(sched.preemptions() <= 1, "{:?}", sched.runs());
+    }
+
+    #[test]
+    fn pct_counts_consumed_change_points() {
+        // depth 1 → no change points, nothing to probe.
+        let mut serialish = PctScheduler::new(3, 1, 256);
+        drive(&mut serialish, 3);
+        assert_eq!(serialish.change_points_probed(), 0);
+        // depth 3 over a short horizon → both change points land inside
+        // the run and are consumed; wrappers forward the count.
+        let mut pct = PctScheduler::new(7, 3, 64);
+        let mut rec = RecordingScheduler::new(&mut pct);
+        drive(&mut rec, 1);
+        assert_eq!(rec.change_points_probed(), 2);
+        assert_eq!(pct.change_points_probed(), 2);
     }
 
     #[test]

@@ -116,6 +116,28 @@ for name in synth explore screen gen difftest vm serve; do
     cargo run -q --release --bin narada -- report "$manifest" > /dev/null
 done
 
+echo "==> perf-regression trend gate (fresh runs vs committed baselines)"
+# Deterministic counters gate at zero tolerance; wall-clock metrics stay
+# informational (host-dependent timings must not fail CI). The committed
+# baselines under results/ were generated with exactly the env knobs the
+# bench invocations above use — any config drift is itself a breach.
+for name in vm serve; do
+    cargo run -q --release --bin narada -- report --trend \
+        "results/BENCH_$name.json" "$MANIFEST_DIR/BENCH_$name.json" --tolerance 0 \
+        || { echo "trend gate breached for BENCH_$name" >&2; exit 1; }
+done
+
+# Fault injection: an inflated deterministic counter must trip the gate
+# with its dedicated exit code — proof the gate actually gates.
+sed 's/"serve.cache.program_hits": [0-9]*/"serve.cache.program_hits": 999999/' \
+    "$MANIFEST_DIR/BENCH_serve.json" > "$MANIFEST_DIR/BENCH_serve.injected.json"
+if cargo run -q --release --bin narada -- report --trend \
+    results/BENCH_serve.json "$MANIFEST_DIR/BENCH_serve.injected.json" \
+    --tolerance 0 > /dev/null; then
+    echo "trend gate failed to trip on injected regression" >&2; exit 1
+fi
+rm -f "$MANIFEST_DIR/BENCH_serve.injected.json"
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -12,6 +12,8 @@
 //! narada corpus [C1..C9]                             run the pipeline on a corpus class
 //! narada difftest [--seed N] [--count N] [--shrink]  differential generator sweep
 //! narada report <m.json..> [--diff a.json b.json]    render or diff run manifests
+//! narada report <m.json..> --trend [--tolerance P]   perf-regression gate (exit 4)
+//! narada top [--addr A] [--once]                     live daemon dashboard
 //! ```
 
 use narada::core::{demonstrate_observed, ExploreOptions, SynthesisOutput};
@@ -46,10 +48,12 @@ fn main() -> ExitCode {
         "pairs" => cmd_pairs(rest),
         "corpus" => cmd_corpus(rest),
         // difftest owns its exit code (3 = disagreement found), so it
-        // bypasses the Ok/Err mapping below.
+        // bypasses the Ok/Err mapping below; report likewise owns exit 4
+        // (trend tolerance breach — the CI regression gate).
         "difftest" => return cmd_difftest(rest),
-        "report" => cmd_report(rest),
+        "report" => return cmd_report(rest),
         "serve" => cmd_serve(rest),
+        "top" => cmd_top(rest),
         "submit" => cmd_submit(rest),
         "jobs" => cmd_jobs(rest),
         "fetch" => cmd_fetch(rest),
@@ -103,8 +107,11 @@ USAGE:
                     [--inject-unsound] [--verbose] [--engine E]
                     [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada report <manifest.json>... [--diff OLD.json NEW.json]
+                  [--trend [--tolerance PCT] [--wall-tolerance PCT]]
     narada serve [--addr HOST:PORT] [--threads N] [--state-dir DIR]
                  [--port-file FILE] [--cache-capacity N]
+                 [--slow-job-ms N] [--event-log-max-bytes N]
+    narada top [--addr HOST:PORT] [--once] [--interval MS] [--count N]
     narada submit <file.mj|C1..C9> [--addr HOST:PORT] [detect flags]
     narada jobs [--addr HOST:PORT] [--stats]
     narada fetch <JOB> [--addr HOST:PORT] [--wait] [--out FILE] [--quiet]
@@ -152,7 +159,12 @@ pipeline stage as JSON Lines; `--manifest FILE` writes a run manifest
 (environment, config, stage timings, and every metric — the metric
 section is byte-identical at any --threads value). `narada report`
 renders manifests; with `--diff` it compares two stage by stage and
-metric by metric.
+metric by metric. `--trend` is the CI regression gate: manifests are
+grouped by name (first = baseline, last = current), deterministic
+counters gate at `--tolerance` percent (default 0), wall-derived
+metrics (`*_ns`, `*_ms`, `*_per_sec`, `*_pct`, timings) stay
+informational unless `--wall-tolerance` is given; any breach exits
+with code 4.
 `narada serve` keeps a detection daemon resident: clients `submit`
 jobs (library source + the usual detect knobs), a worker pool runs the
 full pipeline, and a digest-keyed artifact cache makes resubmission of
@@ -162,7 +174,15 @@ narada-report/1 document — byte-identical to what
 `narada detect --report-out` writes for the same source and options.
 `shutdown` drains the queue before stopping; every finished job's
 report was already flushed to `--state-dir` at completion time.
-`detect --report-out FILE` writes the batch twin of the served report.";
+`detect --report-out FILE` writes the batch twin of the served report.
+`narada top` is the live daemon view: a refreshing dashboard fed by
+the server's `watch` stream (queue depth, cold/warm and per-stage
+latency quantiles, cache occupancy, worker heartbeats, slow-job
+flags); `--once` prints a single `health` frame as JSON instead. The
+serve-side knobs: `--slow-job-ms` sets the watchdog's wall budget
+before a running job is flagged slow, `--event-log-max-bytes` bounds
+each structured JSONL event-log segment under `--state-dir` (the log
+rotates, never splitting a line).";
 
 fn flag(rest: &[String], name: &str) -> bool {
     rest.iter().any(|a| a == name)
@@ -1019,14 +1039,73 @@ fn run_difftest(rest: &[String]) -> Result<usize, String> {
     Ok(disagreeing.len())
 }
 
-/// Renders (or, with `--diff`, compares) run manifests — validating every
-/// file against the schema's required fields along the way.
-fn cmd_report(rest: &[String]) -> Result<(), String> {
+/// Renders, diffs, or trend-gates run manifests. Owns its exit codes:
+/// 0 = rendered / within tolerance, 1 = usage or IO error, 4 = a gated
+/// metric breached its trend tolerance band (the CI regression signal).
+fn cmd_report(rest: &[String]) -> ExitCode {
+    match run_report(rest) {
+        Ok(true) => ExitCode::from(4),
+        Ok(false) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Optional float flag (percent tolerances).
+fn opt_f64(rest: &[String], name: &str) -> Result<Option<f64>, String> {
+    match opt(rest, name) {
+        None if flag(rest, name) => Err(format!("{name} expects a number")),
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{name} expects a number, got `{v}`")),
+    }
+}
+
+/// The fallible body of `cmd_report`; returns whether a trend gate
+/// breached — validating every file against the schema's required fields
+/// along the way.
+fn run_report(rest: &[String]) -> Result<bool, String> {
     let load_manifest = |path: &str| -> Result<RunManifest, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         RunManifest::parse(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let files: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+    // Positional manifest paths: everything that is neither a flag nor
+    // the value of a value-taking flag.
+    let mut files: Vec<&String> = Vec::new();
+    let mut skip_value = false;
+    for a in rest {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--tolerance" || a == "--wall-tolerance" {
+            skip_value = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            files.push(a);
+        }
+    }
+    if flag(rest, "--trend") {
+        if files.len() < 2 {
+            return Err("report --trend expects at least two manifest files \
+                        (a baseline and a current run per group)"
+                .into());
+        }
+        let manifests = files
+            .iter()
+            .map(|f| load_manifest(f))
+            .collect::<Result<Vec<_>, _>>()?;
+        let tolerance = opt_f64(rest, "--tolerance")?.unwrap_or(0.0);
+        let wall_tolerance = opt_f64(rest, "--wall-tolerance")?;
+        let trend = narada::obs::trend::compare(&manifests, tolerance, wall_tolerance)?;
+        print!("{}", trend.render());
+        return Ok(!trend.ok());
+    }
     if flag(rest, "--diff") {
         let [a, b] = files[..] else {
             return Err("report --diff expects exactly two manifest files".into());
@@ -1035,7 +1114,7 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
             "{}",
             RunManifest::render_diff(&load_manifest(a)?, &load_manifest(b)?)
         );
-        return Ok(());
+        return Ok(false);
     }
     if files.is_empty() {
         return Err(format!(
@@ -1045,7 +1124,7 @@ fn cmd_report(rest: &[String]) -> Result<(), String> {
     for f in files {
         print!("{}", load_manifest(f)?.render());
     }
-    Ok(())
+    Ok(false)
 }
 
 /// Default service address (`--addr` overrides; `narada serve` can bind
@@ -1089,16 +1168,128 @@ fn source_arg(rest: &[String]) -> Result<String, String> {
 }
 
 fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let defaults = narada::serve::ServeConfig::default();
     let config = narada::serve::ServeConfig {
         addr: opt(rest, "--addr").unwrap_or("127.0.0.1:7979").to_string(),
         workers: opt_usize(rest, "--threads", 2)?.max(1),
         state_dir: opt(rest, "--state-dir").map(std::path::PathBuf::from),
         port_file: opt(rest, "--port-file").map(std::path::PathBuf::from),
         cache_capacity: opt_usize(rest, "--cache-capacity", 64)?,
+        slow_job_ms: opt_usize(rest, "--slow-job-ms", defaults.slow_job_ms as usize)? as u64,
+        event_log_max_bytes: opt_usize(
+            rest,
+            "--event-log-max-bytes",
+            defaults.event_log_max_bytes as usize,
+        )? as u64,
     };
     let completed = narada::serve::serve(config)?;
     println!("narada serve: drained, {completed} job(s) completed");
     Ok(())
+}
+
+/// Live daemon dashboard over the `watch` stream; `--once` degrades to a
+/// single `health` frame printed as compact JSON (for scripts).
+fn cmd_top(rest: &[String]) -> Result<(), String> {
+    let addr = addr_opt(rest);
+    let mut client = narada::serve::Client::connect(&addr)?;
+    if flag(rest, "--once") {
+        println!("{}", client.health()?.to_compact());
+        return Ok(());
+    }
+    let interval = opt_usize(rest, "--interval", 1000)? as u64;
+    let count = opt_usize(rest, "--count", 0)? as u64;
+    client.watch(interval, count, &mut |frame| {
+        // Clear + home, then redraw — a self-contained refresh per frame.
+        print!("\x1b[2J\x1b[H{}", render_top(&addr, frame));
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        true
+    })?;
+    Ok(())
+}
+
+/// One `top` screen: daemon status, job table, latency quantiles (cold
+/// vs warm plus per-stage), cache occupancy, and worker heartbeats.
+fn render_top(addr: &str, frame: &Json) -> String {
+    let int = |node: Option<&Json>| node.and_then(|v| v.as_i64()).unwrap_or(0);
+    let secs = |ns: i64| ns as f64 / 1e9;
+    let mut out = String::new();
+    let status = frame.get("status").and_then(|s| s.as_str()).unwrap_or("?");
+    out.push_str(&format!(
+        "narada top — {addr}  [{status}]  uptime {:.1}s  frame {}\n\n",
+        secs(int(frame.get("uptime_ns"))),
+        int(frame.get("seq")),
+    ));
+    let jobs = frame.get("jobs");
+    out.push_str(&format!(
+        "jobs   total {}  queued {}  running {}  done {}  failed {}\n",
+        int(jobs.and_then(|j| j.get("total"))),
+        int(jobs.and_then(|j| j.get("queued"))),
+        int(jobs.and_then(|j| j.get("running"))),
+        int(jobs.and_then(|j| j.get("done"))),
+        int(jobs.and_then(|j| j.get("failed"))),
+    ));
+    if let Some(slow) = frame.get("slow_jobs").and_then(|s| s.as_arr()) {
+        for entry in slow {
+            out.push_str(&format!(
+                "  SLOW job {} running {:.1}s (budget {:.1}s)\n",
+                int(entry.get("job")),
+                secs(int(entry.get("running_ns"))),
+                secs(int(frame.get("slow_job_budget_ns"))),
+            ));
+        }
+    }
+    out.push_str("\nlatency (ms)      count      p50      p90      p99\n");
+    let lat = frame.get("latency");
+    let mut lat_row = |label: &str, node: Option<&Json>| {
+        let ms = |key: &str| int(node.and_then(|n| n.get(key))) as f64 / 1e6;
+        out.push_str(&format!(
+            "  {label:<12} {:>8} {:>8.2} {:>8.2} {:>8.2}\n",
+            int(node.and_then(|n| n.get("count"))),
+            ms("p50"),
+            ms("p90"),
+            ms("p99"),
+        ));
+    };
+    lat_row("cold", lat.and_then(|l| l.get("cold")));
+    lat_row("warm", lat.and_then(|l| l.get("warm")));
+    for stage in ["compile", "synth", "detect"] {
+        lat_row(
+            stage,
+            lat.and_then(|l| l.get("stages")).and_then(|s| s.get(stage)),
+        );
+    }
+    let cache = frame.get("cache");
+    out.push_str(&format!(
+        "\ncache  sizes {}  capacity {}\n       counters {}\n",
+        cache
+            .and_then(|c| c.get("sizes"))
+            .map(Json::to_compact)
+            .unwrap_or_default(),
+        cache
+            .and_then(|c| c.get("capacity"))
+            .map(Json::to_compact)
+            .unwrap_or_default(),
+        cache
+            .and_then(|c| c.get("counters"))
+            .map(Json::to_compact)
+            .unwrap_or_default(),
+    ));
+    if let Some(ages) = frame
+        .get("workers")
+        .and_then(|w| w.get("heartbeat_ages_ns"))
+        .and_then(|a| a.as_arr())
+    {
+        out.push_str("workers");
+        for (i, age) in ages.iter().enumerate() {
+            match age.as_i64() {
+                Some(ns) => out.push_str(&format!("  w{i} {:.1}s", secs(ns))),
+                None => out.push_str(&format!("  w{i} -")),
+            }
+        }
+        out.push('\n');
+    }
+    out
 }
 
 fn cmd_submit(rest: &[String]) -> Result<(), String> {

@@ -215,6 +215,183 @@ fn report_rejects_invalid_manifest() {
     assert!(!out.status.success());
 }
 
+/// Inflates the first integer value following `key` in a manifest's JSON
+/// text — the fault-injection half of the trend-gate tests.
+fn inflate_metric(text: &str, key: &str) -> String {
+    let at = text
+        .find(&format!("\"{key}\""))
+        .unwrap_or_else(|| panic!("`{key}` not in manifest"));
+    let digits_start = at
+        + text[at..]
+            .find(|c: char| c.is_ascii_digit())
+            .expect("metric has a numeric value");
+    let digits_end = digits_start
+        + text[digits_start..]
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(text.len() - digits_start);
+    format!("{}999999{}", &text[..digits_start], &text[digits_end..])
+}
+
+#[test]
+fn report_trend_passes_identical_runs_and_exits_4_on_regression() {
+    let path = write_fixture("trend.mj", FIXTURE);
+    let dir = std::env::temp_dir().join("narada-cli-tests");
+    let a = dir.join("trend-a.json");
+    let b = dir.join("trend-b.json");
+    for m in [&a, &b] {
+        let out = narada(&[
+            "synth",
+            path.to_str().unwrap(),
+            "--manifest",
+            m.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+    }
+
+    // Identical pipelines: every deterministic metric matches, wall-clock
+    // rows are informational — the gate passes at zero tolerance.
+    let out = narada(&[
+        "report",
+        "--trend",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--tolerance",
+        "0",
+    ]);
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 breach(es)"), "{stdout}");
+
+    // Inject a count regression into the current run: the gate must trip
+    // through the dedicated exit code.
+    let text = std::fs::read_to_string(&b).unwrap();
+    let bad = write_fixture("trend-bad.json", &inflate_metric(&text, "pairs.generated"));
+    let out = narada(&[
+        "report",
+        "--trend",
+        a.to_str().unwrap(),
+        bad.to_str().unwrap(),
+        "--tolerance",
+        "0",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("!!"), "breach flagged: {stdout}");
+    assert!(stdout.contains("pairs.generated"), "{stdout}");
+
+    // A singleton group cannot be trended.
+    let out = narada(&["report", "--trend", a.to_str().unwrap(), "--tolerance", "0"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn top_once_reports_cold_and_warm_quantiles_from_a_live_daemon() {
+    let dir = std::env::temp_dir().join("narada-cli-tests/topd");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let port_file = dir.join("port");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_narada"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                break format!("127.0.0.1:{port}");
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never wrote its port file"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+
+    // One cold and one warm job so both latency histograms have samples.
+    let path = write_fixture("top.mj", FIXTURE);
+    for _ in 0..2 {
+        let out = narada(&[
+            "submit",
+            path.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--schedules",
+            "3",
+            "--confirms",
+            "2",
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let submitted = String::from_utf8_lossy(&out.stdout);
+        let job = submitted.trim().strip_prefix("job ").expect("job id");
+        let out = narada(&["fetch", job, "--addr", &addr, "--wait", "--quiet"]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let out = narada(&["top", "--once", "--addr", &addr]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let frame = narada::obs::Json::parse(&stdout).expect("top --once prints one JSON object");
+    let latency = frame.get("latency").expect("latency section");
+    let count = |side: &str| {
+        latency
+            .get(side)
+            .and_then(|n| n.get("count"))
+            .and_then(narada::obs::Json::as_i64)
+            .unwrap_or_else(|| panic!("latency.{side}.count: {stdout}"))
+    };
+    for side in ["cold", "warm"] {
+        for key in ["p50", "p90", "p99"] {
+            assert!(
+                latency
+                    .get(side)
+                    .and_then(|n| n.get(key))
+                    .and_then(narada::obs::Json::as_i64)
+                    .is_some(),
+                "latency.{side}.{key}: {stdout}"
+            );
+        }
+    }
+    assert_eq!(count("cold"), 1, "{stdout}");
+    assert_eq!(count("warm"), 1, "resubmission classifies warm: {stdout}");
+
+    let out = narada(&["shutdown", "--addr", &addr]);
+    assert!(out.status.success());
+    server.wait().expect("server exits");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn pairs_json_is_machine_readable() {
     let path = write_fixture("pairs.mj", FIXTURE);

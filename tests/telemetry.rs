@@ -57,6 +57,72 @@ fn manifest_metrics_identical_across_thread_counts() {
     }
 }
 
+/// Like [`run_pipeline`] but with a directed (PCT) exploration strategy
+/// and the static screener ranking pass on, so all three coverage
+/// counters — `explore.change_points_probed`, `explore.schedule_novelty`,
+/// `screen.pair_coverage` — accumulate non-trivial values.
+fn run_coverage_pipeline(threads: usize) -> Obs {
+    let entry = narada::corpus::c9();
+    let prog = entry.compile().unwrap();
+    let mir = lower_program(&prog);
+    let obs = Obs::new();
+    let opts = SynthesisOptions {
+        threads,
+        static_rank: true,
+        ..SynthesisOptions::default()
+    };
+    let out = synthesize_observed(&prog, &mir, &opts, Some(&screen_pairs), &obs);
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
+    let cfg = DetectConfig {
+        schedule_trials: 3,
+        confirm_trials: 2,
+        seed: 0xdead,
+        budget: 1_000_000,
+        threads,
+        strategy: narada::vm::ScheduleStrategy::Pct { depth: 3 },
+        pct_horizon: 200,
+        ..DetectConfig::default()
+    };
+    evaluate_suite_observed(&prog, &mir, &seeds, &plans, &cfg, &obs);
+    obs
+}
+
+#[test]
+fn exploration_coverage_counters_are_thread_invariant() {
+    let baseline = RunManifest::from_obs("cov", 1, &run_coverage_pipeline(1));
+    let scalar = |m: &RunManifest, key: &str| -> u64 {
+        match m.metric(key) {
+            Some(narada::obs::MetricValue::Counter(n)) => *n,
+            other => panic!("{key} must be a counter, got {other:?}"),
+        }
+    };
+    // PCT with depth 3 over a short horizon consumes change points; every
+    // trial manifests a schedule; the ranking pass screened every pair.
+    assert!(
+        scalar(&baseline, "explore.change_points_probed") > 0,
+        "directed trials must consume change points"
+    );
+    assert!(
+        scalar(&baseline, "explore.schedule_novelty") > 0,
+        "trials must manifest at least one distinct schedule"
+    );
+    assert!(
+        scalar(&baseline, "screen.pair_coverage") > 0,
+        "the ranking screener covers every generated pair"
+    );
+    let base_metrics = baseline.metrics_json().to_compact();
+    for threads in [2, 8] {
+        let got = RunManifest::from_obs("cov", 1, &run_coverage_pipeline(threads))
+            .metrics_json()
+            .to_compact();
+        assert_eq!(
+            base_metrics, got,
+            "coverage counters must not depend on worker count (threads={threads})"
+        );
+    }
+}
+
 #[test]
 fn manifest_survives_round_trip() {
     let obs = run_pipeline(1);
