@@ -63,7 +63,7 @@ fn main() {
             expecting.to_string(),
         ]);
     }
-    println!("Ablations over the full corpus (A1-A3, DESIGN.md §13)");
+    println!("Ablations over the full corpus (A1-A3, DESIGN.md §14)");
     print!(
         "{}",
         render_table(

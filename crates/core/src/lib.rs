@@ -80,5 +80,6 @@ pub use pipeline::{
 };
 pub use screen::{ScreenReason, ScreenerFn, StaticVerdict};
 pub use synth::{
-    execute_plan, execute_plan_fresh, execute_plan_recorded, ExecError, ExecReport, SynthesizedTest,
+    execute_plan, execute_plan_fresh, execute_plan_prefix, execute_plan_recorded,
+    execute_plan_suffix, ExecError, ExecReport, PlanPrefix, SynthesizedTest,
 };

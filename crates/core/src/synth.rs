@@ -87,6 +87,38 @@ pub fn execute_plan(
     sink: &mut dyn EventSink,
     budget: u64,
 ) -> Result<ExecReport, ExecError> {
+    let prefix = execute_plan_prefix(machine, seeds, plan, sink)?;
+    execute_plan_suffix(machine, plan, &prefix, scheduler, sink, budget)
+}
+
+/// The resolved object context a plan prefix produced: the captured call
+/// sites and the built shared objects. Together with a machine snapshot
+/// taken right after [`execute_plan_prefix`], this is everything
+/// [`execute_plan_suffix`] needs — the fork explorer runs the prefix
+/// once, snapshots, and probes many suffixes from the fork point.
+#[derive(Debug, Clone)]
+pub struct PlanPrefix {
+    /// Call sites captured from the seed tests (step 1).
+    pub captures: Vec<CallSite>,
+    /// Shared objects produced by the builder calls (steps 2–3).
+    pub built: Vec<Value>,
+}
+
+/// Executes the sequential prefix of `plan` — object collection, builders,
+/// and setters (steps 1–3 of the paper's Algorithm 1) — leaving the
+/// machine suspended at the fork point just before the racy invocations.
+/// The prefix never consults a scheduler: only [`execute_plan_suffix`]'s
+/// `run_threads` does, so recorded schedules are suffix-only.
+///
+/// # Errors
+///
+/// Same as [`execute_plan`] (all of whose error cases arise here).
+pub fn execute_plan_prefix(
+    machine: &mut Machine<'_>,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    sink: &mut dyn EventSink,
+) -> Result<PlanPrefix, ExecError> {
     // 1. collectObjects.
     let mut captures: Vec<CallSite> = Vec::with_capacity(plan.captures.len());
     for cap in &plan.captures {
@@ -148,12 +180,31 @@ pub fn execute_plan(
             }
         }
     }
+    Ok(PlanPrefix { captures, built })
+}
 
+/// Executes the concurrent suffix of `plan` from a machine positioned at
+/// the fork point (step 4 of Algorithm 1): spawns the two racy
+/// invocations and runs them under `scheduler`.
+///
+/// # Errors
+///
+/// Returns [`ExecError::SetupFailed`] if spawning an invocation fails;
+/// the concurrent phase itself never errors.
+pub fn execute_plan_suffix(
+    machine: &mut Machine<'_>,
+    plan: &TestPlan,
+    prefix: &PlanPrefix,
+    scheduler: &mut dyn Scheduler,
+    sink: &mut dyn EventSink,
+    budget: u64,
+) -> Result<ExecReport, ExecError> {
+    let PlanPrefix { captures, built } = prefix;
     // 4. Spawn the racy invocations and run them concurrently.
     let mut threads = Vec::with_capacity(2);
     for call in &plan.racy {
-        let recv = call.recv.map(|r| resolve(&captures, &built, r));
-        let args = resolve_args(&captures, &built, &call.args);
+        let recv = call.recv.map(|r| resolve(captures, built, r));
+        let args = resolve_args(captures, built, &call.args);
         let tid = machine
             .spawn_invoke(call.method, recv, args, sink)
             .map_err(ExecError::SetupFailed)?;

@@ -15,7 +15,7 @@ use narada_lang::Span;
 use narada_vm::{Event, EventKind, EventSink, FieldKey, ObjId, ThreadId};
 use std::collections::{HashMap, HashSet};
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VarState {
     /// Last write, as an epoch plus its source site.
     write: Option<(Epoch, Span)>,
@@ -25,7 +25,7 @@ struct VarState {
 }
 
 /// The happens-before detector; feed it a concurrent execution.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FastTrackDetector {
     threads: HashMap<ThreadId, VectorClock>,
     locks: HashMap<ObjId, VectorClock>,

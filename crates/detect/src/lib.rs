@@ -38,3 +38,6 @@ pub use report::{
     evaluate_test_indexed, evaluate_test_observed, ClassDetection, DetectConfig, TestReport,
 };
 pub use vclock::{Epoch, VectorClock};
+// Re-exported so explorer-mode consumers (CLI, difftest, serve, bench)
+// need no direct narada-explore dependency.
+pub use narada_explore::{ExploreMode, FORK_ONLY_METRICS};

@@ -28,7 +28,7 @@ struct AccessSummary {
 
 /// The Eraser-style detector; implement [`EventSink`] and feed it a
 /// concurrent execution.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LocksetDetector {
     /// Locks currently held, per thread.
     held: HashMap<ThreadId, Vec<ObjId>>,

@@ -27,17 +27,19 @@ use crate::minimize::minimize_schedule;
 use crate::race::{CoarseRaceKey, MethodIndex, RaceReport, SchedProvenance, StaticRaceKey};
 use crate::racefuzzer::{ConfirmedRace, RaceFuzzerScheduler};
 use narada_core::parallel::parallel_map;
-use narada_core::synth::execute_plan;
+use narada_core::synth::{execute_plan, execute_plan_suffix};
 use narada_core::TestPlan;
+use narada_explore::{fork_map, prepare_fork_point, ExploreMode, ForkPoint};
 use narada_lang::hir::{Program, TestId};
 use narada_lang::mir::MirProgram;
 use narada_obs::{span, Obs, TRIAL_BUCKETS};
 use narada_vm::rng::derive_seed;
 use narada_vm::{
-    Engine, Machine, MachineOptions, ObservedScheduler, RecordingScheduler, ScheduleStrategy,
-    TeeSink,
+    Engine, EventSink, Machine, MachineMark, MachineOptions, ObservedScheduler, RecordingScheduler,
+    ScheduleStrategy, TeeSink,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Seed-derivation stage tags (arbitrary distinct constants; changing one
@@ -88,6 +90,14 @@ pub struct DetectConfig {
     /// [`Engine::TreeWalk`]; purely a throughput knob (compilation is
     /// deterministic, so output is byte-identical either way).
     pub code: Option<std::sync::Arc<narada_vm::BcProgram>>,
+    /// How trials explore schedule suffixes (the CLI's `--explore`):
+    /// re-execute each trial from `main()`, or run the shared prefix once
+    /// and probe suffixes from copy-on-write forks. Verdicts, trace
+    /// digests, and schedules are byte-identical across modes (the
+    /// fork-vs-rerun differential suite); manifests differ only in the
+    /// fork-only `explore.*` counters
+    /// ([`narada_explore::FORK_ONLY_METRICS`]).
+    pub explore: ExploreMode,
 }
 
 impl Default for DetectConfig {
@@ -103,6 +113,7 @@ impl Default for DetectConfig {
             minimize: false,
             engine: Engine::TreeWalk,
             code: None,
+            explore: ExploreMode::Rerun,
         }
     }
 }
@@ -213,6 +224,65 @@ fn detection_trial(
     Ok((races, schedule_id))
 }
 
+/// [`detection_trial`]'s fork-explorer twin. The worker's machine is
+/// rewound to the shared fork point and reseeded with this trial's
+/// machine seed (prefix is seed-independent — zero RNG draws, checked at
+/// fork-point prep — so this reproduces exactly the state a rerun trial
+/// reaches there); detectors are clones of prototypes that already
+/// observed the prefix trace. Only the concurrent suffix executes. Every
+/// step below the rewind mirrors [`detection_trial`] line for line —
+/// schedules record suffix-only decisions in both modes — which the
+/// fork-vs-rerun differential suite locks in.
+#[allow(clippy::too_many_arguments)]
+fn detection_trial_fork(
+    machine: &mut Machine<'_>,
+    mark: &MachineMark,
+    plan: &TestPlan,
+    fp: &ForkPoint,
+    protos: &(LocksetDetector, FastTrackDetector),
+    cfg: &DetectConfig,
+    test_idx: u64,
+    trial: u64,
+    obs: &Obs,
+) -> Result<(Vec<RaceReport>, u64), String> {
+    let machine_seed = derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, trial]);
+    let sched_seed = derive_seed(cfg.seed, &[STAGE_DETECT_SCHED, test_idx, trial]);
+    machine.rewind(mark);
+    machine.reseed(machine_seed);
+    let (mut lockset, mut hb) = protos.clone();
+    let mut sink = TeeSink {
+        a: &mut lockset,
+        b: &mut hb,
+    };
+    let mut inner = cfg.strategy.build(sched_seed, cfg.pct_horizon);
+    let mut observed = ObservedScheduler::new(&mut *inner, &obs.metrics);
+    let mut sched = RecordingScheduler::new(&mut observed);
+    execute_plan_suffix(machine, plan, &fp.prefix, &mut sched, &mut sink, cfg.budget)
+        .map_err(|e| e.to_string())?;
+    let schedule = sched.to_schedule(machine_seed);
+    obs.metrics
+        .counter("explore.change_points_probed")
+        .add(inner.change_points_probed());
+    let schedule_id = schedule.id();
+    let provenance = SchedProvenance {
+        scheduler: schedule.scheduler.clone(),
+        machine_seed,
+        sched_seed,
+        schedule_id,
+    };
+    let races = lockset
+        .races()
+        .iter()
+        .chain(hb.races())
+        .cloned()
+        .map(|mut r| {
+            r.provenance = Some(provenance.clone());
+            r
+        })
+        .collect();
+    Ok((races, schedule_id))
+}
+
 /// One confirmation job: directed re-execution attempts targeting each
 /// witnessing site pair of a single coarse race, first confirmation wins.
 #[allow(clippy::too_many_arguments)]
@@ -280,6 +350,81 @@ fn confirm_race(
     None
 }
 
+/// [`confirm_race`]'s fork-explorer twin: each directed attempt rewinds
+/// the job's machine to the fork point and reseeds it with the attempt's
+/// machine seed instead of re-executing the prefix. Also returns how many
+/// probes actually ran (attempts until first confirmation — a
+/// deterministic count, so `explore.probes` stays thread-invariant).
+/// Every step mirrors [`confirm_race`] line for line; minimization, when
+/// enabled, reuses the shared full-re-execution `minimize_schedule`
+/// (schedules are suffix-only in both modes, so it replays them
+/// unchanged).
+#[allow(clippy::too_many_arguments)]
+fn confirm_race_fork(
+    machine: &mut Machine<'_>,
+    mark: &MachineMark,
+    prog: &Program,
+    mir: &MirProgram,
+    seeds: &[TestId],
+    plan: &TestPlan,
+    fp: &ForkPoint,
+    cfg: &DetectConfig,
+    test_idx: u64,
+    fine_keys: &[StaticRaceKey],
+    obs: &Obs,
+) -> (Option<ConfirmedRace>, u64) {
+    let mut attempts = 0u64;
+    for fine in fine_keys {
+        for trial in 0..cfg.confirm_trials as u64 {
+            attempts += 1;
+            let machine_seed = derive_seed(cfg.seed, &[STAGE_CONFIRM_MACHINE, test_idx, trial]);
+            machine.rewind(mark);
+            machine.reseed(machine_seed);
+            let mut sched = RaceFuzzerScheduler::new(
+                *fine,
+                derive_seed(cfg.seed, &[STAGE_CONFIRM_SCHED, test_idx, trial]),
+            );
+            let mut observed = ObservedScheduler::new(&mut sched, &obs.metrics);
+            let mut rec = RecordingScheduler::new(&mut observed);
+            let mut sink = narada_vm::NullSink;
+            let run =
+                execute_plan_suffix(machine, plan, &fp.prefix, &mut rec, &mut sink, cfg.budget);
+            let schedule = rec.to_schedule(machine_seed);
+            obs.metrics.counter("detect.confirm_trials").inc();
+            obs.metrics
+                .counter("racefuzzer.gave_up")
+                .add(sched.gave_up as u64);
+            obs.metrics
+                .counter("detect.gave_up")
+                .add(sched.gave_up as u64);
+            if run.is_err() {
+                continue;
+            }
+            if let Some(mut c) = sched.confirmed.into_iter().find(|c| c.key == *fine) {
+                obs.metrics
+                    .histogram("detect.trials_to_first_confirm", TRIAL_BUCKETS)
+                    .observe(attempts);
+                c.schedule = Some(match cfg.minimize {
+                    true => {
+                        match minimize_schedule(
+                            prog, mir, seeds, plan, cfg.budget, fine, &schedule, cfg.engine,
+                        ) {
+                            Some(m) => {
+                                obs.metrics.counter("minimize.probes").add(m.probes as u64);
+                                m.schedule
+                            }
+                            None => schedule,
+                        }
+                    }
+                    false => schedule,
+                });
+                return (Some(c), attempts);
+            }
+        }
+    }
+    (None, attempts)
+}
+
 /// Runs the full detection protocol on one synthesized test plan.
 ///
 /// `test_idx` salts the trial seeds so distinct tests explore distinct
@@ -326,16 +471,82 @@ pub fn evaluate_test_observed(
     // exploration-diversity signal (`explore.schedule_novelty`).
     let mut sched_ids: BTreeSet<u64> = BTreeSet::new();
 
+    // Fork-mode prefix sharing: materialize the fork point once per test.
+    // `None` — prefix failed or consumed RNG draws — falls back to the
+    // rerun path wholesale, whose trial/error semantics are the
+    // byte-compat reference. The attempt itself touches no shared
+    // telemetry (fork-only fallback counter aside), so fallback manifests
+    // match plain rerun manifests exactly.
+    let fork: Option<Arc<ForkPoint>> = match cfg.explore {
+        ExploreMode::Rerun => None,
+        ExploreMode::Fork => {
+            let seed0 = derive_seed(cfg.seed, &[STAGE_DETECT_MACHINE, test_idx, 0]);
+            let mut m = trial_machine(prog, mir, cfg, seed0);
+            match prepare_fork_point(&mut m, seeds, plan) {
+                Some(fp) => Some(Arc::new(fp)),
+                None => {
+                    obs.metrics.counter("explore.prefix_rng_fallbacks").inc();
+                    None
+                }
+            }
+        }
+    };
+    if let Some(fp) = &fork {
+        obs.metrics.counter("explore.forks").inc();
+        obs.metrics
+            .counter("explore.snapshot_bytes")
+            .add(fp.snapshot.approx_bytes());
+    }
+
     // Pass 1: random schedules with passive detectors, sharded per trial;
     // the merge below consumes results in trial order.
     let detect_span = span!(obs.tracer, "detect.test", test = test_idx);
     let detect_span_id = detect_span.id();
     let trials: Vec<u64> = (0..cfg.schedule_trials as u64).collect();
-    let trial_results = parallel_map(cfg.threads, &trials, |_, &trial| {
-        let mut s = obs.tracer.span_under("detect.trial", detect_span_id);
-        s.attr("trial", &trial);
-        detection_trial(prog, mir, seeds, plan, cfg, test_idx, trial, obs)
-    });
+    let trial_results = match &fork {
+        None => parallel_map(cfg.threads, &trials, |_, &trial| {
+            let mut s = obs.tracer.span_under("detect.trial", detect_span_id);
+            s.attr("trial", &trial);
+            detection_trial(prog, mir, seeds, plan, cfg, test_idx, trial, obs)
+        }),
+        Some(fp) => {
+            // Prototype detectors observe the prefix trace once; each
+            // probe clones them instead of re-feeding (the detectors are
+            // deterministic event-stream state machines, so a clone is
+            // observationally a re-feed).
+            let mut protos = (LocksetDetector::new(), FastTrackDetector::new());
+            for ev in &fp.prefix_events {
+                protos.0.event(ev);
+                protos.1.event(ev);
+            }
+            let results = fork_map(
+                cfg.threads,
+                &trials,
+                || {
+                    // One materialization per worker that claims work;
+                    // probes rewind it in place.
+                    let mut m = trial_machine(prog, mir, cfg, cfg.seed);
+                    m.restore(&fp.snapshot);
+                    let mark = m.mark();
+                    (m, mark)
+                },
+                |(m, mark), _, &trial| {
+                    let mut s = obs.tracer.span_under("detect.trial", detect_span_id);
+                    s.attr("trial", &trial);
+                    detection_trial_fork(m, mark, plan, fp, &protos, cfg, test_idx, trial, obs)
+                },
+            );
+            obs.metrics
+                .counter("explore.probes")
+                .add(trials.len() as u64);
+            // Rerun would have executed the prefix once per trial; fork
+            // executed it once per test.
+            obs.metrics
+                .counter("explore.prefix_steps_saved")
+                .add(fp.prefix_steps() * (trials.len() as u64).saturating_sub(1));
+            results
+        }
+    };
     obs.metrics
         .counter("detect.trials")
         .add(trials.len() as u64);
@@ -370,10 +581,36 @@ pub fn evaluate_test_observed(
     // Pass 2: directed confirmation, one job per coarse race, merged in
     // key order.
     let targets: Vec<(CoarseRaceKey, Vec<StaticRaceKey>)> = detected.into_iter().collect();
-    let confirmations = parallel_map(cfg.threads, &targets, |_, (_, fine_keys)| {
-        let _s = obs.tracer.span_under("detect.confirm", detect_span_id);
-        confirm_race(prog, mir, seeds, plan, cfg, test_idx, fine_keys, obs)
-    });
+    let confirmations = match &fork {
+        None => parallel_map(cfg.threads, &targets, |_, (_, fine_keys)| {
+            let _s = obs.tracer.span_under("detect.confirm", detect_span_id);
+            confirm_race(prog, mir, seeds, plan, cfg, test_idx, fine_keys, obs)
+        }),
+        Some(fp) => {
+            // Each confirmation job is its own fork-tree leaf: one
+            // materialization, then rewind-per-attempt.
+            let results = parallel_map(cfg.threads, &targets, |_, (_, fine_keys)| {
+                let _s = obs.tracer.span_under("detect.confirm", detect_span_id);
+                let mut m = trial_machine(prog, mir, cfg, cfg.seed);
+                m.restore(&fp.snapshot);
+                let mark = m.mark();
+                confirm_race_fork(
+                    &mut m, &mark, prog, mir, seeds, plan, fp, cfg, test_idx, fine_keys, obs,
+                )
+            });
+            let mut confirmed = Vec::with_capacity(results.len());
+            let mut attempts_total = 0u64;
+            for (c, attempts) in results {
+                attempts_total += attempts;
+                confirmed.push(c);
+            }
+            obs.metrics.counter("explore.probes").add(attempts_total);
+            obs.metrics
+                .counter("explore.prefix_steps_saved")
+                .add(fp.prefix_steps() * attempts_total);
+            confirmed
+        }
+    };
     for ((coarse, _), confirmed) in targets.iter().zip(confirmations) {
         if let Some(c) = confirmed {
             report.reproduced.push((*coarse, c));

@@ -1,0 +1,250 @@
+//! Differential fork-vs-rerun harness (the explorer half of the engine
+//! differential suite).
+//!
+//! The snapshot-forking explorer is only allowed to exist because it is
+//! provably the same exploration: every test here runs identical
+//! detection workloads under `ExploreMode::Rerun` and
+//! `ExploreMode::Fork` and demands byte-identical observable output —
+//! per-test verdicts (detected keys, confirmed races with their full
+//! replayable schedules and provenance digests), setup-error strings,
+//! and run-manifest metric sections, the latter compared after removing
+//! the fork-only `explore.*` counters (`FORK_ONLY_METRICS`) that rerun
+//! mode by construction never emits. Fork-mode output must additionally
+//! be byte-identical at `--threads 1/2/8` (the fork tree is sharded
+//! across workers with per-worker machine state — worker count must not
+//! leak).
+//!
+//! Quick mode covers C1–C5 and an 8-class difftest slice; set
+//! `NARADA_FORK_FULL=1` for the C1–C9 × threads 1/2/8 matrix and the
+//! 32-class slice (the CI sweep in `scripts/ci.sh` runs the same shapes
+//! through the binaries).
+
+use narada_core::{synthesize_source, SynthesisOptions};
+use narada_detect::{
+    evaluate_suite_full, ClassDetection, DetectConfig, ExploreMode, TestReport, FORK_ONLY_METRICS,
+};
+use narada_difftest::{run_sweep, DiffConfig};
+use narada_obs::{Obs, RunManifest};
+use narada_vm::{Engine, ScheduleStrategy};
+
+fn full() -> bool {
+    std::env::var("NARADA_FORK_FULL").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn cfg(explore: ExploreMode, threads: usize) -> DetectConfig {
+    DetectConfig {
+        schedule_trials: 5,
+        confirm_trials: 4,
+        seed: 0xf04c,
+        budget: 1_000_000,
+        threads,
+        strategy: ScheduleStrategy::Pct { depth: 3 },
+        explore,
+        ..DetectConfig::default()
+    }
+}
+
+/// Everything a mode/thread-count run observably produced, as one byte
+/// string: per-test reports (schedules, provenance, error strings — all
+/// Debug-visible) plus the deterministic aggregate fields (wall clock
+/// excluded; it is the one legitimately nondeterministic field).
+fn render_verdicts(reports: &[TestReport], agg: &ClassDetection) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "test {i}: detected={:?} reproduced={:?} errors={:?}",
+            r.detected, r.reproduced, r.setup_errors
+        );
+    }
+    let _ = writeln!(
+        out,
+        "agg: detected={} harmful={} benign={} unreproduced={} per_test={:?} jobs={}",
+        agg.races_detected, agg.harmful, agg.benign, agg.unreproduced, agg.per_test_races, agg.jobs
+    );
+    out
+}
+
+/// The manifest's deterministic metric section (wall gauges are split
+/// out by `from_obs`), optionally with fork-only counters removed for
+/// cross-mode comparison.
+fn render_metrics(obs: &Obs, scrub_fork_only: bool) -> String {
+    let mut m = RunManifest::from_obs("fork-diff", 1, obs);
+    if scrub_fork_only {
+        m.metrics
+            .retain(|(k, _)| !FORK_ONLY_METRICS.contains(&k.as_str()));
+    }
+    m.metrics_json().to_compact()
+}
+
+/// One full detection run over a class's synthesized suite.
+fn run_class(
+    entry: &narada_corpus::CorpusEntry,
+    explore: ExploreMode,
+    threads: usize,
+    engine: Engine,
+) -> (String, String, String, Obs) {
+    let (prog, mir, out) = synthesize_source(
+        entry.source,
+        &SynthesisOptions {
+            threads: 1,
+            ..SynthesisOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}: synthesis failed: {e:?}", entry.id));
+    let seeds: Vec<_> = prog.tests.iter().map(|t| t.id).collect();
+    let plans: Vec<_> = out.tests.iter().map(|t| &t.plan).collect();
+    let obs = Obs::new();
+    let c = DetectConfig {
+        engine,
+        ..cfg(explore, threads)
+    };
+    let (reports, agg) = evaluate_suite_full(&prog, &mir, &seeds, &plans, &c, &obs);
+    (
+        render_verdicts(&reports, &agg),
+        render_metrics(&obs, false),
+        render_metrics(&obs, true),
+        obs,
+    )
+}
+
+/// The acceptance matrix: fork verdicts/manifests byte-identical to
+/// rerun on the manual corpus, at every thread count, under both
+/// engines' default (tree-walk here; the bytecode leg runs in
+/// `fork_matches_rerun_bytecode`).
+#[test]
+fn fork_matches_rerun_on_corpus() {
+    let entries = narada_corpus::all();
+    let take = if full() { entries.len() } else { 5 };
+    let thread_counts: &[usize] = &[1, 2, 8];
+    let mut forked_somewhere = false;
+    for entry in entries.iter().take(take) {
+        let (rerun_verdicts, rerun_metrics, rerun_scrubbed, rerun_obs) =
+            run_class(entry, ExploreMode::Rerun, 1, Engine::TreeWalk);
+        // Rerun mode must emit no fork-only counter at all.
+        assert_eq!(
+            rerun_metrics, rerun_scrubbed,
+            "{}: rerun manifests must not contain explore fork counters",
+            entry.id
+        );
+        drop(rerun_obs);
+        let mut fork_baseline: Option<(String, String)> = None;
+        for &threads in thread_counts {
+            let (verdicts, _, scrubbed, obs) =
+                run_class(entry, ExploreMode::Fork, threads, Engine::TreeWalk);
+            assert_eq!(
+                verdicts, rerun_verdicts,
+                "{}: fork verdicts diverge from rerun at threads={threads}",
+                entry.id
+            );
+            assert_eq!(
+                scrubbed, rerun_metrics,
+                "{}: fork manifest (scrubbed) diverges from rerun at threads={threads}",
+                entry.id
+            );
+            let unscrubbed = render_metrics(&obs, false);
+            match &fork_baseline {
+                None => {
+                    if unscrubbed.contains("\"explore.forks\"") {
+                        forked_somewhere = true;
+                    }
+                    fork_baseline = Some((verdicts, unscrubbed));
+                }
+                Some((base_v, base_m)) => {
+                    assert_eq!(&verdicts, base_v, "{}: threads={threads}", entry.id);
+                    assert_eq!(
+                        &unscrubbed, base_m,
+                        "{}: fork-only counters depend on worker count (threads={threads})",
+                        entry.id
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        forked_somewhere,
+        "no class ever took the fork path — the differential proved nothing"
+    );
+}
+
+/// The same contract under the bytecode engine (one class quick, three
+/// full): the fork explorer must compose with compiled dispatch.
+#[test]
+fn fork_matches_rerun_bytecode() {
+    let entries = narada_corpus::all();
+    let take = if full() { 3 } else { 1 };
+    for entry in entries.iter().take(take) {
+        let (rerun_verdicts, rerun_metrics, _, _) =
+            run_class(entry, ExploreMode::Rerun, 1, Engine::Bytecode);
+        for threads in [1, 2] {
+            let (verdicts, _, scrubbed, _) =
+                run_class(entry, ExploreMode::Fork, threads, Engine::Bytecode);
+            assert_eq!(
+                verdicts, rerun_verdicts,
+                "{}: bytecode fork verdicts",
+                entry.id
+            );
+            assert_eq!(
+                scrubbed, rerun_metrics,
+                "{}: bytecode fork manifest",
+                entry.id
+            );
+        }
+    }
+}
+
+/// Table-3 comparability (satellite): `detect.trials_to_first_confirm`
+/// must be identical across modes — probes are counted separately in
+/// `explore.probes`, never folded into the confirm histogram.
+#[test]
+fn trials_to_first_confirm_comparable_across_modes() {
+    let entry = narada_corpus::c1();
+    let (_, rerun_metrics, _, _) = run_class(&entry, ExploreMode::Rerun, 1, Engine::TreeWalk);
+    let (_, fork_metrics, _, fork_obs) = run_class(&entry, ExploreMode::Fork, 1, Engine::TreeWalk);
+    let histo = "\"detect.trials_to_first_confirm\"";
+    assert!(rerun_metrics.contains(histo), "{rerun_metrics}");
+    let extract = |s: &str| {
+        let i = s.find(histo).unwrap();
+        s[i..s[i..].find('}').map_or(s.len(), |j| i + j + 1)].to_string()
+    };
+    assert_eq!(extract(&rerun_metrics), extract(&fork_metrics));
+    // And the probe count is surfaced distinctly.
+    let m = RunManifest::from_obs("probes", 1, &fork_obs);
+    assert!(
+        m.metric("explore.probes").is_some(),
+        "fork runs must count probes"
+    );
+}
+
+/// Generated-lattice slice: whole difftest sweeps (screener vs dynamic
+/// pipeline) must produce identical digests and summaries in both
+/// explorer modes, at several thread counts.
+#[test]
+fn difftest_slice_mode_invariant() {
+    let count = if full() { 32 } else { 8 };
+    let sweep = |explore: ExploreMode, threads: usize| {
+        let cfg = DiffConfig {
+            count,
+            threads,
+            schedule_trials: 4,
+            confirm_trials: 3,
+            explore,
+            ..DiffConfig::default()
+        };
+        let report = run_sweep(&cfg, &Obs::new());
+        (report.digest, report.summary())
+    };
+    let baseline = sweep(ExploreMode::Rerun, 1);
+    for &threads in if full() {
+        &[1usize, 2, 8][..]
+    } else {
+        &[1usize, 2][..]
+    } {
+        assert_eq!(
+            sweep(ExploreMode::Fork, threads),
+            baseline,
+            "difftest sweep diverges under fork explorer (threads={threads})"
+        );
+    }
+}

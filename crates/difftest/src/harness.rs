@@ -23,7 +23,7 @@ use narada_core::parallel::parallel_map;
 use narada_core::pipeline::{synthesize_with, SynthesisOutput};
 use narada_core::screen::{ScreenReason, ScreenerFn, StaticVerdict};
 use narada_core::SynthesisOptions;
-use narada_detect::{evaluate_test_indexed, DetectConfig};
+use narada_detect::{evaluate_test_indexed, DetectConfig, ExploreMode};
 use narada_lang::lower::lower_program;
 use narada_obs::Obs;
 use narada_vm::rng::derive_seed;
@@ -53,6 +53,10 @@ pub struct DiffConfig {
     /// detection). Trace-equivalent to tree-walk, so sweep digests are
     /// engine-independent — a property the workspace suite asserts.
     pub engine: Engine,
+    /// Exploration mode for every detection stage in the sweep. Verdicts
+    /// and sweep digests are mode-independent (the fork-vs-rerun
+    /// differential suite asserts this over difftest slices).
+    pub explore: ExploreMode,
 }
 
 impl Default for DiffConfig {
@@ -66,6 +70,7 @@ impl Default for DiffConfig {
             budget: 2_000_000,
             inject_unsound: false,
             engine: Engine::TreeWalk,
+            explore: ExploreMode::Rerun,
         }
     }
 }
@@ -241,6 +246,7 @@ fn detect_cfg_base(cfg: &DiffConfig) -> DetectConfig {
         minimize: false,
         engine: cfg.engine,
         code: None,
+        explore: cfg.explore,
     }
 }
 

@@ -1,0 +1,325 @@
+//! Snapshot-forking exploration engine.
+//!
+//! Every schedule trial of the detection pipeline runs the same test: a
+//! deterministic sequential *prefix* (seed-test object collection,
+//! builders, setters — steps 1–3 of the paper's Algorithm 1) followed by
+//! the concurrent *suffix* whose interleaving the trial actually varies.
+//! The re-execution explorer pays the prefix once per trial; this crate
+//! pays it once per test.
+//!
+//! The pieces:
+//!
+//! - [`ForkPoint`] — a test's shared prefix materialized once:
+//!   an owned [`MachineSnapshot`] of the machine suspended right before
+//!   the racy invocations, the resolved [`PlanPrefix`] context, and the
+//!   prefix's event trace (re-fed to per-trial detectors instead of
+//!   re-executed). Built by [`prepare_fork_point`].
+//! - [`fork_map`] — a worker-sharded probe map with lazy per-worker
+//!   state: the same self-scheduling (work-stealing) index queue as
+//!   `narada_core::parallel::parallel_map`, except each worker
+//!   materializes one machine from the shared snapshot and rewinds it
+//!   between probes instead of rebuilding per probe. Results merge in
+//!   item order, so output is byte-identical at any worker count.
+//! - [`ExploreMode`] — the `--explore fork|rerun` knob threaded through
+//!   `DetectConfig`, `difftest`, and `narada serve` job options.
+//!
+//! ## Determinism argument
+//!
+//! A fork probe is bit-for-bit the suffix of the corresponding rerun
+//! trial when the prefix is *seed-independent*: schedulers are only
+//! consulted by `run_threads` (the suffix), so a prefix differs across
+//! trials only through `rand()` draws. [`prepare_fork_point`] therefore
+//! refuses to fork (returns `None`) if the prefix consumed any RNG draw;
+//! the caller falls back to the re-execution path wholesale. When zero
+//! draws are consumed, restoring the snapshot and reseeding with trial
+//! *t*'s machine seed reproduces exactly the machine state rerun trial
+//! *t* would reach at the fork point — same heap, threads, monitor
+//! tables, label/invocation counters, and a freshly-seeded RNG.
+//!
+//! ## Memory bounds
+//!
+//! One owned snapshot per test (heap payload + thread stacks,
+//! `MachineSnapshot::approx_bytes`, surfaced as `explore.snapshot_bytes`)
+//! plus one materialized machine per live worker. Probes themselves are
+//! O(mutated objects): the VM's copy-on-write undo log
+//! (`Heap::mark`/`rewind`) restores only what the probe touched.
+
+use narada_core::synth::{execute_plan_prefix, ExecError, PlanPrefix};
+use narada_core::TestPlan;
+use narada_lang::hir::TestId;
+use narada_vm::{Event, Machine, MachineSnapshot, VecSink};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How the detection trial loops explore schedule suffixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExploreMode {
+    /// Re-execute the whole test from `main()` for every trial (the
+    /// original explorer; the byte-compat baseline).
+    #[default]
+    Rerun,
+    /// Run the shared prefix once per test, snapshot at the fork point,
+    /// and probe suffixes from copy-on-write forks.
+    Fork,
+}
+
+impl ExploreMode {
+    /// Parses the CLI/wire spelling (`"rerun"` / `"fork"`).
+    pub fn parse(s: &str) -> Option<ExploreMode> {
+        match s {
+            "rerun" => Some(ExploreMode::Rerun),
+            "fork" => Some(ExploreMode::Fork),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (inverse of [`ExploreMode::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            ExploreMode::Rerun => "rerun",
+            ExploreMode::Fork => "fork",
+        }
+    }
+}
+
+impl fmt::Display for ExploreMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Metrics only the fork explorer emits. Rerun-mode manifests never
+/// contain them, so cross-mode manifest comparisons (the fork-vs-rerun
+/// differential suite, `scripts/ci.sh`) filter these names before
+/// demanding byte-identity; within one mode manifests are identical at
+/// any `--threads` with no filtering.
+pub const FORK_ONLY_METRICS: &[&str] = &[
+    "explore.forks",
+    "explore.probes",
+    "explore.snapshot_bytes",
+    "explore.prefix_steps_saved",
+    "explore.prefix_rng_fallbacks",
+];
+
+/// A test's shared prefix, materialized once: the machine state at the
+/// fork point plus everything a suffix probe needs. `Arc`-share across
+/// workers; each worker restores its own machine from the snapshot.
+#[derive(Debug, Clone)]
+pub struct ForkPoint {
+    /// Machine state suspended right before the racy invocations.
+    pub snapshot: MachineSnapshot,
+    /// Resolved captures and built objects for suffix argument
+    /// resolution.
+    pub prefix: PlanPrefix,
+    /// The prefix's event trace, in order — fed to per-trial detector
+    /// clones so they observe exactly what a full re-execution would
+    /// have shown them.
+    pub prefix_events: Vec<Event>,
+}
+
+impl ForkPoint {
+    /// Events the prefix emitted — the per-probe step count a fork saves
+    /// (`explore.prefix_steps_saved` = this × (probes − 1)).
+    pub fn prefix_steps(&self) -> u64 {
+        self.prefix_events.len() as u64
+    }
+}
+
+/// Runs the sequential prefix of `plan` on `machine` and captures a
+/// [`ForkPoint`] at the suspension point.
+///
+/// Returns `None` — *fall back to the re-execution explorer* — when the
+/// prefix fails (the rerun path reports such errors with its own exact
+/// semantics) or consumed RNG draws (a seed-dependent prefix cannot be
+/// shared across trial seeds; see the module docs). The attempt leaves no
+/// trace in any shared telemetry, so a fallback's manifests are
+/// indistinguishable from plain rerun mode up to the fork-only
+/// `explore.prefix_rng_fallbacks` counter its caller records.
+pub fn prepare_fork_point(
+    machine: &mut Machine<'_>,
+    seeds: &[TestId],
+    plan: &TestPlan,
+) -> Option<ForkPoint> {
+    let mut sink = VecSink::new();
+    let prefix: Result<PlanPrefix, ExecError> =
+        execute_plan_prefix(machine, seeds, plan, &mut sink);
+    let prefix = prefix.ok()?;
+    if machine.rng_draws() > 0 {
+        return None;
+    }
+    Some(ForkPoint {
+        snapshot: machine.snapshot(),
+        prefix,
+        prefix_events: sink.events,
+    })
+}
+
+/// Applies `probe` to every item of `items` across at most `threads`
+/// workers, giving each worker its own lazily-created state (`init` runs
+/// once per worker that actually claims an item). Results come back **in
+/// item order** regardless of which worker computed what.
+///
+/// This is `parallel_map`'s self-scheduling index queue — idle workers
+/// steal the next unclaimed index, so load balances without a
+/// partitioning step — extended with per-worker state for the fork
+/// explorer: a worker materializes one machine from the shared snapshot,
+/// then rewinds it between probes. Correctness requirement on `probe`:
+/// its result must depend only on `(index, item)` and a state `init()`
+/// would produce (i.e. probes restore the state they dirty), which is
+/// what makes output byte-identical at any `threads` value — locked in
+/// by the fork-vs-rerun differential suite.
+///
+/// With `threads <= 1` or fewer than two items the map runs inline on
+/// one state, the degenerate case of the same contract.
+pub fn fork_map<T, R, S, G, F>(threads: usize, items: &[T], init: G, probe: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = narada_core::parallel::effective_threads(threads).min(items.len());
+    if threads <= 1 {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| probe(&mut state, i, t))
+            .collect();
+    }
+
+    type Shard<R> = Result<Vec<(usize, R)>, Box<dyn std::any::Any + Send>>;
+
+    let next = AtomicUsize::new(0);
+    let shards: Vec<Shard<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state: Option<S> = None;
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let s = state.get_or_insert_with(&init);
+                        local.push((i, probe(s, i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(std::thread::ScopedJoinHandle::join)
+            .collect()
+    });
+
+    let mut merged: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for shard in shards {
+        match shard {
+            Ok(results) => {
+                for (i, r) in results {
+                    merged[i] = Some(r);
+                }
+            }
+            Err(p) => panic = Some(p),
+        }
+    }
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    merged
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explore_mode_round_trips() {
+        for mode in [ExploreMode::Rerun, ExploreMode::Fork] {
+            assert_eq!(ExploreMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(ExploreMode::parse("bogus"), None);
+        assert_eq!(ExploreMode::default(), ExploreMode::Rerun);
+    }
+
+    #[test]
+    fn fork_only_metrics_all_namespaced() {
+        for name in FORK_ONLY_METRICS {
+            assert!(name.starts_with("explore."), "{name}");
+        }
+    }
+
+    /// fork_map must equal the sequential map for state-restoring probes,
+    /// at every thread count.
+    #[test]
+    fn fork_map_is_order_and_thread_invariant() {
+        let items: Vec<u64> = (0..37).collect();
+        let run = |threads: usize| {
+            fork_map(
+                threads,
+                &items,
+                || 0u64, // per-worker scratch the probe restores
+                |scratch, i, &x| {
+                    *scratch += 1; // dirty…
+                    let r = x * x + i as u64;
+                    *scratch -= 1; // …and restore
+                    r
+                },
+            )
+        };
+        let seq = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), seq, "threads={threads}");
+        }
+        assert_eq!(seq[5], 25 + 5);
+    }
+
+    #[test]
+    fn fork_map_empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        let calls = AtomicUsize::new(0);
+        let out = fork_map(
+            8,
+            &empty,
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+            },
+            |_, i, &x| (i, x),
+        );
+        assert!(out.is_empty());
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            0,
+            "init never runs with no items"
+        );
+        let one = fork_map(8, &[7u32], || (), |_, i, &x| (i, x));
+        assert_eq!(one, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn fork_map_propagates_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fork_map(
+                4,
+                &items,
+                || (),
+                |_, i, _| {
+                    assert!(i != 3, "boom");
+                    i
+                },
+            )
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -24,6 +24,7 @@
 //! then the final `{"ok": ...}` object. Responses always carry `ok`;
 //! errors are `{ok: false, error: "..."}`.
 
+use narada_detect::ExploreMode;
 use narada_obs::Json;
 use narada_vm::{Engine, ScheduleStrategy};
 use std::io::{BufRead, Write};
@@ -52,6 +53,9 @@ pub struct JobOptions {
     pub pct_horizon: u64,
     /// Execution engine (bytecode jobs share the cached compilation).
     pub engine: Engine,
+    /// Trial explorer: rerun each trial from `main()` or probe from
+    /// copy-on-write snapshot forks. Result-neutral, like `threads`.
+    pub explore: ExploreMode,
     /// Drop statically-discharged pairs before derivation.
     pub static_filter: bool,
     /// Rank surviving pairs by static suspicion score.
@@ -75,6 +79,7 @@ impl Default for JobOptions {
             strategy: ScheduleStrategy::Random,
             pct_horizon: 1_000,
             engine: Engine::TreeWalk,
+            explore: ExploreMode::Rerun,
             static_filter: false,
             static_rank: false,
             generate_seeds: false,
@@ -96,6 +101,7 @@ impl JobOptions {
             .with("strategy", Json::Str(self.strategy.label()))
             .with("pct_horizon", Json::Int(self.pct_horizon as i64))
             .with("engine", Json::Str(self.engine.label().to_string()))
+            .with("explore", Json::Str(self.explore.label().to_string()))
             .with("static_filter", Json::Bool(self.static_filter))
             .with("static_rank", Json::Bool(self.static_rank))
             .with("generate_seeds", Json::Bool(self.generate_seeds))
@@ -146,6 +152,11 @@ impl JobOptions {
         if let Some(v) = doc.get("engine") {
             let s = v.as_str().ok_or("`engine` must be a string")?;
             o.engine = Engine::parse(s)?;
+        }
+        if let Some(v) = doc.get("explore") {
+            let s = v.as_str().ok_or("`explore` must be a string")?;
+            o.explore = ExploreMode::parse(s)
+                .ok_or_else(|| format!("`explore` must be 'rerun' or 'fork', got `{s}`"))?;
         }
         o.static_filter = get_bool("static_filter", o.static_filter)?;
         o.static_rank = get_bool("static_rank", o.static_rank)?;
@@ -203,6 +214,7 @@ mod tests {
             confirms: 2,
             seed: 7,
             engine: Engine::Bytecode,
+            explore: ExploreMode::Fork,
             strategy: ScheduleStrategy::parse("pct:3").unwrap(),
             static_rank: true,
             ..JobOptions::default()
@@ -226,6 +238,10 @@ mod tests {
         assert!(JobOptions::from_json(&Json::obj().with("seed", Json::Str("x".into()))).is_err());
         assert!(
             JobOptions::from_json(&Json::obj().with("strategy", Json::Str("warp".into()))).is_err()
+        );
+        assert!(
+            JobOptions::from_json(&Json::obj().with("explore", Json::Str("teleport".into())))
+                .is_err()
         );
     }
 

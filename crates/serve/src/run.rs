@@ -159,6 +159,7 @@ pub fn run_job(
         strategy: opts.strategy.clone(),
         pct_horizon: opts.pct_horizon,
         engine: opts.engine,
+        explore: opts.explore,
         code: if opts.generate_seeds { None } else { code },
         ..DetectConfig::default()
     };
@@ -185,6 +186,9 @@ pub fn run_job(
     manifest.set_config("engine", opts.engine.label());
     manifest.set_config("strategy", opts.strategy.label());
     manifest.set_config("seed", opts.seed);
+    if let Some(t) = telemetry {
+        t.record_explore(opts.explore, &manifest);
+    }
     Ok(JobResult {
         report,
         summary,

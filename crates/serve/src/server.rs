@@ -713,6 +713,7 @@ fn build_status(shared: &Shared) -> Json {
         .with("jobs", jobs)
         .with("latency", t.latency_json())
         .with("cache", cache)
+        .with("explore", t.explore_json())
         .with(
             "workers",
             Json::obj()

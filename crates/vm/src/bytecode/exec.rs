@@ -119,6 +119,7 @@ impl Machine<'_> {
                     heap,
                     threads,
                     rng,
+                    rng_draws,
                     ..
                 } = &mut *self;
                 let thread = &mut threads[t];
@@ -346,6 +347,7 @@ impl Machine<'_> {
                         Op::Const { dst, val } => seg_const!(dst, val),
                         Op::Copy { dst, src } => seg_copy!(dst, src),
                         Op::Rand { dst } => {
+                            *rng_draws += 1;
                             let value = Value::Int(rng.gen_range(0..1_000_000));
                             regs[dst.index()] = value;
                             emit_ev!(

@@ -3,6 +3,19 @@
 //! Objects are never garbage-collected: the synthesizer (paper §3.4) keeps
 //! references to objects collected from suspended seed-test executions, so
 //! everything stays live for the duration of one [`Machine`](crate::Machine).
+//!
+//! ## Copy-on-write marks
+//!
+//! The snapshot-forking explorer rewinds a heap to a *mark* thousands of
+//! times per test, so a full heap clone per probe would dominate. Instead
+//! the heap keeps an object-granularity undo log: every object carries an
+//! epoch tag, [`Heap::mark`] opens a new epoch, and the first mutation of
+//! an object inside an epoch (all mutations funnel through
+//! [`Heap::object_mut`]) pushes its pre-image onto the log.
+//! [`Heap::rewind`] pops the log back to the mark, restores the
+//! pre-images, truncates objects allocated since, and opens a fresh epoch
+//! so the next probe re-logs. Until the first mark the log is off
+//! (`epoch == 0`) and `object_mut` costs one predictable branch.
 
 use crate::value::{ObjId, Value};
 use narada_lang::hir::{ClassId, FieldId, Program, Ty};
@@ -36,6 +49,9 @@ pub struct Object {
     pub(crate) lock_owner: Option<u32>,
     /// Re-entrancy count.
     pub(crate) lock_count: u32,
+    /// Undo-log epoch this object was last logged (or allocated) in; `0`
+    /// everywhere until the first [`Heap::mark`].
+    epoch: u64,
 }
 
 impl Object {
@@ -59,6 +75,21 @@ pub struct Heap {
     objects: Vec<Object>,
     /// Per-class map field → slot index (includes inherited fields).
     layouts: Vec<HashMap<FieldId, usize>>,
+    /// Current undo-log epoch; `0` means no mark has ever been taken and
+    /// the log is off.
+    epoch: u64,
+    /// Copy-on-write pre-images: `(object index, state before its first
+    /// mutation in the epoch it was logged in)`.
+    undo: Vec<(u32, Object)>,
+}
+
+/// A point in a heap's history that [`Heap::rewind`] can restore,
+/// returned by [`Heap::mark`]. Rewinding does not consume the mark: the
+/// fork explorer rewinds to the same mark once per probe.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapMark {
+    undo_len: usize,
+    objects_len: usize,
 }
 
 impl Heap {
@@ -78,6 +109,8 @@ impl Heap {
         Heap {
             objects: Vec::new(),
             layouts,
+            epoch: 0,
+            undo: Vec::new(),
         }
     }
 
@@ -105,6 +138,7 @@ impl Heap {
             data: ObjectData::Instance { class, fields },
             lock_owner: None,
             lock_count: 0,
+            epoch: self.epoch,
         })
     }
 
@@ -118,6 +152,7 @@ impl Heap {
             },
             lock_owner: None,
             lock_count: 0,
+            epoch: self.epoch,
         })
     }
 
@@ -125,6 +160,115 @@ impl Heap {
         let id = ObjId(self.objects.len() as u32);
         self.objects.push(obj);
         id
+    }
+
+    // ------------------------------------------------------------------
+    // Copy-on-write marks (see the module docs)
+    // ------------------------------------------------------------------
+
+    /// Opens a new undo epoch and returns a mark [`Heap::rewind`] can
+    /// restore. Marks nest: rewinding to an outer mark also undoes
+    /// everything an inner mark saw. Once the first mark is taken the
+    /// undo log stays armed for the heap's lifetime (until
+    /// [`Heap::clear_history`]); mutation cost is one pre-image clone per
+    /// object per epoch.
+    pub fn mark(&mut self) -> HeapMark {
+        self.epoch += 1;
+        HeapMark {
+            undo_len: self.undo.len(),
+            objects_len: self.objects.len(),
+        }
+    }
+
+    /// Restores the heap to the state captured by `mark`: pre-images are
+    /// written back newest-first, objects allocated since are truncated,
+    /// and a fresh epoch opens so subsequent mutations re-log. The mark
+    /// stays valid for further rewinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` came from a different heap history (its lengths
+    /// exceed the current log).
+    pub fn rewind(&mut self, mark: &HeapMark) {
+        assert!(
+            mark.undo_len <= self.undo.len() && mark.objects_len <= self.objects.len(),
+            "heap mark from a different history"
+        );
+        while self.undo.len() > mark.undo_len {
+            let (idx, pre) = self.undo.pop().expect("undo entry");
+            // Pre-images of objects allocated after the mark die with the
+            // truncation below.
+            if (idx as usize) < mark.objects_len {
+                self.objects[idx as usize] = pre;
+            }
+        }
+        self.objects.truncate(mark.objects_len);
+        self.epoch += 1;
+    }
+
+    /// Drops the undo log and disarms copy-on-write logging (objects keep
+    /// their tags; a later [`Heap::mark`] re-arms). Used when a machine is
+    /// restored from an owned snapshot, whose heap copy starts history
+    /// afresh.
+    pub(crate) fn clear_history(&mut self) {
+        self.undo.clear();
+        self.epoch = 0;
+    }
+
+    /// Number of pre-images currently in the undo log (test introspection).
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Rough byte footprint of the live objects (payload slots plus fixed
+    /// per-object overhead) — the `explore.snapshot_bytes` input. An
+    /// estimate, not an allocator measurement, but a deterministic one.
+    pub fn approx_bytes(&self) -> u64 {
+        self.objects
+            .iter()
+            .map(|o| {
+                let slots = match &o.data {
+                    ObjectData::Instance { fields, .. } => fields.len(),
+                    ObjectData::Array { data, .. } => data.len(),
+                };
+                (std::mem::size_of::<Object>() + slots * std::mem::size_of::<Value>()) as u64
+            })
+            .sum()
+    }
+
+    /// Deterministic full-state render: one line per object with payload,
+    /// values, and monitor state, in allocation order. Two heaps render
+    /// identically iff they are observationally identical — the byte
+    /// surface the snapshot round-trip property tests compare.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, o) in self.objects.iter().enumerate() {
+            let _ = write!(out, "#{i} ");
+            match &o.data {
+                ObjectData::Instance { class, fields } => {
+                    let _ = write!(out, "instance c{}", class.index());
+                    for f in fields {
+                        let _ = write!(out, " {f}");
+                    }
+                }
+                ObjectData::Array { data, .. } => {
+                    let _ = write!(out, "array[{}]", data.len());
+                    for e in data {
+                        let _ = write!(out, " {e}");
+                    }
+                }
+            }
+            match o.lock_owner {
+                Some(t) => {
+                    let _ = writeln!(out, " lock=t{}x{}", t, o.lock_count);
+                }
+                None => {
+                    let _ = writeln!(out, " unlocked");
+                }
+            }
+        }
+        out
     }
 
     /// Immutable access to an object.
@@ -139,7 +283,15 @@ impl Heap {
 
     #[inline]
     pub(crate) fn object_mut(&mut self, id: ObjId) -> &mut Object {
-        &mut self.objects[id.index()]
+        let i = id.index();
+        // COW hook: with a mark armed, log the object's pre-image the
+        // first time it is mutably touched inside the current epoch.
+        if self.epoch != 0 && self.objects[i].epoch != self.epoch {
+            let pre = self.objects[i].clone();
+            self.objects[i].epoch = self.epoch;
+            self.undo.push((id.0, pre));
+        }
+        &mut self.objects[i]
     }
 
     /// The runtime class of `id`, if it is an instance.
@@ -320,5 +472,84 @@ mod tests {
         let a = heap.alloc_array(Ty::Bool, 1);
         assert_eq!(heap.class_of(a), None);
         assert!(!heap.object(a).is_locked());
+    }
+
+    #[test]
+    fn mark_rewind_restores_mutations_and_allocations() {
+        let (prog, mut heap) = heap_and_prog();
+        let base = prog.class_by_name("Base").unwrap();
+        let a = prog.field_by_name(base, "a").unwrap();
+        let o = heap.alloc_instance(&prog, base);
+        heap.set_field(o, a, Value::Int(1));
+        let before = heap.render();
+
+        let mark = heap.mark();
+        heap.set_field(o, a, Value::Int(99));
+        heap.set_field(o, a, Value::Int(100)); // second write, same epoch: one log entry
+        let fresh = heap.alloc_instance(&prog, base);
+        heap.set_field(fresh, a, Value::Int(7));
+        assert_eq!(heap.undo_len(), 1, "fresh objects are never logged");
+        assert_eq!(heap.len(), 2);
+
+        heap.rewind(&mark);
+        assert_eq!(heap.render(), before);
+        assert_eq!(heap.len(), 1);
+        assert_eq!(heap.get_field(o, a), Value::Int(1));
+    }
+
+    #[test]
+    fn mark_is_reusable_across_probes() {
+        let (prog, mut heap) = heap_and_prog();
+        let base = prog.class_by_name("Base").unwrap();
+        let a = prog.field_by_name(base, "a").unwrap();
+        let o = heap.alloc_instance(&prog, base);
+        let before = heap.render();
+        let mark = heap.mark();
+        for probe in 0..5 {
+            heap.set_field(o, a, Value::Int(probe));
+            heap.alloc_array(Ty::Int, 4);
+            heap.rewind(&mark);
+            assert_eq!(heap.render(), before, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn nested_marks_rewind_to_outer() {
+        let (prog, mut heap) = heap_and_prog();
+        let base = prog.class_by_name("Base").unwrap();
+        let a = prog.field_by_name(base, "a").unwrap();
+        let o = heap.alloc_instance(&prog, base);
+        let outer_render = heap.render();
+        let outer = heap.mark();
+        heap.set_field(o, a, Value::Int(1));
+        let inner_render = heap.render();
+        let inner = heap.mark();
+        heap.set_field(o, a, Value::Int(2));
+        heap.rewind(&inner);
+        assert_eq!(heap.render(), inner_render);
+        heap.rewind(&outer);
+        assert_eq!(heap.render(), outer_render);
+    }
+
+    #[test]
+    fn rewind_restores_lock_state() {
+        let (prog, mut heap) = heap_and_prog();
+        let base = prog.class_by_name("Base").unwrap();
+        let o = heap.alloc_instance(&prog, base);
+        let mark = heap.mark();
+        let obj = heap.object_mut(o);
+        obj.lock_owner = Some(1);
+        obj.lock_count = 2;
+        assert!(heap.object(o).is_locked());
+        heap.rewind(&mark);
+        assert!(!heap.object(o).is_locked());
+    }
+
+    #[test]
+    fn approx_bytes_tracks_payload() {
+        let (_, mut heap) = heap_and_prog();
+        let empty = heap.approx_bytes();
+        heap.alloc_array(Ty::Int, 100);
+        assert!(heap.approx_bytes() > empty + 100 * std::mem::size_of::<Value>() as u64 / 2);
     }
 }

@@ -49,9 +49,10 @@ pub use event::{
     trace_digest, CopySrc, Event, EventKind, EventSink, FieldKey, InvId, Label, NullSink, TeeSink,
     ThreadId, VecSink,
 };
-pub use heap::{Heap, Object, ObjectData};
+pub use heap::{Heap, HeapMark, Object, ObjectData};
 pub use machine::{
-    CallSite, Machine, MachineOptions, PendingInvoke, Preview, RunOutcome, ThreadStatus,
+    CallSite, Machine, MachineMark, MachineOptions, MachineSnapshot, PendingInvoke, Preview,
+    RunOutcome, ThreadStatus,
 };
 pub use render::{render_schedule_summary, TraceRenderer};
 pub use rng::{derive_seed, splitmix64, SplitMix64};

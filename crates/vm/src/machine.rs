@@ -15,7 +15,7 @@
 use crate::bytecode::{BcProgram, Engine};
 use crate::error::{VmError, VmErrorKind};
 use crate::event::{CopySrc, Event, EventKind, EventSink, FieldKey, InvId, Label, ThreadId};
-use crate::heap::Heap;
+use crate::heap::{Heap, HeapMark};
 use crate::rng::SplitMix64;
 use crate::value::{ObjId, Value};
 use narada_lang::ast::{BinOp, UnOp};
@@ -69,7 +69,7 @@ pub enum ThreadStatus {
     Failed(VmError),
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Frame {
     pub(crate) body: BodyId,
     pub(crate) inv: InvId,
@@ -93,7 +93,7 @@ pub struct PendingInvoke {
     pub args: Vec<Value>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct ThreadState {
     pub(crate) frames: Vec<Frame>,
     pub(crate) status: ThreadStatus,
@@ -188,9 +188,68 @@ pub struct Machine<'p> {
     pub(crate) next_label: u64,
     next_inv: u64,
     pub(crate) rng: SplitMix64,
+    /// Count of `Rand` instructions executed since construction/reset.
+    /// The fork explorer shares a prefix across seeds only when the
+    /// prefix drew nothing (zero draws ⇒ prefix is seed-independent).
+    pub(crate) rng_draws: u64,
     pub(crate) opts: MachineOptions,
     /// Compiled bytecode; present iff `opts.engine == Engine::Bytecode`.
     code: Option<Arc<BcProgram>>,
+}
+
+/// An owned, engine-independent copy of a [`Machine`]'s full mutable
+/// state — heap, thread stacks, monitor tables (they live in heap
+/// objects), label/invocation counters, and the RNG — taken by
+/// [`Machine::snapshot`]. Restoring it onto any machine for the same
+/// program yields a run bit-for-bit identical to continuing from the
+/// capture point. `Arc`-share one snapshot across workers; each worker
+/// restores its own machine from it.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    heap: Heap,
+    threads: Vec<ThreadState>,
+    thread_results: Vec<(ThreadId, Value)>,
+    next_label: u64,
+    next_inv: u64,
+    rng: SplitMix64,
+    seed: u64,
+    rng_draws: u64,
+}
+
+impl MachineSnapshot {
+    /// Rough byte footprint of the captured state (heap payload plus
+    /// fixed overhead) — the `explore.snapshot_bytes` input.
+    pub fn approx_bytes(&self) -> u64 {
+        let frames: usize = self
+            .threads
+            .iter()
+            .map(|t| {
+                t.frames
+                    .iter()
+                    .map(|f| f.regs.len() + f.held.len())
+                    .sum::<usize>()
+            })
+            .sum();
+        self.heap.approx_bytes()
+            + (frames * std::mem::size_of::<Value>()) as u64
+            + std::mem::size_of::<MachineSnapshot>() as u64
+    }
+}
+
+/// An in-place rewind point from [`Machine::mark`]: a copy-on-write
+/// [`HeapMark`] plus owned copies of the (small) non-heap state. Cheaper
+/// than restoring a [`MachineSnapshot`] because [`Machine::rewind`]
+/// undoes only what the probe actually mutated on the heap.
+#[derive(Debug, Clone)]
+pub struct MachineMark {
+    heap: HeapMark,
+    threads: Vec<ThreadState>,
+    thread_results: Vec<(ThreadId, Value)>,
+    next_label: u64,
+    next_inv: u64,
+    rng: SplitMix64,
+    seed: u64,
+    rng_draws: u64,
 }
 
 impl<'p> Machine<'p> {
@@ -238,6 +297,7 @@ impl<'p> Machine<'p> {
             next_label: 0,
             next_inv: 0,
             rng,
+            rng_draws: 0,
             opts,
             code,
         }
@@ -267,6 +327,89 @@ impl<'p> Machine<'p> {
         self.next_inv = 0;
         self.opts.seed = seed;
         self.rng = SplitMix64::seed_from_u64(seed);
+        self.rng_draws = 0;
+    }
+
+    /// Reseeds the RNG without touching any other state. The fork
+    /// explorer calls this after restoring a snapshot so each probe's
+    /// suffix draws from its own trial seed while sharing the prefix.
+    pub fn reseed(&mut self, seed: u64) {
+        self.opts.seed = seed;
+        self.rng = SplitMix64::seed_from_u64(seed);
+    }
+
+    /// Number of `Rand` instructions executed since construction/reset.
+    pub fn rng_draws(&self) -> u64 {
+        self.rng_draws
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots and marks (the fork explorer's substrate)
+    // ------------------------------------------------------------------
+
+    /// Captures the machine's full mutable state as an owned,
+    /// `Arc`-shareable [`MachineSnapshot`]. The snapshot's heap copy
+    /// starts with an empty undo log (history is per-machine, not
+    /// shared).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        let mut heap = self.heap.clone();
+        heap.clear_history();
+        MachineSnapshot {
+            heap,
+            threads: self.threads.clone(),
+            thread_results: self.thread_results.clone(),
+            next_label: self.next_label,
+            next_inv: self.next_inv,
+            rng: self.rng.clone(),
+            seed: self.opts.seed,
+            rng_draws: self.rng_draws,
+        }
+    }
+
+    /// Overwrites this machine's mutable state with `snap`. The machine
+    /// must run the same program the snapshot was taken from; engine and
+    /// other options are kept, so a TreeWalk snapshot can resume on a
+    /// Bytecode machine and vice versa.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.heap = snap.heap.clone();
+        self.threads = snap.threads.clone();
+        self.thread_results = snap.thread_results.clone();
+        self.next_label = snap.next_label;
+        self.next_inv = snap.next_inv;
+        self.rng = snap.rng.clone();
+        self.opts.seed = snap.seed;
+        self.rng_draws = snap.rng_draws;
+    }
+
+    /// Takes an in-place rewind point: a copy-on-write heap mark plus
+    /// owned copies of the small non-heap state. [`Machine::rewind`]
+    /// restores it without cloning the heap; the same mark can be
+    /// rewound to any number of times.
+    pub fn mark(&mut self) -> MachineMark {
+        MachineMark {
+            heap: self.heap.mark(),
+            threads: self.threads.clone(),
+            thread_results: self.thread_results.clone(),
+            next_label: self.next_label,
+            next_inv: self.next_inv,
+            rng: self.rng.clone(),
+            seed: self.opts.seed,
+            rng_draws: self.rng_draws,
+        }
+    }
+
+    /// Rewinds to a mark taken on *this* machine: heap mutations since
+    /// the mark are undone object-by-object via the heap's undo log, and
+    /// the non-heap state is written back from the mark's copies.
+    pub fn rewind(&mut self, mark: &MachineMark) {
+        self.heap.rewind(&mark.heap);
+        self.threads = mark.threads.clone();
+        self.thread_results = mark.thread_results.clone();
+        self.next_label = mark.next_label;
+        self.next_inv = mark.next_inv;
+        self.rng = mark.rng.clone();
+        self.opts.seed = mark.seed;
+        self.rng_draws = mark.rng_draws;
     }
 
     // ------------------------------------------------------------------
@@ -925,6 +1068,7 @@ impl<'p> Machine<'p> {
                 advance!();
             }
             InstrKind::Rand { dst } => {
+                self.rng_draws += 1;
                 let value = Value::Int(self.rng.gen_range(0..1_000_000));
                 set_reg!(dst, value);
                 self.emit(

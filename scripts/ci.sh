@@ -60,6 +60,31 @@ cmp "$DIFF_DIR/t1.out" "$DIFF_DIR/bc-t1.out" \
     || { echo "difftest output differs between engines" >&2; exit 1; }
 rm -rf "$DIFF_DIR"
 
+echo "==> fork-vs-rerun explorer differential (C1-C5 + difftest slice, threads 1/2/8)"
+# The snapshot-forking explorer must be observably identical to the
+# re-execution explorer: same verdict lines on the manual corpus and the
+# same sweep digest on a generated-lattice slice, at every worker count.
+FORK_DIR="$(mktemp -d)"
+for c in C1 C2 C3 C4 C5; do
+    cargo run -q --release --bin narada -- detect "$c" --schedules 4 --confirms 3 \
+        --explore rerun > "$FORK_DIR/$c.rerun"
+    for t in 1 2 8; do
+        cargo run -q --release --bin narada -- detect "$c" --schedules 4 --confirms 3 \
+            --explore fork --threads "$t" > "$FORK_DIR/$c.fork"
+        cmp "$FORK_DIR/$c.rerun" "$FORK_DIR/$c.fork" \
+            || { echo "detect $c --explore fork diverges from rerun at --threads $t" >&2; exit 1; }
+    done
+done
+cargo run -q --release --bin narada -- difftest --seed 53759 --count 32 \
+    --explore rerun > "$FORK_DIR/diff.rerun"
+for t in 1 2 8; do
+    cargo run -q --release --bin narada -- difftest --seed 53759 --count 32 \
+        --explore fork --threads "$t" > "$FORK_DIR/diff.fork"
+    cmp "$FORK_DIR/diff.rerun" "$FORK_DIR/diff.fork" \
+        || { echo "difftest --explore fork diverges from rerun at --threads $t" >&2; exit 1; }
+done
+rm -rf "$FORK_DIR"
+
 echo "==> serve smoke (byte-identity with batch, warm cache, clean shutdown)"
 # A resident server must return the same bytes as `narada detect
 # --report-out`, hit the artifact cache on resubmission, and drain
@@ -90,7 +115,7 @@ cmp "$SERVE_DIR/batch.report" "$SERVE_DIR/state/job-0.report" \
     || { echo "state-dir flushed report differs from batch" >&2; exit 1; }
 rm -rf "$SERVE_DIR"
 
-echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen / BENCH_difftest / BENCH_vm / BENCH_serve)"
+echo "==> bench manifests (BENCH_synth / BENCH_explore / BENCH_screen / BENCH_gen / BENCH_difftest / BENCH_vm / BENCH_serve / BENCH_fork)"
 # Each bench bin must emit a run manifest; `narada report` re-parses it
 # and fails on any missing required field (schema, git_rev, metrics, ...).
 MANIFEST_DIR="$(mktemp -d)"
@@ -110,7 +135,9 @@ NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_BENCH_REPS=2 \
 NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_SERVE_REPS=1 NARADA_SERVE_CLIENTS=2 \
     NARADA_SERVE_JOBS=1 NARADA_SERVE_SCHEDULES=3 NARADA_SERVE_CONFIRMS=2 \
     cargo run -q --release -p narada-bench --bin serve > /dev/null
-for name in synth explore screen gen difftest vm serve; do
+NARADA_MANIFEST_DIR="$MANIFEST_DIR" NARADA_REPS=2 \
+    cargo run -q --release -p narada-bench --bin fork > /dev/null
+for name in synth explore screen gen difftest vm serve fork; do
     manifest="$MANIFEST_DIR/BENCH_$name.json"
     [ -f "$manifest" ] || { echo "missing $manifest" >&2; exit 1; }
     cargo run -q --release --bin narada -- report "$manifest" > /dev/null
@@ -121,7 +148,7 @@ echo "==> perf-regression trend gate (fresh runs vs committed baselines)"
 # informational (host-dependent timings must not fail CI). The committed
 # baselines under results/ were generated with exactly the env knobs the
 # bench invocations above use — any config drift is itself a breach.
-for name in vm serve; do
+for name in vm serve fork; do
     cargo run -q --release --bin narada -- report --trend \
         "results/BENCH_$name.json" "$MANIFEST_DIR/BENCH_$name.json" --tolerance 0 \
         || { echo "trend gate breached for BENCH_$name" >&2; exit 1; }

@@ -18,7 +18,8 @@
 
 use narada::core::{demonstrate_observed, ExploreOptions, SynthesisOutput};
 use narada::detect::{
-    evaluate_suite_observed, evaluate_test_indexed, replay_schedule, DetectConfig, StaticRaceKey,
+    evaluate_suite_observed, evaluate_test_indexed, replay_schedule, DetectConfig, ExploreMode,
+    StaticRaceKey,
 };
 use narada::lang::hir::Program;
 use narada::lang::lower::lower_program;
@@ -90,7 +91,7 @@ USAGE:
                             [--static-filter] [--static-rank]
                             [--report-out FILE]
                             [--threads N] [--timings] [--engine E]
-                            [--strategy S] [--depth N]
+                            [--strategy S] [--depth N] [--explore M]
                             [--record DIR] [--replay FILE.sched]
                             [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada gen <file.mj|C1..C9> [--budget N] [--seed N] [--threads N]
@@ -100,11 +101,13 @@ USAGE:
     narada corpus [C1..C9] [--threads N] [--timings] [--detect]
                            [--schedules N] [--confirms N] [--seed N]
                            [--static-filter] [--static-rank] [--engine E]
-                           [--strategy S] [--depth N] [--record DIR]
+                           [--strategy S] [--depth N] [--explore M]
+                           [--record DIR]
                            [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada difftest [--seed N] [--count N] [--threads N] [--shrink]
                     [--fixtures DIR] [--schedules N] [--confirms N]
                     [--inject-unsound] [--verbose] [--engine E]
+                    [--explore M]
                     [--trace-out FILE.jsonl] [--manifest FILE.json]
     narada report <manifest.json>... [--diff OLD.json NEW.json]
                   [--trend [--tolerance PCT] [--wall-tolerance PCT]]
@@ -124,6 +127,14 @@ and reports — the differential suite enforces it — so every command
 accepts either engine with identical output.
 `--strategy S` picks the exploration scheduler: pct[:DEPTH], random,
 sticky[:PERCENT], or rr; `--depth N` overrides the PCT depth.
+`--explore M` picks the trial explorer: rerun (re-execute each trial
+from main(), default) or fork (run the shared prefix once per test,
+snapshot the machine at the fork point with copy-on-write heap marks,
+and probe divergent suffixes from restored forks). Both modes produce
+byte-identical verdicts, schedules, reports, and manifests — modulo
+the fork-only `explore.*` counters — and the fork-vs-rerun
+differential suite enforces it; fork mode just skips re-executing the
+prefix, which `explore.prefix_steps_saved` quantifies.
 `--record DIR` writes replayable .sched logs: synth records one
 demonstration run per race-expecting test, detect/corpus record the
 ddmin-minimized schedule of every confirmed race as a fixture.
@@ -201,6 +212,16 @@ fn engine_opt(rest: &[String]) -> Result<Engine, String> {
         None if flag(rest, "--engine") => Err("--engine expects 'tree' or 'bytecode'".into()),
         None => Ok(Engine::TreeWalk),
         Some(s) => Engine::parse(s),
+    }
+}
+
+/// Parses the shared `--explore` flag (`rerun` by default).
+fn explore_opt(rest: &[String]) -> Result<ExploreMode, String> {
+    match opt(rest, "--explore") {
+        None if flag(rest, "--explore") => Err("--explore expects 'rerun' or 'fork'".into()),
+        None => Ok(ExploreMode::Rerun),
+        Some(s) => ExploreMode::parse(s)
+            .ok_or_else(|| format!("--explore expects 'rerun' or 'fork', got `{s}`")),
     }
 }
 
@@ -646,6 +667,7 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
         threads: opt_usize(rest, "--threads", 0)?,
         strategy: strategy_opts(rest)?,
         engine: engine_opt(rest)?,
+        explore: explore_opt(rest)?,
         ..DetectConfig::default()
     };
     if let Some(file) = opt(rest, "--replay") {
@@ -690,6 +712,7 @@ fn cmd_detect(rest: &[String]) -> Result<(), String> {
             ("seed", cfg.seed.to_string()),
             ("strategy", cfg.strategy.label().to_string()),
             ("engine", cfg.engine.label().to_string()),
+            ("explore", cfg.explore.label().to_string()),
         ],
     )
 }
@@ -906,6 +929,7 @@ fn cmd_corpus(rest: &[String]) -> Result<(), String> {
                 threads: opt_usize(rest, "--threads", 0)?,
                 strategy: strategy_opts(rest)?,
                 engine: engine_opt(rest)?,
+                explore: explore_opt(rest)?,
                 ..DetectConfig::default()
             };
             if let Some(dir) = opt(rest, "--record") {
@@ -964,6 +988,7 @@ fn run_difftest(rest: &[String]) -> Result<usize, String> {
         confirm_trials: opt_usize(rest, "--confirms", 4)?,
         inject_unsound: flag(rest, "--inject-unsound"),
         engine: engine_opt(rest)?,
+        explore: explore_opt(rest)?,
         ..DiffConfig::default()
     };
     let obs = obs_for(rest);
@@ -1029,6 +1054,7 @@ fn run_difftest(rest: &[String]) -> Result<usize, String> {
             ("seed", format!("{:#x}", cfg.seed)),
             ("count", cfg.count.to_string()),
             ("engine", cfg.engine.label().to_string()),
+            ("explore", cfg.explore.label().to_string()),
             (
                 "generator-version",
                 narada::difftest::GENERATOR_VERSION.to_string(),
@@ -1146,6 +1172,7 @@ fn job_opts(rest: &[String]) -> Result<narada::serve::JobOptions, String> {
         threads: opt_usize(rest, "--threads", 0)?,
         strategy: strategy_opts(rest)?,
         engine: engine_opt(rest)?,
+        explore: explore_opt(rest)?,
         static_filter: flag(rest, "--static-filter"),
         static_rank: flag(rest, "--static-rank"),
         generate_seeds: flag(rest, "--generate-seeds"),
@@ -1274,6 +1301,17 @@ fn render_top(addr: &str, frame: &Json) -> String {
             .and_then(|c| c.get("counters"))
             .map(Json::to_compact)
             .unwrap_or_default(),
+    ));
+    let exp = frame.get("explore");
+    let exp_jobs = exp.and_then(|e| e.get("jobs"));
+    out.push_str(&format!(
+        "explore  jobs rerun {}  fork {}  forks {}  probes {}  prefix-steps-saved {}  snapshot {} B\n",
+        int(exp_jobs.and_then(|j| j.get("rerun"))),
+        int(exp_jobs.and_then(|j| j.get("fork"))),
+        int(exp.and_then(|e| e.get("forks"))),
+        int(exp.and_then(|e| e.get("probes"))),
+        int(exp.and_then(|e| e.get("prefix_steps_saved"))),
+        int(exp.and_then(|e| e.get("snapshot_bytes"))),
     ));
     if let Some(ages) = frame
         .get("workers")
